@@ -1,0 +1,73 @@
+//! The full asynchronous protocol on the event-driven executor: cost per
+//! LB pass vs rank count, and the termination-detection + collective
+//! substrate in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbaf::ConcentratedLayout;
+use tempered_core::rng::RngFactory;
+use tempered_runtime::{run_distributed_lb, LbProtocolConfig, NetworkModel};
+
+fn bench_async_lb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async/full_protocol");
+    group.sample_size(10);
+    for &p in &[32usize, 64, 128] {
+        let dist = ConcentratedLayout {
+            num_ranks: p,
+            populated_ranks: (p / 16).max(2),
+            num_tasks: p * 3,
+            skew: 0.02,
+            load_jitter: 0.25,
+        }
+        .build(1);
+        let cfg = LbProtocolConfig {
+            trials: 2,
+            iters: 3,
+            fanout: 4,
+            rounds: 5,
+            ..Default::default()
+        };
+        let factory = RngFactory::new(9);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| run_distributed_lb(&dist, cfg, NetworkModel::default(), &factory))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_pic(c: &mut Criterion) {
+    use empire_pic::{BdotScenario, CostModel, DistPicConfig};
+
+    let mut group = c.benchmark_group("async/distributed_pic");
+    group.sample_size(10);
+    let mut scenario = BdotScenario::small();
+    scenario.steps = 20;
+    let cfg = DistPicConfig {
+        scenario,
+        cost: CostModel::default(),
+        lb: LbProtocolConfig {
+            trials: 1,
+            iters: 2,
+            fanout: 3,
+            rounds: 4,
+            ..Default::default()
+        },
+        lb_first_step: 4,
+        lb_period: 10,
+    };
+    group.bench_function("16ranks_20steps_lb", |b| {
+        b.iter(|| empire_pic::run_distributed_pic(cfg, NetworkModel::default(), 3))
+    });
+    let mut no_lb = cfg;
+    no_lb.lb_first_step = usize::MAX;
+    group.bench_function("16ranks_20steps_nolb", |b| {
+        b.iter(|| empire_pic::run_distributed_pic(no_lb, NetworkModel::default(), 3))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_async_lb, bench_distributed_pic
+}
+criterion_main!(benches);

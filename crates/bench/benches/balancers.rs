@@ -1,0 +1,87 @@
+//! End-to-end balancer comparisons (the Fig. 2 strategies as kernels):
+//! full rebalance cost per strategy on a concentrated layout, and
+//! TemperedLB's cost vs its refinement budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbaf::ConcentratedLayout;
+use tempered_core::prelude::*;
+
+fn dist(num_ranks: usize) -> Distribution {
+    ConcentratedLayout {
+        num_ranks,
+        populated_ranks: (num_ranks / 32).max(2),
+        num_tasks: num_ranks * 3,
+        skew: 0.02,
+        load_jitter: 0.25,
+    }
+    .build(1)
+}
+
+fn quick_tempered() -> TemperedLb {
+    TemperedLb::new(TemperedConfig {
+        trials: 2,
+        iters: 4,
+        ..TemperedConfig::default()
+    })
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancers/strategies_256ranks");
+    let d = dist(256);
+    let factory = RngFactory::new(5);
+
+    group.bench_function("tempered", |b| {
+        b.iter(|| quick_tempered().rebalance(&d, &factory, 0))
+    });
+    group.bench_function("grapevine", |b| {
+        b.iter(|| GrapevineLb::default().rebalance(&d, &factory, 0))
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| GreedyLb.rebalance(&d, &factory, 0))
+    });
+    group.bench_function("hier", |b| {
+        b.iter(|| HierLb::default().rebalance(&d, &factory, 0))
+    });
+    group.finish();
+}
+
+fn bench_tempered_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancers/tempered_rank_scaling");
+    group.sample_size(10);
+    for &p in &[128usize, 512, 2048] {
+        let d = dist(p);
+        let factory = RngFactory::new(5);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| quick_tempered().rebalance(&d, &factory, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tempered_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancers/tempered_budget");
+    group.sample_size(10);
+    let d = dist(256);
+    let factory = RngFactory::new(5);
+    for &(trials, iters) in &[(1usize, 1usize), (1, 8), (10, 8)] {
+        let label = format!("{trials}x{iters}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(trials, iters), |b, &(t, i)| {
+            b.iter(|| {
+                TemperedLb::new(TemperedConfig {
+                    trials: t,
+                    iters: i,
+                    ..TemperedConfig::default()
+                })
+                .rebalance(&d, &factory, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_strategies, bench_tempered_scaling, bench_tempered_budget
+}
+criterion_main!(benches);

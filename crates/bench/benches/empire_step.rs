@@ -1,0 +1,33 @@
+//! EMPIRE surrogate kernel throughput: particle push + per-color
+//! histogram per phase, and the full timeline step including modeled
+//! execution-time accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use empire_pic::{BdotScenario, CostModel, EmpireSim};
+
+fn bench_phase_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("empire/phase_step");
+    for &(label, inject) in &[("small_burst", 200usize), ("large_burst", 2000usize)] {
+        let mut scenario = BdotScenario::small();
+        scenario.inject_base = inject;
+        scenario.inject_growth = 0.0;
+        scenario.steps = 1_000_000; // far more than the bench will take
+        group.throughput(Throughput::Elements(inject as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &inject, |b, _| {
+            let mut sim = EmpireSim::new(scenario, CostModel::default(), 1);
+            // Warm the particle population.
+            for _ in 0..20 {
+                sim.step();
+            }
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_phase_step
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Microbenchmarks of the inform/gossip stage (Algorithm 1): round-based
+//! scaling in rank count, fanout, and rounds, plus the literal
+//! message-tree mode at small scale. Supports the §IV scalability
+//! discussion: the distributed protocol's cost grows near-linearly in `P`
+//! with no synchronized structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbaf::ConcentratedLayout;
+use tempered_core::gossip::{run_gossip, GossipConfig, GossipMode};
+use tempered_core::rng::RngFactory;
+
+fn layout(num_ranks: usize) -> ConcentratedLayout {
+    ConcentratedLayout {
+        num_ranks,
+        populated_ranks: (num_ranks / 32).max(2),
+        num_tasks: num_ranks * 2,
+        skew: 0.02,
+        load_jitter: 0.25,
+    }
+}
+
+fn bench_gossip_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip/round_based_scaling");
+    for &p in &[256usize, 1024, 4096] {
+        let dist = layout(p).build(1);
+        let loads = dist.rank_loads().to_vec();
+        let l_ave = dist.average_load();
+        let cfg = GossipConfig {
+            fanout: 6,
+            rounds: 10,
+            mode: GossipMode::RoundBased,
+            max_messages: u64::MAX,
+            max_knowledge: 0,
+        };
+        let factory = RngFactory::new(7);
+        group.throughput(Throughput::Elements(p as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| run_gossip(&loads, l_ave, &cfg, &factory, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gossip_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip/fanout");
+    let dist = layout(1024).build(1);
+    let loads = dist.rank_loads().to_vec();
+    let l_ave = dist.average_load();
+    let factory = RngFactory::new(7);
+    for &f in &[2usize, 4, 6, 8] {
+        let cfg = GossipConfig {
+            fanout: f,
+            rounds: 8,
+            mode: GossipMode::RoundBased,
+            max_messages: u64::MAX,
+            max_knowledge: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
+            b.iter(|| run_gossip(&loads, l_ave, &cfg, &factory, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_message_tree(c: &mut Criterion) {
+    // The literal pseudocode mode is exponential in k; keep it tiny.
+    let dist = layout(64).build(1);
+    let loads = dist.rank_loads().to_vec();
+    let l_ave = dist.average_load();
+    let cfg = GossipConfig {
+        fanout: 2,
+        rounds: 4,
+        mode: GossipMode::MessageTree,
+        max_messages: 1_000_000,
+        max_knowledge: 0,
+    };
+    let factory = RngFactory::new(7);
+    c.bench_function("gossip/message_tree_64ranks", |b| {
+        b.iter(|| run_gossip(&loads, l_ave, &cfg, &factory, 0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gossip_scaling, bench_gossip_fanout, bench_message_tree
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Microbenchmarks of the transfer stage (Algorithm 2) across the §V
+//! design space: criterion × CMF × recomputation, and the four §V-E task
+//! orderings (including the ordering computation itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tempered_core::cmf::{Cmf, CmfKind};
+use tempered_core::criteria::CriterionKind;
+use tempered_core::ids::RankId;
+use tempered_core::knowledge::Knowledge;
+use tempered_core::load::Load;
+use tempered_core::ordering::OrderingKind;
+use tempered_core::rng::RngFactory;
+use tempered_core::task::Task;
+use tempered_core::transfer::{transfer_stage, TransferConfig};
+
+fn make_tasks(n: usize) -> Vec<Task> {
+    (0..n)
+        .map(|i| Task::new(i as u64, 0.5 + (i % 7) as f64 * 0.2))
+        .collect()
+}
+
+fn make_knowledge(n: usize) -> Knowledge {
+    (0..n)
+        .map(|i| (RankId::from(i + 1), Load::new((i % 5) as f64 * 0.3)))
+        .collect()
+}
+
+fn bench_transfer_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/variants");
+    let tasks = make_tasks(500);
+    let l_ave = Load::new(2.0);
+    let factory = RngFactory::new(3);
+    let variants: Vec<(&str, TransferConfig)> = vec![
+        ("grapevine", TransferConfig::grapevine()),
+        ("tempered", TransferConfig::tempered()),
+        (
+            "relaxed_no_recompute",
+            TransferConfig {
+                recompute_cmf: false,
+                ..TransferConfig::tempered()
+            },
+        ),
+        (
+            "relaxed_original_cmf",
+            TransferConfig {
+                cmf: CmfKind::Original,
+                ..TransferConfig::tempered()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut knowledge = make_knowledge(128);
+                let mut rng = factory.rank_stream(b"bench", 0, 0);
+                transfer_stage(RankId::new(0), &tasks, &mut knowledge, l_ave, &cfg, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/orderings");
+    let tasks = make_tasks(2000);
+    let l_ave = Load::new(100.0);
+    let l_p: Load = tasks.iter().map(|t| t.load).sum();
+    for ordering in OrderingKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ordering),
+            &ordering,
+            |b, &o| b.iter(|| o.order_tasks(&tasks, l_ave, l_p)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_cmf_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transfer/cmf_build");
+    for &n in &[16usize, 256, 4096] {
+        let knowledge = make_knowledge(n);
+        let l_ave = Load::new(2.0);
+        group.bench_with_input(BenchmarkId::new("modified", n), &n, |b, _| {
+            b.iter(|| Cmf::build(&knowledge, l_ave, CmfKind::Modified))
+        });
+        group.bench_with_input(BenchmarkId::new("original", n), &n, |b, _| {
+            b.iter(|| Cmf::build(&knowledge, l_ave, CmfKind::Original))
+        });
+    }
+    group.finish();
+}
+
+fn bench_criterion_eval(c: &mut Criterion) {
+    c.bench_function("transfer/criterion_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1000 {
+                let l_x = Load::new((i % 10) as f64 * 0.3);
+                if CriterionKind::Relaxed.evaluate(l_x, Load::new(1.0), Load::new(2.0), Load::new(5.0))
+                {
+                    acc += 1;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transfer_variants, bench_orderings, bench_cmf_build, bench_criterion_eval
+}
+criterion_main!(benches);

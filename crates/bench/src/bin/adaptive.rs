@@ -1,0 +1,59 @@
+//! Extension experiment: periodic vs adaptive LB triggering.
+//!
+//! §IV: "the more scalable the load balancer, the more frequently it can
+//! be invoked as workloads dynamically vary over time"; §VI-B: making LB
+//! incremental means "its frequency can be adjusted to match the
+//! imbalance rate". This binary quantifies that trade on the B-Dot
+//! surrogate: the paper's fixed 100-step schedule vs an
+//! imbalance-threshold trigger at several thresholds.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin adaptive`
+
+use empire_pic::{run_timeline, ExecutionMode, LbStrategy, Timeline};
+use lbaf::Table;
+use tempered_core::ordering::OrderingKind;
+
+fn main() {
+    let scenario = tempered_bench::fig_scenario();
+    let mode = ExecutionMode::Amt(LbStrategy::Tempered(OrderingKind::FewestMigrations));
+
+    let mut rows: Vec<(String, Timeline)> = Vec::new();
+
+    let periodic = tempered_bench::fig_config(scenario, mode);
+    rows.push(("periodic (paper: every 100)".into(), run_timeline(&periodic)));
+
+    for threshold in [1.0, 0.5, 0.25] {
+        let mut cfg = periodic;
+        cfg.adaptive_threshold = Some(threshold);
+        cfg.lb_min_gap = 10;
+        rows.push((format!("adaptive I > {threshold}"), run_timeline(&cfg)));
+    }
+
+    let mut t = Table::new(
+        "Periodic vs adaptive LB triggering (TemperedLB, B-Dot surrogate)",
+        &[
+            "Schedule",
+            "LB runs",
+            "migrations",
+            "t_p",
+            "t_lb",
+            "t_total",
+            "mean I",
+        ],
+    );
+    for (label, tl) in &rows {
+        let mean_i = tl.steps[5..].iter().map(|s| s.imbalance).sum::<f64>()
+            / (tl.steps.len() - 5) as f64;
+        t.push_row(vec![
+            label.clone(),
+            tl.lb_invocations.to_string(),
+            tl.total_migrations.to_string(),
+            format!("{:.1}", tl.t_p),
+            format!("{:.2}", tl.t_lb),
+            format!("{:.1}", tl.t_total()),
+            format!("{mean_i:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(adaptive triggering trades extra LB runs for lower sustained imbalance)");
+}

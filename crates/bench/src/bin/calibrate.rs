@@ -1,0 +1,65 @@
+//! Scenario calibration helper (not a paper artifact): prints the no-LB
+//! imbalance trajectory and the headline speedups for candidate
+//! parameter sets so the B-Dot surrogate can be tuned to the paper's
+//! shape (I: ~7 → ~3.3; particle speedup ~3x; Grapevine lagging).
+
+use empire_pic::*;
+use tempered_core::ordering::OrderingKind;
+
+fn study(label: &str, scenario: BdotScenario) {
+    let mk = |mode| {
+        let mut cfg = TimelineConfig::new(scenario, mode, 2021);
+        cfg.tempered_trials = 4;
+        cfg.tempered_iters = 6;
+        cfg
+    };
+    let spmd = run_timeline(&mk(ExecutionMode::Spmd));
+    let none = run_timeline(&mk(ExecutionMode::Amt(LbStrategy::None)));
+    let grape = run_timeline(&mk(ExecutionMode::Amt(LbStrategy::Grapevine)));
+    let temp = run_timeline(&mk(ExecutionMode::Amt(LbStrategy::Tempered(
+        OrderingKind::FewestMigrations,
+    ))));
+    let n = spmd.steps.len();
+    let at = |f: f64| ((n as f64 * f) as usize).min(n - 1);
+    println!("--- {label} ---");
+    println!(
+        "  no-LB I:  step{}={:.2}  step{}={:.2}  step{}={:.2}  step{}={:.2}",
+        at(0.05), none.steps[at(0.05)].imbalance,
+        at(0.3), none.steps[at(0.3)].imbalance,
+        at(0.6), none.steps[at(0.6)].imbalance,
+        n - 1, none.steps[n - 1].imbalance,
+    );
+    println!(
+        "  t_p: spmd={:.1} none={:.1} grape={:.1} temp={:.1} | particle speedup: grape={:.2}x temp={:.2}x",
+        spmd.t_p, none.t_p, grape.t_p, temp.t_p,
+        spmd.t_p / grape.t_p, spmd.t_p / temp.t_p
+    );
+    println!(
+        "  total speedup: grape={:.2}x temp={:.2}x   t_n/t_p(spmd)={:.2}",
+        spmd.t_total() / grape.t_total(),
+        spmd.t_total() / temp.t_total(),
+        spmd.t_n / spmd.t_p
+    );
+}
+
+fn main() {
+    let base = BdotScenario::paper_shape();
+
+    let mut a = base;
+    a.v_drift = 0.02;
+    a.field.radial_accel = 0.008;
+    a.field.drag = 0.25;
+    a.field.swirl_accel = 0.004;
+    a.inject_growth = 5.0;
+    a.inject_sigma = 0.09;
+    study("A: v=0.02 acc=0.008 g=5 sigma=0.09", a);
+
+    let mut b = a;
+    b.inject_sigma = 0.07;
+    study("B: sigma=0.07", b);
+
+    let mut c = a;
+    c.v_drift = 0.015;
+    c.field.radial_accel = 0.006;
+    study("C: even slower drift", c);
+}

@@ -1,0 +1,102 @@
+//! Validation: the distributed message-protocol execution of the PIC
+//! application against the global timeline harness. The no-LB runs must
+//! agree bit-for-bit (replicated injection + identical kernels); the
+//! LB-enabled runs must agree in regime (different random streams).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin dist_validation`
+
+use empire_pic::{
+    run_distributed_pic, run_timeline, BdotScenario, CostModel, DistPicConfig, ExecutionMode,
+    LbStrategy, TimelineConfig,
+};
+use lbaf::{fmt_sig, Table};
+use tempered_core::ordering::OrderingKind;
+use tempered_runtime::lb::LbProtocolConfig;
+use tempered_runtime::sim::NetworkModel;
+
+fn main() {
+    // Moderate scale: the distributed run simulates every message.
+    let mut scenario = BdotScenario::small();
+    scenario.mesh.ranks_x = 8;
+    scenario.mesh.ranks_y = 8;
+    scenario.steps = if tempered_bench::quick_mode() { 60 } else { 200 };
+    scenario.inject_base = 60;
+    let cost = CostModel::default();
+    let seed = 2021;
+
+    let dist_cfg = DistPicConfig {
+        scenario,
+        cost,
+        lb: LbProtocolConfig {
+            trials: 3,
+            iters: 4,
+            fanout: 4,
+            rounds: 5,
+            ..Default::default()
+        },
+        lb_first_step: 2,
+        lb_period: 25,
+    };
+
+    eprintln!(
+        "distributed PIC validation: {} ranks, {} steps",
+        scenario.mesh.num_ranks(),
+        scenario.steps
+    );
+
+    // No-LB: exact agreement expected.
+    let mut no_lb = dist_cfg;
+    no_lb.lb_first_step = usize::MAX;
+    let d_none = run_distributed_pic(no_lb, NetworkModel::default(), seed);
+    let mut t_cfg = TimelineConfig::new(scenario, ExecutionMode::Amt(LbStrategy::None), seed);
+    t_cfg.cost = cost;
+    let g_none = run_timeline(&t_cfg);
+
+    // LB: regime agreement expected.
+    let d_lb = run_distributed_pic(dist_cfg, NetworkModel::default(), seed);
+    let mut t_lb_cfg = TimelineConfig::new(
+        scenario,
+        ExecutionMode::Amt(LbStrategy::Tempered(OrderingKind::FewestMigrations)),
+        seed,
+    );
+    t_lb_cfg.cost = cost;
+    t_lb_cfg.lb_period = 25;
+    t_lb_cfg.tempered_trials = 3;
+    t_lb_cfg.tempered_iters = 4;
+    let g_lb = run_timeline(&t_lb_cfg);
+
+    let mut t = Table::new(
+        "Imbalance I: distributed protocol vs global harness",
+        &[
+            "step",
+            "no-LB dist",
+            "no-LB global",
+            "|Δ|",
+            "LB dist",
+            "LB global",
+        ],
+    );
+    let mut max_delta = 0.0f64;
+    for s in (0..scenario.steps).step_by(scenario.steps / 10) {
+        let delta = (d_none.stats[s].imbalance - g_none.steps[s].imbalance).abs();
+        max_delta = max_delta.max(delta);
+        t.push_row(vec![
+            s.to_string(),
+            fmt_sig(d_none.stats[s].imbalance),
+            fmt_sig(g_none.steps[s].imbalance),
+            format!("{delta:.2e}"),
+            fmt_sig(d_lb.stats[s].imbalance),
+            fmt_sig(g_lb.steps[s].imbalance),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("max no-LB deviation: {max_delta:.3e} (expected ~1e-12: same physics, different arithmetic order)");
+    println!(
+        "distributed run: {} colors migrated, {} messages, {:.1} MiB, {:.1} ms modeled",
+        d_lb.colors_migrated,
+        d_lb.report.network.messages,
+        d_lb.report.network.bytes as f64 / (1024.0 * 1024.0),
+        d_lb.report.finish_time * 1e3
+    );
+    assert!(max_delta < 1e-9, "no-LB runs must agree");
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 2: overall performance of the six configurations with
+//! the speedup multipliers vs the SPMD baseline (both total and
+//! particle-only, as the paper quotes ~1.9x total / ~3x particle for the
+//! balanced configurations).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin fig2_overall`
+
+use lbaf::Table;
+
+fn main() {
+    let timelines = tempered_bench::run_fig2_timelines();
+    let spmd = &timelines[0];
+    let mut t = Table::new(
+        "Fig. 2 — overall performance (modeled seconds; multipliers vs SPMD)",
+        &[
+            "Configuration",
+            "Particle",
+            "Non-particle",
+            "Total",
+            "Total speedup",
+            "Particle speedup",
+        ],
+    );
+    for tl in &timelines {
+        t.push_row(vec![
+            tl.label.clone(),
+            format!("{:.0}", tl.t_p),
+            format!("{:.0}", tl.t_n),
+            format!("{:.0}", tl.t_total()),
+            format!("{:.2}x", spmd.t_total() / tl.t_total()),
+            format!("{:.2}x", spmd.t_p / tl.t_p),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ASCII bar chart of total time, mirroring the figure.
+    let max_total = timelines
+        .iter()
+        .map(|t| t.t_total())
+        .fold(0.0f64, f64::max);
+    println!("total time (each '#' ≈ {:.0}s):", max_total / 50.0);
+    for tl in &timelines {
+        let bars = ((tl.t_total() / max_total) * 50.0).round() as usize;
+        println!("  {:<36} {}", tl.label, "#".repeat(bars));
+    }
+}

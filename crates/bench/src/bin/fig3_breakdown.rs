@@ -1,0 +1,27 @@
+//! Regenerates Fig. 3: execution-time breakdown table — non-particle
+//! (t_n), particle (t_p), LB + migration (t_lb), and total per
+//! configuration, plus migration counts.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin fig3_breakdown`
+
+use lbaf::Table;
+
+fn main() {
+    let timelines = tempered_bench::run_fig2_timelines();
+    let mut t = Table::new(
+        "Fig. 3 — execution time breakdown (modeled seconds)",
+        &["Type", "t_n", "t_p", "t_lb", "t_total", "migrations", "LB runs"],
+    );
+    for tl in &timelines {
+        t.push_row(vec![
+            tl.label.clone(),
+            format!("{:.0}", tl.t_n),
+            format!("{:.0}", tl.t_p),
+            format!("{:.1}", tl.t_lb),
+            format!("{:.0}", tl.t_total()),
+            tl.total_migrations.to_string(),
+            tl.lb_invocations.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

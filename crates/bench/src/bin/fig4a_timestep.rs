@@ -1,0 +1,29 @@
+//! Regenerates Fig. 4a: total time per timestep for each configuration
+//! (down-sampled series; LB-step spikes included).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin fig4a_timestep`
+
+use lbaf::Table;
+use tempered_bench::sample_indices;
+
+fn main() {
+    let timelines = tempered_bench::run_fig2_timelines();
+    let n = timelines[0].steps.len();
+    let idx = sample_indices(n, 28);
+    let mut headers: Vec<String> = vec!["step".into()];
+    headers.extend(timelines.iter().map(|t| t.label.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 4a — full step time per timestep (modeled seconds)",
+        &headers_ref,
+    );
+    for &i in &idx {
+        let mut row = vec![timelines[0].steps[i].step.to_string()];
+        for tl in &timelines {
+            row.push(format!("{:.3}", tl.steps[i].t_total()));
+        }
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+    println!("(spikes at LB steps are the balancer + migration + diagnostic cost)");
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 4b: max/min per-rank task load over time for the
+//! balanced configurations, plus the lower bound
+//! max(l_ave, biggest task).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin fig4b_loads`
+
+use lbaf::Table;
+use tempered_bench::sample_indices;
+
+fn main() {
+    let timelines = tempered_bench::run_fig2_timelines();
+    // The figure shows the LB-enabled configurations: Grapevine, Greedy,
+    // Hier, Tempered (indices 2..6).
+    let lb_timelines = &timelines[2..];
+    let n = timelines[0].steps.len();
+    let idx = sample_indices(n, 24);
+
+    let mut headers: Vec<String> = vec!["step".into()];
+    for tl in lb_timelines {
+        headers.push(format!("{} max", tl.label));
+        headers.push(format!("{} min", tl.label));
+    }
+    headers.push("Lower bound (max)".into());
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 4b — per-rank task load extrema over time (seconds of task load)",
+        &headers_ref,
+    );
+    for &i in &idx {
+        let mut row = vec![timelines[0].steps[i].step.to_string()];
+        for tl in lb_timelines {
+            row.push(format!("{:.3}", tl.steps[i].max_rank_load));
+            row.push(format!("{:.3}", tl.steps[i].min_rank_load));
+        }
+        // The lower bound is configuration-independent (same workload).
+        row.push(format!("{:.3}", timelines[2].steps[i].lower_bound));
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+}

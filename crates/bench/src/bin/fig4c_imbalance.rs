@@ -1,0 +1,32 @@
+//! Regenerates Fig. 4c: the imbalance metric I over time per
+//! configuration (paper: no-LB starts ≈7 and decays to ≈3.3 as the
+//! average rank load grows).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin fig4c_imbalance`
+
+use lbaf::Table;
+use tempered_bench::sample_indices;
+
+fn main() {
+    let timelines = tempered_bench::run_fig2_timelines();
+    let n = timelines[0].steps.len();
+    let idx = sample_indices(n, 28);
+    let mut headers: Vec<String> = vec!["step".into()];
+    headers.extend(timelines.iter().skip(1).map(|t| t.label.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig. 4c — imbalance I over time", &headers_ref);
+    for &i in &idx {
+        let mut row = vec![timelines[0].steps[i].step.to_string()];
+        for tl in timelines.iter().skip(1) {
+            row.push(format!("{:.3}", tl.steps[i].imbalance));
+        }
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+    let no_lb = &timelines[1];
+    println!(
+        "no-LB imbalance: starts {:.2}, ends {:.2}",
+        no_lb.steps[5.min(n - 1)].imbalance,
+        no_lb.steps[n - 1].imbalance
+    );
+}

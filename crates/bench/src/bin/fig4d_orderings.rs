@@ -1,0 +1,43 @@
+//! Regenerates Fig. 4d: particle update time under the three §V-E task
+//! traversal orderings (Load-Descending straw-man, Fewest Migrations,
+//! Lightest-First).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin fig4d_orderings`
+
+use lbaf::Table;
+use tempered_bench::sample_indices;
+
+fn main() {
+    let timelines = tempered_bench::run_fig4d_timelines();
+    let n = timelines[0].steps.len();
+    let idx = sample_indices(n, 24);
+    let mut headers: Vec<String> = vec!["step".into()];
+    headers.extend(timelines.iter().map(|t| t.label.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig. 4d — particle update time per timestep by task ordering",
+        &headers_ref,
+    );
+    for &i in &idx {
+        let mut row = vec![timelines[0].steps[i].step.to_string()];
+        for tl in &timelines {
+            row.push(format!("{:.3}", tl.steps[i].t_particle));
+        }
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+
+    let mut summary = Table::new(
+        "Totals (particle time, migrations, final ghost-exchange locality)",
+        &["Ordering", "t_p", "migrations", "final locality"],
+    );
+    for tl in &timelines {
+        summary.push_row(vec![
+            tl.label.clone(),
+            format!("{:.0}", tl.t_p),
+            tl.total_migrations.to_string(),
+            format!("{:.3}", tl.steps.last().map_or(1.0, |s| s.comm_locality)),
+        ]);
+    }
+    println!("{}", summary.render());
+}

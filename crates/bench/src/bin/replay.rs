@@ -1,0 +1,74 @@
+//! Offline trace replay: the vt → LBAF workflow. Records an EMPIRE
+//! surrogate trace (or reads one from `--trace FILE` in the
+//! `tempered-lb trace v1` format), then replays every balancer over each
+//! recorded phase and tabulates achieved imbalance.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin replay [--trace FILE]`
+
+use lbaf::{fmt_sig, record_empire_trace, Table, Trace};
+use tempered_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = match args.as_slice() {
+        [flag, path] if flag == "--trace" => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            Trace::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: bad trace: {e}");
+                std::process::exit(1);
+            })
+        }
+        [] => {
+            use empire_pic::{BdotScenario, CostModel};
+            let mut scenario = if tempered_bench::quick_mode() {
+                BdotScenario::small()
+            } else {
+                let mut s = BdotScenario::paper_shape();
+                s.steps = 400;
+                s
+            };
+            if tempered_bench::quick_mode() {
+                scenario.steps = 60;
+            }
+            eprintln!(
+                "recording EMPIRE trace: {} ranks, {} steps",
+                scenario.mesh.num_ranks(),
+                scenario.steps
+            );
+            record_empire_trace(scenario, CostModel::default(), 2021, scenario.steps / 4)
+        }
+        _ => {
+            eprintln!("usage: replay [--trace FILE]");
+            std::process::exit(2);
+        }
+    };
+
+    let factory = RngFactory::new(7);
+    let mut t = Table::new(
+        "Balancer replay over recorded phases (imbalance I)",
+        &["Phase", "Initial", "Tempered", "Grapevine", "Greedy", "Hier"],
+    );
+    for (i, phase) in trace.phases.iter().enumerate() {
+        let dist = trace.distribution(i).expect("self-recorded phases parse");
+        let mut tempered = TemperedLb::new(TemperedConfig {
+            trials: 4,
+            iters: 6,
+            ..TemperedConfig::default()
+        });
+        let mut grapevine = GrapevineLb::default();
+        let mut greedy = GreedyLb;
+        let mut hier = HierLb::default();
+        t.push_row(vec![
+            phase.phase.to_string(),
+            fmt_sig(dist.imbalance()),
+            fmt_sig(tempered.rebalance(&dist, &factory, i as u64).final_imbalance),
+            fmt_sig(grapevine.rebalance(&dist, &factory, i as u64).final_imbalance),
+            fmt_sig(greedy.rebalance(&dist, &factory, i as u64).final_imbalance),
+            fmt_sig(hier.rebalance(&dist, &factory, i as u64).final_imbalance),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,110 @@
+//! Scalability study supporting §IV: protocol message counts and LB
+//! quality vs rank count for the distributed gossip balancer against the
+//! centralized and hierarchical baselines, plus the asynchronous
+//! protocol's modeled wall-clock on the simulated interconnect.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin scaling`
+
+use lbaf::{ConcentratedLayout, Table};
+use tempered_core::prelude::*;
+use tempered_runtime::{run_distributed_lb, LbProtocolConfig, NetworkModel};
+
+fn main() {
+    let sizes: &[usize] = if tempered_bench::quick_mode() {
+        &[64, 128]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+
+    let mut t = Table::new(
+        "LB message cost and quality vs rank count (concentrated layout)",
+        &[
+            "P",
+            "Tempered I",
+            "Tempered msgs",
+            "Grapevine I",
+            "Grapevine msgs",
+            "Greedy I",
+            "Greedy msgs",
+            "Hier I",
+            "Hier msgs",
+        ],
+    );
+    for &p in sizes {
+        let layout = ConcentratedLayout {
+            num_ranks: p,
+            populated_ranks: (p / 256).max(4),
+            num_tasks: p * 3,
+            skew: 0.02,
+            load_jitter: 0.25,
+        };
+        let dist = layout.build(3);
+        let factory = RngFactory::new(3);
+
+        let mut tempered = TemperedLb::new(TemperedConfig {
+            trials: 2,
+            iters: 6,
+            ..TemperedConfig::default()
+        });
+        let mut grapevine = GrapevineLb::default();
+        let mut greedy = GreedyLb;
+        let mut hier = HierLb::default();
+        let rt = tempered.rebalance(&dist, &factory, 0);
+        let rgv = grapevine.rebalance(&dist, &factory, 0);
+        let rg = greedy.rebalance(&dist, &factory, 0);
+        let rh = hier.rebalance(&dist, &factory, 0);
+        t.push_row(vec![
+            p.to_string(),
+            format!("{:.2}", rt.final_imbalance),
+            rt.messages_sent.to_string(),
+            format!("{:.2}", rgv.final_imbalance),
+            rgv.messages_sent.to_string(),
+            format!("{:.2}", rg.final_imbalance),
+            rg.messages_sent.to_string(),
+            format!("{:.2}", rh.final_imbalance),
+            rh.messages_sent.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Async protocol modeled makespan on the simulated interconnect.
+    let mut t2 = Table::new(
+        "Asynchronous protocol on the simulated interconnect",
+        &["P", "final I", "virtual time (ms)", "messages", "KiB"],
+    );
+    let async_sizes: &[usize] = if tempered_bench::quick_mode() {
+        &[16, 32]
+    } else {
+        &[32, 64, 128, 256]
+    };
+    for &p in async_sizes {
+        let layout = ConcentratedLayout {
+            num_ranks: p,
+            populated_ranks: 4.max(p / 32),
+            num_tasks: p * 3,
+            skew: 0.02,
+            load_jitter: 0.25,
+        };
+        let dist = layout.build(5);
+        let out = run_distributed_lb(
+            &dist,
+            LbProtocolConfig {
+                trials: 2,
+                iters: 4,
+                fanout: 4,
+                rounds: 6,
+                ..Default::default()
+            },
+            NetworkModel::default(),
+            &RngFactory::new(5),
+        );
+        t2.push_row(vec![
+            p.to_string(),
+            format!("{:.2}", out.final_imbalance),
+            format!("{:.3}", out.report.finish_time * 1e3),
+            out.report.network.messages.to_string(),
+            format!("{:.0}", out.report.network.bytes as f64 / 1024.0),
+        ]);
+    }
+    println!("{}", t2.render());
+}

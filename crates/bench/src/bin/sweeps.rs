@@ -1,0 +1,53 @@
+//! Design-space sweeps and ablations (§V): gossip fanout/rounds coverage,
+//! refinement budget, task orderings, and the §V changes removed one at a
+//! time.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin sweeps`
+
+use lbaf::{
+    gossip_coverage, sweep_ablation, sweep_budget, sweep_fanout, sweep_knowledge_cap,
+    sweep_orderings, sweep_rounds, sweep_threshold, ConcentratedLayout,
+};
+
+fn main() {
+    let layout = if tempered_bench::quick_mode() {
+        ConcentratedLayout::small()
+    } else {
+        // A mid-size layout: full 4096-rank sweeps would take hours for
+        // little added information.
+        ConcentratedLayout {
+            num_ranks: 512,
+            populated_ranks: 8,
+            num_tasks: 2500,
+            skew: 0.02,
+            load_jitter: 0.25,
+        }
+    };
+    let dist = layout.build(11);
+    eprintln!(
+        "layout: {} tasks on {}/{} ranks, I0 = {:.1}",
+        dist.num_tasks(),
+        layout.populated_ranks,
+        layout.num_ranks,
+        dist.imbalance()
+    );
+
+    println!("{}", sweep_ablation(&dist, 1).to_table().render());
+    println!("{}", sweep_orderings(&dist, 1).to_table().render());
+    println!("{}", sweep_fanout(&dist, &[1, 2, 4, 6, 8], 1).to_table().render());
+    println!("{}", sweep_rounds(&dist, &[1, 2, 4, 6, 10], 1).to_table().render());
+    println!(
+        "{}",
+        sweep_budget(&dist, &[(1, 1), (1, 4), (1, 8), (4, 4), (10, 8)], 1)
+            .to_table()
+            .render()
+    );
+    println!("{}", sweep_threshold(&dist, &[1.0, 1.05, 1.2, 1.5, 2.0], 1).to_table().render());
+    println!(
+        "{}",
+        sweep_knowledge_cap(&dist, &[0, 256, 64, 16, 4], 1)
+            .to_table()
+            .render()
+    );
+    println!("{}", gossip_coverage(&dist, 6, 8, 1).render());
+}

@@ -1,0 +1,29 @@
+//! Regenerates the §V-B table: per-iteration transfers / rejections /
+//! imbalance for the *original* GrapevineLB criterion on 10^4 tasks
+//! concentrated on 2^4 of 2^12 ranks (k=10, f=6, h=1.0, 10 iterations).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin table_vb`
+//! (set TEMPERED_QUICK=1 for the scaled-down layout).
+
+use lbaf::{run_criterion_experiment, CriterionExperiment, CriterionVariant};
+
+fn main() {
+    let cfg = if tempered_bench::quick_mode() {
+        CriterionExperiment::small()
+    } else {
+        CriterionExperiment::paper()
+    };
+    eprintln!(
+        "§V-B experiment: {} tasks on {}/{} ranks, k={}, f={}, h={}, {} iterations",
+        cfg.layout.num_tasks,
+        cfg.layout.populated_ranks,
+        cfg.layout.num_ranks,
+        cfg.rounds,
+        cfg.fanout,
+        cfg.threshold_h,
+        cfg.iters
+    );
+    let result = run_criterion_experiment(&cfg, CriterionVariant::Original);
+    println!("{}", result.to_table().render());
+    println!("CSV:\n{}", result.to_table().to_csv());
+}

@@ -1,0 +1,28 @@
+//! Regenerates the §V-D table: per-iteration transfers / rejections /
+//! imbalance for the *relaxed* criterion (line 37) with the modified CMF
+//! and per-candidate recomputation, on the same layout as §V-B.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin table_vd`
+
+use lbaf::{run_criterion_experiment, CriterionExperiment, CriterionVariant};
+
+fn main() {
+    let cfg = if tempered_bench::quick_mode() {
+        CriterionExperiment::small()
+    } else {
+        CriterionExperiment::paper()
+    };
+    eprintln!(
+        "§V-D experiment: {} tasks on {}/{} ranks, k={}, f={}, h={}, {} iterations",
+        cfg.layout.num_tasks,
+        cfg.layout.populated_ranks,
+        cfg.layout.num_ranks,
+        cfg.rounds,
+        cfg.fanout,
+        cfg.threshold_h,
+        cfg.iters
+    );
+    let result = run_criterion_experiment(&cfg, CriterionVariant::Relaxed);
+    println!("{}", result.to_table().render());
+    println!("CSV:\n{}", result.to_table().to_csv());
+}

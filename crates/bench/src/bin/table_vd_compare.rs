@@ -1,0 +1,17 @@
+//! Regenerates the §V-D comparison table: imbalance per iteration under
+//! criterion 35 (original) vs criterion 37 (relaxed).
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin table_vd_compare`
+
+use lbaf::{comparison_table, run_criterion_experiment, CriterionExperiment, CriterionVariant};
+
+fn main() {
+    let cfg = if tempered_bench::quick_mode() {
+        CriterionExperiment::small()
+    } else {
+        CriterionExperiment::paper()
+    };
+    let original = run_criterion_experiment(&cfg, CriterionVariant::Original);
+    let relaxed = run_criterion_experiment(&cfg, CriterionVariant::Relaxed);
+    println!("{}", comparison_table(&original, &relaxed).render());
+}

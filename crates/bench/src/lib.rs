@@ -1,0 +1,117 @@
+//! Shared harness for the experiment binaries and benches that
+//! regenerate the paper's tables and figures.
+//!
+//! Every binary in `src/bin/` regenerates one artifact (see DESIGN.md §3
+//! for the index). They share the scenario construction and the
+//! six-configuration runner here so Fig. 2, Fig. 3, and Fig. 4 are all
+//! derived from the *same* runs, exactly as in the paper.
+//!
+//! Scale control: the binaries run the paper-shaped scenario (400 ranks,
+//! ×24 overdecomposition, 1400 steps) by default; set
+//! `TEMPERED_QUICK=1` to run a reduced configuration for smoke testing.
+
+use empire_pic::{
+    run_timeline, BdotScenario, ExecutionMode, LbStrategy, Timeline, TimelineConfig,
+};
+use tempered_core::ordering::OrderingKind;
+
+/// Master seed shared by all figure runs.
+pub const FIG_SEED: u64 = 2021;
+
+/// Whether quick (reduced-scale) mode was requested via `TEMPERED_QUICK`.
+pub fn quick_mode() -> bool {
+    std::env::var("TEMPERED_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The scenario behind Figs. 2–4.
+pub fn fig_scenario() -> BdotScenario {
+    let mut s = BdotScenario::paper_shape();
+    if quick_mode() {
+        s.steps = 250;
+        s.inject_base = 40;
+    }
+    s
+}
+
+/// Timeline configuration for one execution mode of the figure runs.
+pub fn fig_config(scenario: BdotScenario, mode: ExecutionMode) -> TimelineConfig {
+    let mut cfg = TimelineConfig::new(scenario, mode, FIG_SEED);
+    if quick_mode() {
+        cfg.tempered_trials = 3;
+        cfg.tempered_iters = 4;
+        // Quick mode compresses the run 5.6x but keeps per-step physics;
+        // shrink the LB period to keep the physical interval between
+        // balancer invocations comparable.
+        cfg.lb_period = 20;
+    }
+    cfg
+}
+
+/// Run the six Fig. 2/3 configurations (SPMD, AMT-no-LB, Grapevine,
+/// Greedy, Hier, Tempered/FewestMigrations) over the shared scenario.
+pub fn run_fig2_timelines() -> Vec<Timeline> {
+    let scenario = fig_scenario();
+    ExecutionMode::fig2_set()
+        .into_iter()
+        .map(|mode| run_timeline(&fig_config(scenario, mode)))
+        .collect()
+}
+
+/// Run the Fig. 4d ordering study: TemperedLB under the three §V-E
+/// traversal orders.
+pub fn run_fig4d_timelines() -> Vec<Timeline> {
+    let scenario = fig_scenario();
+    [
+        OrderingKind::LoadDescending,
+        OrderingKind::FewestMigrations,
+        OrderingKind::LightestFirst,
+    ]
+    .into_iter()
+    .map(|ordering| {
+        run_timeline(&fig_config(
+            scenario,
+            ExecutionMode::Amt(LbStrategy::Tempered(ordering)),
+        ))
+    })
+    .collect()
+}
+
+/// Series down-sampler: at most `max_points` evenly spaced step indices,
+/// always including the final step (figures print a readable number of
+/// rows, not 1400).
+pub fn sample_indices(len: usize, max_points: usize) -> Vec<usize> {
+    if len <= max_points {
+        return (0..len).collect();
+    }
+    let stride = len.div_ceil(max_points);
+    let mut out: Vec<usize> = (0..len).step_by(stride).collect();
+    if *out.last().unwrap() != len - 1 {
+        out.push(len - 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_indices_bounds() {
+        assert_eq!(sample_indices(5, 10), vec![0, 1, 2, 3, 4]);
+        let s = sample_indices(1400, 20);
+        assert!(s.len() <= 21);
+        assert_eq!(*s.first().unwrap(), 0);
+        assert_eq!(*s.last().unwrap(), 1399);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fig_scenario_paper_scale_by_default() {
+        // The test environment does not set TEMPERED_QUICK.
+        if !quick_mode() {
+            let s = fig_scenario();
+            assert_eq!(s.mesh.num_ranks(), 400);
+            assert_eq!(s.steps, 1400);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! GreedyLB: the centralized greedy baseline ("AMT w/GreedyLB").
+//!
+//! The classic longest-processing-time heuristic: gather every task on a
+//! (conceptually) central rank, sort by descending load, and repeatedly
+//! assign the heaviest remaining task to the currently least-loaded rank.
+//! LPT is a 4/3-approximation to optimal makespan and provides the paper's
+//! quality baseline — nearly ideal distributions, but inherently
+//! unscalable: `O(T log T + T log P)` work and `O(T)` memory on one rank,
+//! plus a full gather of the global task list.
+//!
+//! The implementation reports the gather volume via `messages_sent`
+//! (`P − 1` contributions to the central rank plus `P − 1` broadcast
+//! replies), which the scalability benches use to contrast centralized
+//! with distributed cost growth.
+
+use super::{LoadBalancer, RebalanceResult};
+use crate::distribution::Distribution;
+use crate::ids::RankId;
+use crate::load::Load;
+use crate::refine::net_migrations;
+use crate::rng::RngFactory;
+use crate::task::Task;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Centralized greedy (LPT) balancer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyLb;
+
+/// Min-heap entry: (load, task count, rank), ordered so the least-loaded
+/// rank pops first. The task count breaks load ties — without it, a run
+/// of zero-load tasks would all land on the same rank (assigning a
+/// zero-load task leaves the heap key unchanged), which is catastrophic
+/// when currently-idle tasks become hot later, exactly the EMPIRE
+/// startup pattern. Rank id is the final, deterministic tie-break.
+#[derive(PartialEq)]
+struct HeapRank {
+    load: Load,
+    count: usize,
+    rank: RankId,
+}
+
+impl Eq for HeapRank {}
+
+impl Ord for HeapRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.load
+            .total_cmp(&other.load)
+            .then_with(|| self.count.cmp(&other.count))
+            .then_with(|| self.rank.cmp(&other.rank))
+    }
+}
+
+impl PartialOrd for HeapRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl LoadBalancer for GreedyLb {
+    fn name(&self) -> &'static str {
+        "GreedyLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        _factory: &RngFactory,
+        _epoch: u64,
+    ) -> RebalanceResult {
+        let initial_imbalance = dist.imbalance();
+        let num_ranks = dist.num_ranks();
+
+        // Central gather: every task in the system.
+        let mut all: Vec<Task> = dist
+            .rank_ids()
+            .flat_map(|r| dist.tasks_on(r).iter().copied())
+            .collect();
+        // Descending load, ties by id for determinism.
+        all.sort_by(|a, b| b.load.total_cmp(&a.load).then_with(|| a.id.cmp(&b.id)));
+
+        let mut heap: BinaryHeap<Reverse<HeapRank>> = (0..num_ranks)
+            .map(|r| {
+                Reverse(HeapRank {
+                    load: Load::ZERO,
+                    count: 0,
+                    rank: RankId::from(r),
+                })
+            })
+            .collect();
+
+        let mut proposal = Distribution::new(num_ranks);
+        for task in all {
+            let Reverse(HeapRank { load, count, rank }) = heap.pop().expect("num_ranks > 0");
+            proposal
+                .insert(rank, task)
+                .expect("task ids unique in the source distribution");
+            heap.push(Reverse(HeapRank {
+                load: load + task.load,
+                count: count + 1,
+                rank,
+            }));
+        }
+
+        let final_imbalance = proposal.imbalance();
+        // LPT is a 4/3-approximation built from scratch: on an already
+        // near-optimal assignment its proposal can be *worse* than the
+        // input. Keep the input in that case (a production balancer
+        // compares before migrating).
+        if final_imbalance > initial_imbalance {
+            return RebalanceResult {
+                distribution: dist.clone(),
+                migrations: Vec::new(),
+                initial_imbalance,
+                final_imbalance: initial_imbalance,
+                messages_sent: 2 * (num_ranks.saturating_sub(1)) as u64,
+            };
+        }
+        let migrations = net_migrations(dist, &proposal);
+        RebalanceResult {
+            distribution: proposal,
+            migrations,
+            initial_imbalance,
+            final_imbalance,
+            // Gather + scatter around the central rank.
+            messages_sent: 2 * (num_ranks.saturating_sub(1)) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::test_support::{check_postconditions, skewed};
+    use crate::imbalance::lower_bound_max_load;
+
+    #[test]
+    fn greedy_achieves_near_optimal_balance() {
+        let dist = skewed(32, 64);
+        let mut lb = GreedyLb;
+        let r = lb.rebalance(&dist, &RngFactory::new(0), 0);
+        check_postconditions(&dist, &r);
+        // LPT guarantee: makespan ≤ 4/3 · OPT; OPT ≥ lower bound.
+        let bound = lower_bound_max_load(dist.average_load(), dist.max_task_load());
+        assert!(
+            r.distribution.max_load().get() <= 4.0 / 3.0 * bound.get() + 1e-9,
+            "LPT bound violated: {} > 4/3 · {}",
+            r.distribution.max_load().get(),
+            bound.get()
+        );
+    }
+
+    #[test]
+    fn greedy_on_uniform_tasks_is_perfect() {
+        // 64 unit tasks on 8 ranks → exactly 8 each.
+        let dist = Distribution::from_loads(vec![vec![1.0; 64], vec![], vec![], vec![],
+                                                 vec![], vec![], vec![], vec![]]);
+        let mut lb = GreedyLb;
+        let r = lb.rebalance(&dist, &RngFactory::new(0), 0);
+        assert!(r.final_imbalance.abs() < 1e-9);
+        for rank in r.distribution.rank_ids() {
+            assert_eq!(r.distribution.tasks_on(rank).len(), 8);
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let dist = skewed(16, 40);
+        let mut lb = GreedyLb;
+        let a = lb.rebalance(&dist, &RngFactory::new(1), 0);
+        let b = lb.rebalance(&dist, &RngFactory::new(999), 7);
+        assert_eq!(a.migrations, b.migrations, "greedy must ignore the RNG");
+    }
+
+    #[test]
+    fn greedy_handles_empty_system() {
+        let dist = Distribution::new(4);
+        let mut lb = GreedyLb;
+        let r = lb.rebalance(&dist, &RngFactory::new(1), 0);
+        assert!(r.migrations.is_empty());
+        assert_eq!(r.final_imbalance, 0.0);
+    }
+
+    #[test]
+    fn reports_gather_scatter_message_count() {
+        let dist = skewed(16, 8);
+        let mut lb = GreedyLb;
+        let r = lb.rebalance(&dist, &RngFactory::new(1), 0);
+        assert_eq!(r.messages_sent, 30);
+    }
+}

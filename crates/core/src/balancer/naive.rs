@@ -1,0 +1,143 @@
+//! Naive baselines: random placement and rotation.
+//!
+//! Charm++ ships `RandCentLB` and `RotateLB` as sanity baselines for
+//! exactly the role they play here: a balancer must beat random
+//! placement to justify its cost, and rotation exposes whether an
+//! evaluation is accidentally rewarding *any* migration at all. Neither
+//! uses load information.
+
+use super::{LoadBalancer, RebalanceResult};
+use crate::distribution::Distribution;
+use crate::ids::RankId;
+use crate::refine::net_migrations;
+use crate::rng::RngFactory;
+use rand::Rng;
+
+/// Uniformly random task placement (Charm++ `RandCentLB` analogue).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomLb;
+
+impl LoadBalancer for RandomLb {
+    fn name(&self) -> &'static str {
+        "RandomLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        factory: &RngFactory,
+        epoch: u64,
+    ) -> RebalanceResult {
+        let initial_imbalance = dist.imbalance();
+        let n = dist.num_ranks();
+        let mut rng = factory.rank_stream(b"randomlb", 0, epoch);
+        let mut proposal = Distribution::new(n);
+        for rank in dist.rank_ids() {
+            for &t in dist.tasks_on(rank) {
+                let target = RankId::from(rng.gen_range(0..n));
+                proposal.insert(target, t).expect("ids stay unique");
+            }
+        }
+        let migrations = net_migrations(dist, &proposal);
+        let final_imbalance = proposal.imbalance();
+        RebalanceResult {
+            distribution: proposal,
+            migrations,
+            initial_imbalance,
+            final_imbalance,
+            messages_sent: 0,
+        }
+    }
+}
+
+/// Shift every task to the next rank (Charm++ `RotateLB` analogue):
+/// preserves the load *distribution* exactly while migrating everything —
+/// the maximal-churn, zero-benefit baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RotateLb;
+
+impl LoadBalancer for RotateLb {
+    fn name(&self) -> &'static str {
+        "RotateLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        _factory: &RngFactory,
+        _epoch: u64,
+    ) -> RebalanceResult {
+        let initial_imbalance = dist.imbalance();
+        let n = dist.num_ranks();
+        let mut proposal = Distribution::new(n);
+        for rank in dist.rank_ids() {
+            let target = RankId::from((rank.as_usize() + 1) % n.max(1));
+            for &t in dist.tasks_on(rank) {
+                proposal.insert(target, t).expect("ids stay unique");
+            }
+        }
+        let migrations = net_migrations(dist, &proposal);
+        let final_imbalance = proposal.imbalance();
+        RebalanceResult {
+            distribution: proposal,
+            migrations,
+            initial_imbalance,
+            final_imbalance,
+            messages_sent: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::test_support::skewed;
+    use crate::balancer::TemperedLb;
+
+    #[test]
+    fn random_scatters_but_rarely_balances_well() {
+        let dist = skewed(32, 64);
+        let mut random = RandomLb;
+        let r = random.rebalance(&dist, &RngFactory::new(1), 0);
+        assert_eq!(r.distribution.num_tasks(), dist.num_tasks());
+        assert!(r.distribution.total_load().approx_eq(dist.total_load()));
+        // Random placement helps a catastrophically skewed input…
+        assert!(r.final_imbalance < r.initial_imbalance);
+        // …but a real balancer beats it.
+        let mut tempered = TemperedLb::default();
+        let rt = tempered.rebalance(&dist, &RngFactory::new(1), 0);
+        assert!(rt.final_imbalance < r.final_imbalance);
+    }
+
+    #[test]
+    fn random_differs_across_epochs() {
+        let dist = skewed(16, 20);
+        let mut random = RandomLb;
+        let a = random.rebalance(&dist, &RngFactory::new(1), 0);
+        let b = random.rebalance(&dist, &RngFactory::new(1), 1);
+        assert_ne!(a.migrations, b.migrations);
+    }
+
+    #[test]
+    fn rotate_preserves_the_load_multiset() {
+        let dist = skewed(16, 20);
+        let mut rotate = RotateLb;
+        let r = rotate.rebalance(&dist, &RngFactory::new(1), 0);
+        assert!((r.final_imbalance - r.initial_imbalance).abs() < 1e-12);
+        // Every task moved.
+        assert_eq!(r.migrations.len(), dist.num_tasks());
+        // Loads shifted by one rank.
+        for rank in dist.rank_ids() {
+            let next = RankId::from((rank.as_usize() + 1) % dist.num_ranks());
+            assert!(dist.rank_load(rank).approx_eq(r.distribution.rank_load(next)));
+        }
+    }
+
+    #[test]
+    fn rotate_single_rank_is_identity() {
+        let dist = Distribution::from_loads(vec![vec![1.0, 2.0]]);
+        let mut rotate = RotateLb;
+        let r = rotate.rebalance(&dist, &RngFactory::new(1), 0);
+        assert!(r.migrations.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! The no-op balancer: baseline configurations without load balancing.
+
+use super::{LoadBalancer, RebalanceResult};
+use crate::distribution::Distribution;
+use crate::rng::RngFactory;
+
+/// Leaves the assignment untouched. Models the paper's "SPMD (no AMT)"
+/// and "AMT without LB" configurations, whose task placement never
+/// changes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullLb;
+
+impl LoadBalancer for NullLb {
+    fn name(&self) -> &'static str {
+        "NoLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        _factory: &RngFactory,
+        _epoch: u64,
+    ) -> RebalanceResult {
+        let imbalance = dist.imbalance();
+        RebalanceResult {
+            distribution: dist.clone(),
+            migrations: Vec::new(),
+            initial_imbalance: imbalance,
+            final_imbalance: imbalance,
+            messages_sent: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::test_support::{check_postconditions, skewed};
+
+    #[test]
+    fn null_is_identity() {
+        let dist = skewed(16, 10);
+        let mut lb = NullLb;
+        let r = lb.rebalance(&dist, &RngFactory::new(1), 0);
+        assert!(r.migrations.is_empty());
+        assert_eq!(r.initial_imbalance, r.final_imbalance);
+        check_postconditions(&dist, &r);
+    }
+}

@@ -1,0 +1,245 @@
+//! Partial knowledge of underloaded ranks: `S^p` and `LOAD^p()`.
+//!
+//! During the gossip stage every rank accumulates a set `S^p` of known
+//! underloaded ranks together with a map `LOAD^p()` of their loads
+//! (Algorithm 1). During the transfer stage the *local estimates* in
+//! `LOAD^p()` are updated as transfers are proposed (Algorithm 2, line 12)
+//! even though the remote rank is never consulted — this deliberate
+//! imprecision is a defining property of the protocol.
+//!
+//! `Knowledge` stores the set in insertion order with a side index, which
+//! gives (a) `O(1)` membership tests and load updates, and (b) a
+//! *deterministic* iteration order for CMF construction — iterating a hash
+//! map here would make sampled transfer targets depend on hasher state and
+//! destroy run-to-run reproducibility.
+
+use crate::ids::RankId;
+use crate::load::Load;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A rank's accumulated view of underloaded peers (`S^p` + `LOAD^p()`).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Knowledge {
+    ranks: Vec<RankId>,
+    loads: Vec<Load>,
+    #[serde(skip)]
+    index: HashMap<RankId, usize>,
+}
+
+impl Knowledge {
+    /// Empty knowledge.
+    pub fn new() -> Self {
+        Knowledge::default()
+    }
+
+    /// Number of known underloaded ranks, `|S^p|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether no underloaded ranks are known.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Whether `rank ∈ S^p`.
+    #[inline]
+    pub fn contains(&self, rank: RankId) -> bool {
+        self.index.contains_key(&rank)
+    }
+
+    /// The locally-known load of `rank`, if known.
+    #[inline]
+    pub fn load_of(&self, rank: RankId) -> Option<Load> {
+        self.index.get(&rank).map(|&i| self.loads[i])
+    }
+
+    /// Insert `rank ↦ load`; keeps the existing entry if already known
+    /// (gossip re-delivers the same pre-LB measurement, and a local
+    /// estimate updated during transfer must not be clobbered by a stale
+    /// gossip copy).
+    pub fn insert(&mut self, rank: RankId, load: Load) -> bool {
+        if self.index.contains_key(&rank) {
+            return false;
+        }
+        self.index.insert(rank, self.ranks.len());
+        self.ranks.push(rank);
+        self.loads.push(load);
+        true
+    }
+
+    /// Union with another rank's knowledge (Algorithm 1 lines 16–17).
+    /// Returns the number of newly learned ranks.
+    pub fn merge(&mut self, other: &Knowledge) -> usize {
+        let mut added = 0;
+        for (&r, &l) in other.ranks.iter().zip(other.loads.iter()) {
+            if self.insert(r, l) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Merge from raw `(rank, load)` pairs, e.g. a decoded gossip message.
+    pub fn merge_pairs(&mut self, pairs: &[(RankId, Load)]) -> usize {
+        let mut added = 0;
+        for &(r, l) in pairs {
+            if self.insert(r, l) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Update the local load estimate for a known rank (Algorithm 2
+    /// line 12: `ℓ_x ← ℓ_x + LOAD(o_x)` after proposing a transfer).
+    pub fn add_to_load(&mut self, rank: RankId, delta: Load) -> bool {
+        if let Some(&i) = self.index.get(&rank) {
+            self.loads[i] += delta;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deterministic insertion-ordered view of `(rank, estimated load)`.
+    pub fn entries(&self) -> impl Iterator<Item = (RankId, Load)> + '_ {
+        self.ranks.iter().copied().zip(self.loads.iter().copied())
+    }
+
+    /// The known ranks in insertion order.
+    pub fn ranks(&self) -> &[RankId] {
+        &self.ranks
+    }
+
+    /// The known load estimates, parallel to [`Knowledge::ranks`].
+    pub fn loads(&self) -> &[Load] {
+        &self.loads
+    }
+
+    /// The maximum load estimate among known ranks (`max(LOAD^p)` on
+    /// Algorithm 2 line 25); `None` if empty.
+    pub fn max_known_load(&self) -> Option<Load> {
+        self.loads
+            .iter()
+            .copied()
+            .reduce(|a, b| a.max(b))
+    }
+
+    /// Serialize into `(rank, load)` pairs for a gossip message payload.
+    pub fn to_pairs(&self) -> Vec<(RankId, Load)> {
+        self.entries().collect()
+    }
+
+    /// Rebuild the side index (needed after deserialization, where the
+    /// index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i))
+            .collect();
+    }
+}
+
+impl PartialEq for Knowledge {
+    fn eq(&self, other: &Self) -> bool {
+        self.ranks == other.ranks && self.loads == other.loads
+    }
+}
+
+impl FromIterator<(RankId, Load)> for Knowledge {
+    fn from_iter<T: IntoIterator<Item = (RankId, Load)>>(iter: T) -> Self {
+        let iter = iter.into_iter();
+        let mut k = Knowledge::new();
+        let (lo, hi) = iter.size_hint();
+        let cap = hi.unwrap_or(lo);
+        k.ranks.reserve(cap);
+        k.loads.reserve(cap);
+        k.index.reserve(cap);
+        for (r, l) in iter {
+            k.insert(r, l);
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(pairs: &[(u32, f64)]) -> Knowledge {
+        pairs
+            .iter()
+            .map(|&(r, l)| (RankId::new(r), Load::new(l)))
+            .collect()
+    }
+
+    #[test]
+    fn insert_preserves_first_value() {
+        let mut kn = k(&[(1, 0.5)]);
+        assert!(!kn.insert(RankId::new(1), Load::new(9.0)));
+        assert_eq!(kn.load_of(RankId::new(1)), Some(Load::new(0.5)));
+        assert_eq!(kn.len(), 1);
+    }
+
+    #[test]
+    fn merge_counts_new_entries_only() {
+        let mut a = k(&[(1, 0.5), (2, 0.25)]);
+        let b = k(&[(2, 0.99), (3, 0.1)]);
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 3);
+        // Existing local estimate kept:
+        assert_eq!(a.load_of(RankId::new(2)), Some(Load::new(0.25)));
+        assert_eq!(a.load_of(RankId::new(3)), Some(Load::new(0.1)));
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut a = Knowledge::new();
+        a.insert(RankId::new(5), Load::new(1.0));
+        a.insert(RankId::new(1), Load::new(2.0));
+        a.insert(RankId::new(9), Load::new(3.0));
+        let ranks: Vec<_> = a.entries().map(|(r, _)| r.as_u32()).collect();
+        assert_eq!(ranks, vec![5, 1, 9]);
+    }
+
+    #[test]
+    fn add_to_load_updates_estimate() {
+        let mut a = k(&[(1, 0.5)]);
+        assert!(a.add_to_load(RankId::new(1), Load::new(0.25)));
+        assert_eq!(a.load_of(RankId::new(1)), Some(Load::new(0.75)));
+        assert!(!a.add_to_load(RankId::new(7), Load::new(1.0)));
+    }
+
+    #[test]
+    fn max_known_load() {
+        assert_eq!(Knowledge::new().max_known_load(), None);
+        let a = k(&[(1, 0.5), (2, 2.0), (3, 1.0)]);
+        assert_eq!(a.max_known_load(), Some(Load::new(2.0)));
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let a = k(&[(4, 0.5), (2, 2.0)]);
+        let mut b = Knowledge::new();
+        b.merge_pairs(&a.to_pairs());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rebuild_index_restores_membership() {
+        // Emulate the post-deserialization state (index is #[serde(skip)])
+        // by clearing the index and rebuilding it.
+        let a = k(&[(4, 0.5), (2, 2.0)]);
+        let mut c = a.clone();
+        c.index.clear();
+        c.rebuild_index();
+        assert!(c.contains(RankId::new(4)));
+        assert_eq!(c.load_of(RankId::new(2)), Some(Load::new(2.0)));
+    }
+}

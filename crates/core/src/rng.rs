@@ -1,0 +1,151 @@
+//! Deterministic per-rank random streams.
+//!
+//! Every stochastic decision in the balancers — gossip target selection,
+//! CMF sampling — must be reproducible from a single experiment seed so
+//! that every table in EXPERIMENTS.md can be regenerated bit-for-bit.
+//! At the same time, each simulated rank must have an *independent*
+//! stream: in the real distributed system each rank seeds its own RNG, and
+//! correlated streams would distort the gossip coverage analysis.
+//!
+//! We derive per-rank (and per-iteration, per-trial) seeds from the master
+//! seed with SplitMix64, the standard seed-expansion function (also used
+//! by `rand` internally for `seed_from_u64`). SplitMix64 is a bijective
+//! avalanche permutation, so distinct derivation keys can never collide
+//! into identical child streams for distinct inputs of a single call.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One step of the SplitMix64 sequence: returns the mixed output for state
+/// `x + GOLDEN_GAMMA`.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix an arbitrary number of key words into a single derived seed.
+///
+/// The derivation is sequential SplitMix64 absorption: each key perturbs
+/// the state before the next mixing step, so `derive_seed(s, &[a, b])` and
+/// `derive_seed(s, &[b, a])` differ.
+#[inline]
+pub fn derive_seed(master: u64, keys: &[u64]) -> u64 {
+    let mut state = master;
+    let mut out = splitmix64(&mut state);
+    for &k in keys {
+        state ^= k.wrapping_mul(0xA24B_AED4_963E_E407);
+        out ^= splitmix64(&mut state);
+    }
+    out
+}
+
+/// A factory for deterministic child RNGs, keyed by domain-specific labels.
+///
+/// Typical use inside a balancer:
+///
+/// ```
+/// use tempered_core::rng::RngFactory;
+/// let factory = RngFactory::new(0xDEADBEEF);
+/// let mut rank3_gossip = factory.rank_stream(b"gossip", 3, 0);
+/// let mut rank3_cmf = factory.rank_stream(b"cmf", 3, 0);
+/// use rand::Rng;
+/// // Streams for different purposes are independent:
+/// let a: u64 = rank3_gossip.gen();
+/// let b: u64 = rank3_cmf.gen();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RngFactory {
+    master: u64,
+}
+
+impl RngFactory {
+    /// Create a factory from the experiment master seed.
+    pub fn new(master: u64) -> Self {
+        RngFactory { master }
+    }
+
+    /// The master seed this factory derives from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the seed for a `(label, rank, round)` triple.
+    pub fn seed_for(&self, label: &[u8], rank: u64, epoch: u64) -> u64 {
+        let label_key = label
+            .iter()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        derive_seed(self.master, &[label_key, rank, epoch])
+    }
+
+    /// A `SmallRng` stream for a `(label, rank, epoch)` triple.
+    ///
+    /// `epoch` distinguishes re-derivations within one run — e.g. the LB
+    /// trial index, or the application timestep — so that repeating the
+    /// protocol does not replay identical randomness.
+    pub fn rank_stream(&self, label: &[u8], rank: u64, epoch: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for(label, rank, epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut s1 = 1u64;
+        let mut s2 = 1u64;
+        assert_eq!(splitmix64(&mut s1), splitmix64(&mut s2));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn derive_seed_depends_on_all_keys() {
+        let base = derive_seed(42, &[1, 2]);
+        assert_ne!(base, derive_seed(42, &[1, 3]));
+        assert_ne!(base, derive_seed(42, &[2, 1]));
+        assert_ne!(base, derive_seed(43, &[1, 2]));
+        assert_eq!(base, derive_seed(42, &[1, 2]));
+    }
+
+    #[test]
+    fn rank_streams_are_independent_and_reproducible() {
+        let f = RngFactory::new(7);
+        let mut a1 = f.rank_stream(b"gossip", 0, 0);
+        let mut a2 = f.rank_stream(b"gossip", 0, 0);
+        let mut b = f.rank_stream(b"gossip", 1, 0);
+        let x1: u64 = a1.gen();
+        let x2: u64 = a2.gen();
+        let y: u64 = b.gen();
+        assert_eq!(x1, x2, "same key must reproduce the same stream");
+        assert_ne!(x1, y, "different ranks must get different streams");
+    }
+
+    #[test]
+    fn epoch_perturbs_stream() {
+        let f = RngFactory::new(7);
+        let mut a = f.rank_stream(b"cmf", 5, 0);
+        let mut b = f.rank_stream(b"cmf", 5, 1);
+        let x: u64 = a.gen();
+        let y: u64 = b.gen();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn label_perturbs_stream() {
+        let f = RngFactory::new(7);
+        let mut a = f.rank_stream(b"gossip", 5, 0);
+        let mut b = f.rank_stream(b"transfer", 5, 0);
+        let x: u64 = a.gen();
+        let y: u64 = b.gen();
+        assert_ne!(x, y);
+    }
+}

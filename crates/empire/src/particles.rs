@@ -1,0 +1,232 @@
+//! Structure-of-arrays particle container and the advection kernel.
+//!
+//! EMPIRE's particle work is a Lagrangian particle-in-cell update: push
+//! particles through the field, then deposit currents back onto the mesh.
+//! The surrogate keeps the *real* data motion — particles actually move
+//! through the domain each step, crossing color and rank boundaries —
+//! because that spatial motion is precisely what produces the paper's
+//! time-varying imbalance. The SoA layout keeps the push kernel a tight
+//! streaming loop over four `f64` arrays.
+
+use crate::fields::FieldModel;
+use crate::mesh::Mesh;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Structure-of-arrays particle storage.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleBuffer {
+    /// X positions.
+    pub x: Vec<f64>,
+    /// Y positions.
+    pub y: Vec<f64>,
+    /// X velocities.
+    pub vx: Vec<f64>,
+    /// Y velocities.
+    pub vy: Vec<f64>,
+}
+
+impl ParticleBuffer {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        ParticleBuffer {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            vx: Vec::with_capacity(n),
+            vy: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Append one particle.
+    pub fn push(&mut self, x: f64, y: f64, vx: f64, vy: f64) {
+        self.x.push(x);
+        self.y.push(y);
+        self.vx.push(vx);
+        self.vy.push(vy);
+    }
+
+    /// Inject `count` particles around `(cx, cy)` with Gaussian spatial
+    /// spread `sigma` and radially-outward drift `v_drift` plus thermal
+    /// jitter `v_th`. Positions are clamped into the domain.
+    #[allow(clippy::too_many_arguments)] // burst = (center, width, drift, thermal): physics, not config
+    pub fn inject_burst(
+        &mut self,
+        mesh: &Mesh,
+        count: usize,
+        cx: f64,
+        cy: f64,
+        sigma: f64,
+        v_drift: f64,
+        v_th: f64,
+        rng: &mut SmallRng,
+    ) {
+        self.x.reserve(count);
+        self.y.reserve(count);
+        self.vx.reserve(count);
+        self.vy.reserve(count);
+        for _ in 0..count {
+            let (gx, gy) = gaussian_pair(rng);
+            let px = (cx + sigma * gx).clamp(0.0, mesh.width - f64::EPSILON);
+            let py = (cy + sigma * gy).clamp(0.0, mesh.height - f64::EPSILON);
+            // Outward radial drift from the burst center.
+            let dx = px - cx;
+            let dy = py - cy;
+            let r = (dx * dx + dy * dy).sqrt().max(1e-12);
+            let (tx, ty) = gaussian_pair(rng);
+            self.x.push(px);
+            self.y.push(py);
+            self.vx.push(v_drift * dx / r + v_th * tx);
+            self.vy.push(v_drift * dy / r + v_th * ty);
+        }
+    }
+
+    /// Advance all particles by `dt` under `field`, reflecting at the
+    /// domain boundary (plasma confined in the device). This is the
+    /// surrogate's particle-push kernel; its cost is linear in the number
+    /// of particles, exactly the property the load model relies on.
+    pub fn advance(&mut self, mesh: &Mesh, field: &FieldModel, t: f64, dt: f64) {
+        let n = self.len();
+        for i in 0..n {
+            let (ax, ay) = field.acceleration(self.x[i], self.y[i], self.vx[i], self.vy[i], t);
+            self.vx[i] += ax * dt;
+            self.vy[i] += ay * dt;
+            self.x[i] += self.vx[i] * dt;
+            self.y[i] += self.vy[i] * dt;
+            // Specular reflection at the walls.
+            if self.x[i] < 0.0 {
+                self.x[i] = -self.x[i];
+                self.vx[i] = -self.vx[i];
+            }
+            if self.x[i] >= mesh.width {
+                self.x[i] = 2.0 * mesh.width - self.x[i] - f64::EPSILON;
+                self.vx[i] = -self.vx[i];
+            }
+            if self.y[i] < 0.0 {
+                self.y[i] = -self.y[i];
+                self.vy[i] = -self.vy[i];
+            }
+            if self.y[i] >= mesh.height {
+                self.y[i] = 2.0 * mesh.height - self.y[i] - f64::EPSILON;
+                self.vy[i] = -self.vy[i];
+            }
+            // Defensive clamp: extreme velocities could overshoot both
+            // walls in one step.
+            self.x[i] = self.x[i].clamp(0.0, mesh.width - f64::EPSILON);
+            self.y[i] = self.y[i].clamp(0.0, mesh.height - f64::EPSILON);
+        }
+    }
+
+    /// Histogram particles into colors: `counts[color] = particle count`.
+    pub fn count_per_color(&self, mesh: &Mesh, counts: &mut [usize]) {
+        debug_assert_eq!(counts.len(), mesh.num_colors());
+        counts.fill(0);
+        for i in 0..self.len() {
+            counts[mesh.color_at(self.x[i], self.y[i]).as_usize()] += 1;
+        }
+    }
+}
+
+/// Box–Muller standard-normal pair.
+fn gaussian_pair(rng: &mut SmallRng) -> (f64, f64) {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tempered_core::rng::RngFactory;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn inject_positions_inside_domain() {
+        let mesh = Mesh::small();
+        let mut p = ParticleBuffer::default();
+        p.inject_burst(&mesh, 1000, 0.5, 0.5, 0.3, 0.1, 0.05, &mut rng());
+        assert_eq!(p.len(), 1000);
+        for i in 0..p.len() {
+            assert!(p.x[i] >= 0.0 && p.x[i] < mesh.width);
+            assert!(p.y[i] >= 0.0 && p.y[i] < mesh.height);
+        }
+    }
+
+    #[test]
+    fn advance_keeps_particles_inside() {
+        let mesh = Mesh::small();
+        let field = FieldModel::default();
+        let mut p = ParticleBuffer::default();
+        p.inject_burst(&mesh, 500, 0.9, 0.9, 0.2, 0.5, 0.2, &mut rng());
+        for step in 0..50 {
+            p.advance(&mesh, &field, step as f64 * 0.01, 0.01);
+        }
+        for i in 0..p.len() {
+            assert!(p.x[i] >= 0.0 && p.x[i] < mesh.width, "x[{i}] = {}", p.x[i]);
+            assert!(p.y[i] >= 0.0 && p.y[i] < mesh.height);
+        }
+    }
+
+    #[test]
+    fn outward_drift_spreads_the_cloud() {
+        let mesh = Mesh::small();
+        let field = FieldModel::default();
+        let mut p = ParticleBuffer::default();
+        p.inject_burst(&mesh, 2000, 0.5, 0.5, 0.02, 0.3, 0.0, &mut rng());
+        let spread = |p: &ParticleBuffer| {
+            p.x.iter()
+                .zip(&p.y)
+                .map(|(&x, &y)| ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt())
+                .sum::<f64>()
+                / p.len() as f64
+        };
+        let before = spread(&p);
+        for step in 0..20 {
+            p.advance(&mesh, &field, step as f64 * 0.01, 0.01);
+        }
+        let after = spread(&p);
+        assert!(after > before * 1.5, "cloud must expand: {before} → {after}");
+    }
+
+    #[test]
+    fn count_per_color_is_a_partition() {
+        let mesh = Mesh::small();
+        let mut p = ParticleBuffer::default();
+        let mut r = RngFactory::new(3).rank_stream(b"t", 0, 0);
+        p.inject_burst(&mesh, 777, 0.3, 0.6, 0.2, 0.0, 0.1, &mut r);
+        let mut counts = vec![0usize; mesh.num_colors()];
+        p.count_per_color(&mesh, &mut counts);
+        assert_eq!(counts.iter().sum::<usize>(), 777);
+    }
+
+    #[test]
+    fn concentrated_injection_hits_few_colors() {
+        let mesh = Mesh::paper_scale();
+        let mut p = ParticleBuffer::default();
+        p.inject_burst(&mesh, 5000, 0.5, 0.5, 0.01, 0.0, 0.0, &mut rng());
+        let mut counts = vec![0usize; mesh.num_colors()];
+        p.count_per_color(&mesh, &mut counts);
+        let populated = counts.iter().filter(|&&c| c > 0).count();
+        assert!(
+            populated < mesh.num_colors() / 10,
+            "tight burst should populate few colors, got {populated}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Wire messages of the asynchronous LB protocol.
+//!
+//! Every *basic* (TD-counted) message carries the termination-detection
+//! epoch it belongs to, so ranks that have not yet advanced to that epoch
+//! can buffer it instead of processing it out of order — the standard
+//! epoch-stamping discipline of barrier-free AMT runtimes.
+
+use crate::collective::LoadSummary;
+use crate::termination::TdMsg;
+use tempered_core::ids::{RankId, TaskId};
+
+/// A migratable task as carried by protocol messages: identity, measured
+/// load, and the rank that physically holds its data (its *home* at the
+/// start of the LB pass — lazy migration fetches from there at commit
+/// time).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskEntry {
+    /// Stable task identity.
+    pub id: TaskId,
+    /// Instrumented load (f64 seconds).
+    pub load: f64,
+    /// Rank holding the task's data since the LB pass began.
+    pub home: RankId,
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug)]
+pub enum LbMsg {
+    /// Reduction partial flowing child → parent for collective `slot`.
+    ReduceUp {
+        /// Collective slot: 0 is the initial load allreduce; slot
+        /// `1 + trial·n_iters + iter` evaluates that iteration's proposal.
+        slot: u32,
+        /// Accumulated partial.
+        summary: LoadSummary,
+    },
+    /// Reduction result broadcast root → leaves for collective `slot`.
+    ReduceDown {
+        /// Collective slot (see [`LbMsg::ReduceUp`]).
+        slot: u32,
+        /// Final reduced value.
+        summary: LoadSummary,
+    },
+    /// Epidemic knowledge propagation (Algorithm 1).
+    Gossip {
+        /// TD epoch this message belongs to.
+        epoch: u64,
+        /// Message round `r`.
+        round: u32,
+        /// `(rank, load)` pairs — the sender's `S` and `LOAD()` snapshot.
+        pairs: Vec<(RankId, f64)>,
+    },
+    /// Proposed (lazy) transfers: the recipient becomes the logical owner
+    /// for subsequent iterations without any data movement.
+    Propose {
+        /// TD epoch this message belongs to.
+        epoch: u64,
+        /// Tasks now logically owned by the receiver.
+        tasks: Vec<TaskEntry>,
+    },
+    /// Negative acknowledgement (optional, [`super::LbProtocolConfig::use_nacks`]):
+    /// tasks the recipient refused because accepting them would push it
+    /// past the average load — Menon et al.'s original mechanism, which
+    /// the paper deliberately drops (§V-A). Returned tasks revert to the
+    /// sender.
+    ProposeReply {
+        /// TD epoch this message belongs to.
+        epoch: u64,
+        /// Tasks bounced back to the proposer.
+        rejected: Vec<TaskEntry>,
+    },
+    /// Commit stage: the final owner requests task data from the home
+    /// rank.
+    Fetch {
+        /// TD epoch (the commit epoch).
+        epoch: u64,
+        /// Task ids to ship.
+        tasks: Vec<TaskId>,
+    },
+    /// Commit stage: task payloads shipped home → final owner.
+    TaskData {
+        /// TD epoch (the commit epoch).
+        epoch: u64,
+        /// Task ids delivered.
+        tasks: Vec<TaskId>,
+    },
+    /// Termination-detection control traffic.
+    Td(TdMsg),
+}
+
+impl LbMsg {
+    /// The TD epoch a *basic* message belongs to; `None` for control and
+    /// collective messages, which are never TD-counted or buffered.
+    pub fn basic_epoch(&self) -> Option<u64> {
+        match self {
+            LbMsg::Gossip { epoch, .. }
+            | LbMsg::Propose { epoch, .. }
+            | LbMsg::ProposeReply { epoch, .. }
+            | LbMsg::Fetch { epoch, .. }
+            | LbMsg::TaskData { epoch, .. } => Some(*epoch),
+            _ => None,
+        }
+    }
+
+    /// Modeled wire size in bytes, used by the executors' latency model
+    /// and network accounting. Task *data* payloads are modeled via
+    /// `bytes_per_task` at the send site, not here.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            LbMsg::ReduceUp { .. } | LbMsg::ReduceDown { .. } => 32,
+            LbMsg::Gossip { pairs, .. } => 16 + 12 * pairs.len(),
+            LbMsg::Propose { tasks, .. } => 16 + 20 * tasks.len(),
+            LbMsg::ProposeReply { rejected, .. } => 16 + 20 * rejected.len(),
+            LbMsg::Fetch { tasks, .. } => 16 + 8 * tasks.len(),
+            LbMsg::TaskData { tasks, .. } => 16 + 8 * tasks.len(),
+            LbMsg::Td(_) => crate::termination::TD_MSG_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_epoch_classification() {
+        assert_eq!(
+            LbMsg::Gossip {
+                epoch: 3,
+                round: 1,
+                pairs: vec![]
+            }
+            .basic_epoch(),
+            Some(3)
+        );
+        assert_eq!(
+            LbMsg::Propose {
+                epoch: 7,
+                tasks: vec![]
+            }
+            .basic_epoch(),
+            Some(7)
+        );
+        assert_eq!(
+            LbMsg::ReduceUp {
+                slot: 0,
+                summary: LoadSummary::default()
+            }
+            .basic_epoch(),
+            None
+        );
+        assert_eq!(
+            LbMsg::Td(TdMsg::Terminated { epoch: 1 }).basic_epoch(),
+            None
+        );
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_payload() {
+        let small = LbMsg::Gossip {
+            epoch: 0,
+            round: 0,
+            pairs: vec![],
+        };
+        let big = LbMsg::Gossip {
+            epoch: 0,
+            round: 0,
+            pairs: vec![(RankId::new(0), 1.0); 100],
+        };
+        assert!(big.wire_bytes() > small.wire_bytes());
+        assert_eq!(big.wire_bytes() - small.wire_bytes(), 1200);
+    }
+}

@@ -1,0 +1,738 @@
+//! Per-rank state machine of the asynchronous TemperedLB protocol.
+//!
+//! The protocol mirrors the paper's vt implementation structure:
+//!
+//! ```text
+//! Setup      allreduce (Σ load, max load) → every rank knows ℓ_ave, ℓ_max
+//! ┌─ per (trial, iteration) ──────────────────────────────────────────┐
+//! │ Gossip     Algorithm 1, barrier-free; sequenced by termination     │
+//! │            detection (epoch 2·(t·n_iters + i))                     │
+//! │ Proposals  Algorithm 2 locally; lazy-transfer messages inform      │
+//! │            recipients of their new logical tasks (epoch … + 1)     │
+//! │ Evaluate   allreduce of proposed max load → identical I_proposed   │
+//! │            at every rank → symmetric best-tracking, no coordinator │
+//! └────────────────────────────────────────────────────────────────────┘
+//! Commit     revert to best proposal; final owners fetch task data
+//!            from home ranks (lazy migration); last TD epoch
+//! Done
+//! ```
+//!
+//! Every rank advances through stages *locally*, driven only by received
+//! messages; out-of-order messages from ranks that advanced earlier are
+//! buffered by epoch and replayed (see [`super::messages::LbMsg`]).
+
+use super::messages::{LbMsg, TaskEntry};
+use crate::collective::{LoadSummary, ReduceSlot, Tree};
+use crate::sim::{Ctx, Protocol};
+use crate::termination::{TdMsg, TerminationDetector};
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+use tempered_core::gossip::sample_target;
+use tempered_core::ids::{RankId, TaskId};
+use tempered_core::knowledge::Knowledge;
+use tempered_core::load::Load;
+use tempered_core::rng::RngFactory;
+use tempered_core::task::Task;
+use tempered_core::transfer::{transfer_stage, TransferConfig};
+
+/// Configuration of the asynchronous protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct LbProtocolConfig {
+    /// Independent trials (`n_trials`).
+    pub trials: usize,
+    /// Iterations per trial (`n_iters`).
+    pub iters: usize,
+    /// Gossip fanout `f`.
+    pub fanout: usize,
+    /// Gossip round limit `k`.
+    pub rounds: usize,
+    /// Transfer-stage knobs (criterion, CMF, ordering, threshold).
+    pub transfer: TransferConfig,
+    /// Modeled payload bytes per migrated task (commit-stage data volume).
+    pub bytes_per_task: usize,
+    /// Enable Menon et al.'s negative acknowledgements: recipients bounce
+    /// proposed tasks that would push them past `ℓ_ave`. The paper drops
+    /// this mechanism (§V-A); the flag exists to measure that choice.
+    pub use_nacks: bool,
+}
+
+impl Default for LbProtocolConfig {
+    fn default() -> Self {
+        LbProtocolConfig {
+            trials: 10,
+            iters: 8,
+            fanout: 6,
+            rounds: 10,
+            transfer: TransferConfig::tempered(),
+            bytes_per_task: 65_536,
+            use_nacks: false,
+        }
+    }
+}
+
+impl LbProtocolConfig {
+    /// A GrapevineLB-equivalent configuration: single trial, single
+    /// iteration, original criterion and CMF, arbitrary ordering.
+    pub fn grapevine() -> Self {
+        LbProtocolConfig {
+            trials: 1,
+            iters: 1,
+            transfer: TransferConfig::grapevine(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Protocol stage (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Waiting for the initial allreduce.
+    Setup,
+    /// Gossip epoch in progress.
+    Gossip,
+    /// Proposal epoch in progress.
+    Proposals,
+    /// Waiting for the evaluation allreduce.
+    Evaluate,
+    /// Commit epoch (lazy migration) in progress.
+    Commit,
+    /// Finished.
+    Done,
+}
+
+/// One `(trial, iteration, imbalance)` record, mirroring
+/// `tempered_core::refine::IterationRecord` for the async path.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncIterationRecord {
+    /// Trial index (0-based).
+    pub trial: usize,
+    /// Iteration index (1-based).
+    pub iteration: usize,
+    /// Globally agreed imbalance after this iteration's proposals.
+    pub imbalance: f64,
+    /// Transfers this rank accepted in the iteration.
+    pub local_transfers: usize,
+    /// Candidates this rank rejected in the iteration.
+    pub local_rejected: usize,
+}
+
+/// The per-rank protocol actor.
+#[derive(Debug)]
+pub struct LbRank {
+    me: RankId,
+    num_ranks: usize,
+    cfg: LbProtocolConfig,
+    factory: RngFactory,
+    tree: Tree,
+    det: TerminationDetector,
+
+    // Task state.
+    original: Vec<TaskEntry>,
+    current: Vec<TaskEntry>,
+    best: Vec<TaskEntry>,
+
+    // Collective state.
+    slots: HashMap<u32, ReduceSlot>,
+
+    // Globals agreed in Setup.
+    l_ave: f64,
+    /// Initial imbalance (valid after Setup).
+    pub initial_imbalance: f64,
+    /// Best imbalance seen (valid after the run).
+    pub best_imbalance: f64,
+
+    // Iteration cursor.
+    trial: usize,
+    iter: usize, // 0-based internally
+    stage: Stage,
+
+    // Gossip state for the current iteration.
+    knowledge: Knowledge,
+    gossip_rng: Option<SmallRng>,
+
+    // Epoch-stamped buffering of early messages.
+    buffered: Vec<(RankId, LbMsg)>,
+
+    // Statistics.
+    /// Per-iteration records (symmetrically identical across ranks except
+    /// for the local transfer counters).
+    pub records: Vec<AsyncIterationRecord>,
+    /// Tasks this rank fetched at commit (real migrations in).
+    pub migrations_in: usize,
+    /// Tasks fetched *from* this rank at commit (real migrations out).
+    pub migrations_out: usize,
+    /// Proposed tasks bounced back by NACKs across the whole run
+    /// (always 0 unless [`LbProtocolConfig::use_nacks`]).
+    pub nacks_received: usize,
+    iter_transfers: usize,
+    iter_rejected: usize,
+
+    done: bool,
+}
+
+impl LbRank {
+    /// Create the actor for `me` with its resident tasks.
+    pub fn new(
+        me: RankId,
+        num_ranks: usize,
+        tasks: Vec<(TaskId, f64)>,
+        cfg: LbProtocolConfig,
+        factory: RngFactory,
+    ) -> Self {
+        let original: Vec<TaskEntry> = tasks
+            .into_iter()
+            .map(|(id, load)| TaskEntry {
+                id,
+                load,
+                home: me,
+            })
+            .collect();
+        LbRank {
+            me,
+            num_ranks,
+            cfg,
+            factory,
+            tree: Tree::new(num_ranks, RankId::new(0)),
+            det: TerminationDetector::new(me, num_ranks),
+            current: original.clone(),
+            best: original.clone(),
+            original,
+            slots: HashMap::new(),
+            l_ave: 0.0,
+            initial_imbalance: 0.0,
+            best_imbalance: f64::INFINITY,
+            trial: 0,
+            iter: 0,
+            stage: Stage::Setup,
+            knowledge: Knowledge::new(),
+            gossip_rng: None,
+            buffered: Vec::new(),
+            records: Vec::new(),
+            migrations_in: 0,
+            migrations_out: 0,
+            nacks_received: 0,
+            iter_transfers: 0,
+            iter_rejected: 0,
+            done: false,
+        }
+    }
+
+    /// This rank's final task set `(id, load, home)` after the protocol.
+    pub fn final_tasks(&self) -> &[TaskEntry] {
+        &self.current
+    }
+
+    /// Current stage.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    fn my_load(&self) -> f64 {
+        self.current.iter().map(|t| t.load).sum()
+    }
+
+    // ---- epoch numbering -------------------------------------------------
+
+    fn gossip_epoch(&self) -> u64 {
+        2 * (self.trial * self.cfg.iters + self.iter) as u64 + 1
+    }
+
+    fn proposal_epoch(&self) -> u64 {
+        self.gossip_epoch() + 1
+    }
+
+    fn commit_epoch(&self) -> u64 {
+        2 * (self.cfg.trials * self.cfg.iters) as u64 + 1
+    }
+
+    fn eval_slot(&self) -> u32 {
+        1 + (self.trial * self.cfg.iters + self.iter) as u32
+    }
+
+    // ---- send helpers ----------------------------------------------------
+
+    fn send_basic(&mut self, ctx: &mut Ctx<'_, LbMsg>, to: RankId, msg: LbMsg) {
+        self.send_basic_sized(ctx, to, msg, 0);
+    }
+
+    fn send_basic_sized(
+        &mut self,
+        ctx: &mut Ctx<'_, LbMsg>,
+        to: RankId,
+        msg: LbMsg,
+        extra_bytes: usize,
+    ) {
+        debug_assert!(msg.basic_epoch().is_some(), "basic send of control msg");
+        self.det.on_basic_send();
+        let bytes = msg.wire_bytes() + extra_bytes;
+        ctx.send(to, msg, bytes);
+    }
+
+    fn send_ctrl(&mut self, ctx: &mut Ctx<'_, LbMsg>, to: RankId, msg: LbMsg) {
+        let bytes = msg.wire_bytes();
+        ctx.send(to, msg, bytes);
+    }
+
+    fn emit_td(&mut self, ctx: &mut Ctx<'_, LbMsg>, outcome: crate::termination::TdOutcome) {
+        for s in outcome.sends {
+            self.send_ctrl(ctx, s.to, LbMsg::Td(s.msg));
+        }
+        if let Some(epoch) = outcome.terminated_epoch {
+            self.on_epoch_terminated(ctx, epoch);
+        }
+    }
+
+    // ---- collectives -----------------------------------------------------
+
+    fn slot_mut(&mut self, slot: u32) -> &mut ReduceSlot {
+        let children = self.tree.children(self.me).len();
+        self.slots
+            .entry(slot)
+            .or_insert_with(|| ReduceSlot::new(children))
+    }
+
+    fn contribute(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, value: LoadSummary) {
+        if let Some(done) = self.slot_mut(slot).contribute(value) {
+            self.reduce_complete(ctx, slot, done);
+        }
+    }
+
+    fn reduce_complete(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, summary: LoadSummary) {
+        match self.tree.parent(self.me) {
+            Some(parent) => {
+                self.send_ctrl(ctx, parent, LbMsg::ReduceUp { slot, summary });
+            }
+            None => {
+                // Root: broadcast the result and consume it locally.
+                self.broadcast_down(ctx, slot, summary);
+                self.on_reduce_result(ctx, slot, summary);
+            }
+        }
+    }
+
+    fn broadcast_down(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, summary: LoadSummary) {
+        for child in self.tree.children(self.me) {
+            self.send_ctrl(ctx, child, LbMsg::ReduceDown { slot, summary });
+        }
+    }
+
+    fn on_reduce_result(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, summary: LoadSummary) {
+        if slot == 0 {
+            // Setup complete: everyone now knows ℓ_ave / ℓ_max.
+            debug_assert_eq!(self.stage, Stage::Setup);
+            self.l_ave = summary.average();
+            self.initial_imbalance = summary.imbalance();
+            self.best_imbalance = summary.imbalance();
+            self.enter_gossip(ctx);
+        } else {
+            debug_assert_eq!(self.stage, Stage::Evaluate);
+            debug_assert_eq!(slot, self.eval_slot());
+            let imbalance = summary.imbalance();
+            self.records.push(AsyncIterationRecord {
+                trial: self.trial,
+                iteration: self.iter + 1,
+                imbalance,
+                local_transfers: self.iter_transfers,
+                local_rejected: self.iter_rejected,
+            });
+            if imbalance < self.best_imbalance {
+                self.best_imbalance = imbalance;
+                self.best = self.current.clone();
+            }
+            self.advance_iteration(ctx);
+        }
+    }
+
+    // ---- stage transitions -------------------------------------------------
+
+    fn enter_gossip(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        self.stage = Stage::Gossip;
+        self.iter_transfers = 0;
+        self.iter_rejected = 0;
+        let epoch = self.gossip_epoch();
+        self.det.start_epoch(epoch);
+        self.knowledge = Knowledge::new();
+        let mut rng = self
+            .factory
+            .rank_stream(b"agossip", self.me.as_u32() as u64, epoch);
+
+        let my_load = self.my_load();
+        if my_load < self.l_ave {
+            // Algorithm 1 lines 6–12: seed and send round-1 messages.
+            self.knowledge.insert(self.me, Load::new(my_load));
+            let pairs = pairs_of(&self.knowledge);
+            for _ in 0..self.cfg.fanout {
+                if let Some(target) =
+                    sample_target(&mut rng, self.num_ranks, self.me, &self.knowledge)
+                {
+                    self.send_basic(
+                        ctx,
+                        target,
+                        LbMsg::Gossip {
+                            epoch,
+                            round: 1,
+                            pairs: pairs.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        self.gossip_rng = Some(rng);
+
+        // Coordinator launches termination detection for this epoch.
+        let kick = self.det.kick();
+        self.emit_td(ctx, kick);
+        self.replay_buffered(ctx);
+    }
+
+    fn on_gossip(&mut self, ctx: &mut Ctx<'_, LbMsg>, round: u32, pairs: Vec<(RankId, f64)>) {
+        self.det.on_basic_recv();
+        let typed: Vec<(RankId, Load)> = pairs
+            .iter()
+            .map(|&(r, l)| (r, Load::new(l)))
+            .collect();
+        let added = self.knowledge.merge_pairs(&typed);
+        // Algorithm 1 lines 18–24, asynchronous interpretation: forward
+        // only when the message taught us something new.
+        if added > 0 && (round as usize) < self.cfg.rounds {
+            let epoch = self.det.epoch();
+            let out_pairs = pairs_of(&self.knowledge);
+            let mut rng = self
+                .gossip_rng
+                .take()
+                .expect("gossip rng present during gossip epoch");
+            for _ in 0..self.cfg.fanout {
+                if let Some(target) =
+                    sample_target(&mut rng, self.num_ranks, self.me, &self.knowledge)
+                {
+                    self.send_basic(
+                        ctx,
+                        target,
+                        LbMsg::Gossip {
+                            epoch,
+                            round: round + 1,
+                            pairs: out_pairs.clone(),
+                        },
+                    );
+                }
+            }
+            self.gossip_rng = Some(rng);
+        }
+    }
+
+    fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, LbMsg>, epoch: u64) {
+        match self.stage {
+            Stage::Gossip => {
+                debug_assert_eq!(epoch, self.gossip_epoch());
+                self.run_transfer(ctx);
+            }
+            Stage::Proposals => {
+                debug_assert_eq!(epoch, self.proposal_epoch());
+                self.enter_evaluate(ctx);
+            }
+            Stage::Commit => {
+                debug_assert_eq!(epoch, self.commit_epoch());
+                self.stage = Stage::Done;
+                self.done = true;
+            }
+            s => panic!("unexpected epoch {epoch} termination in stage {s:?}"),
+        }
+    }
+
+    fn run_transfer(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        self.stage = Stage::Proposals;
+        let epoch = self.proposal_epoch();
+        self.det.start_epoch(epoch);
+
+        // Algorithm 2, locally.
+        let my_load = self.my_load();
+        let threshold = self.l_ave * self.cfg.transfer.threshold_h;
+        if my_load > threshold && !self.knowledge.is_empty() {
+            let tasks: Vec<Task> = self
+                .current
+                .iter()
+                .map(|t| Task::new(t.id, t.load))
+                .collect();
+            let mut rng = self
+                .factory
+                .rank_stream(b"atransfer", self.me.as_u32() as u64, epoch);
+            let out = transfer_stage(
+                self.me,
+                &tasks,
+                &mut self.knowledge,
+                Load::new(self.l_ave),
+                &self.cfg.transfer,
+                &mut rng,
+            );
+            self.iter_transfers = out.accepted;
+            self.iter_rejected = out.rejected;
+
+            // Remove proposed tasks locally and inform each recipient of
+            // its new logical tasks (lazy transfer — no data movement).
+            let mut by_target: HashMap<RankId, Vec<TaskEntry>> = HashMap::new();
+            for m in &out.proposals {
+                let idx = self
+                    .current
+                    .iter()
+                    .position(|t| t.id == m.task)
+                    .expect("proposed task is resident");
+                let entry = self.current.swap_remove(idx);
+                by_target.entry(m.to).or_default().push(entry);
+            }
+            // Deterministic send order regardless of hash state.
+            let mut targets: Vec<(RankId, Vec<TaskEntry>)> = by_target.into_iter().collect();
+            targets.sort_by_key(|(r, _)| *r);
+            for (to, tasks) in targets {
+                self.send_basic(ctx, to, LbMsg::Propose { epoch, tasks });
+            }
+        }
+
+        let kick = self.det.kick();
+        self.emit_td(ctx, kick);
+        self.replay_buffered(ctx);
+    }
+
+    fn on_propose(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, tasks: Vec<TaskEntry>) {
+        self.det.on_basic_recv();
+        if !self.cfg.use_nacks {
+            self.current.extend(tasks);
+            return;
+        }
+        // Menon-style NACKs: accept while staying under the average;
+        // bounce the rest back to the proposer.
+        let mut load = self.my_load();
+        let mut rejected = Vec::new();
+        for t in tasks {
+            if load + t.load < self.l_ave {
+                load += t.load;
+                self.current.push(t);
+            } else {
+                rejected.push(t);
+            }
+        }
+        if !rejected.is_empty() {
+            let epoch = self.det.epoch();
+            self.send_basic(ctx, from, LbMsg::ProposeReply { epoch, rejected });
+        }
+    }
+
+    fn on_propose_reply(&mut self, rejected: Vec<TaskEntry>) {
+        self.det.on_basic_recv();
+        self.nacks_received += rejected.len();
+        // Bounced tasks revert to this rank for the rest of the iteration.
+        self.current.extend(rejected);
+    }
+
+    fn enter_evaluate(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        self.stage = Stage::Evaluate;
+        let slot = self.eval_slot();
+        let summary = LoadSummary::of(self.my_load());
+        self.contribute(ctx, slot, summary);
+        // Note: buffered messages for the next gossip epoch stay buffered;
+        // they replay when the epoch starts.
+    }
+
+    fn advance_iteration(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        self.iter += 1;
+        if self.iter >= self.cfg.iters {
+            self.iter = 0;
+            self.trial += 1;
+            if self.trial >= self.cfg.trials {
+                self.enter_commit(ctx);
+                return;
+            }
+            // Algorithm 3 line 3: each trial restarts from the input
+            // assignment.
+            self.current = self.original.clone();
+        }
+        self.enter_gossip(ctx);
+    }
+
+    fn enter_commit(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        self.stage = Stage::Commit;
+        let epoch = self.commit_epoch();
+        self.det.start_epoch(epoch);
+        // Adopt the best proposal; fetch data for tasks whose home is
+        // elsewhere (lazy migration).
+        self.current = self.best.clone();
+        let mut by_home: HashMap<RankId, Vec<TaskId>> = HashMap::new();
+        for t in &self.current {
+            if t.home != self.me {
+                by_home.entry(t.home).or_default().push(t.id);
+            }
+        }
+        let mut homes: Vec<(RankId, Vec<TaskId>)> = by_home.into_iter().collect();
+        homes.sort_by_key(|(r, _)| *r);
+        for (home, tasks) in homes {
+            self.migrations_in += tasks.len();
+            self.send_basic(ctx, home, LbMsg::Fetch { epoch, tasks });
+        }
+
+        let kick = self.det.kick();
+        self.emit_td(ctx, kick);
+        self.replay_buffered(ctx);
+    }
+
+    fn on_fetch(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, tasks: Vec<TaskId>) {
+        self.det.on_basic_recv();
+        self.migrations_out += tasks.len();
+        let epoch = self.commit_epoch();
+        let n = tasks.len();
+        let extra = self.cfg.bytes_per_task * n;
+        self.send_basic_sized(ctx, from, LbMsg::TaskData { epoch, tasks }, extra);
+    }
+
+    fn on_task_data(&mut self, _ctx: &mut Ctx<'_, LbMsg>, _tasks: Vec<TaskId>) {
+        self.det.on_basic_recv();
+    }
+
+    // ---- buffering ---------------------------------------------------------
+
+    fn should_buffer(&self, msg: &LbMsg) -> bool {
+        match msg {
+            LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch }) => {
+                *epoch > self.det.epoch()
+            }
+            other => match other.basic_epoch() {
+                Some(e) => e > self.det.epoch(),
+                None => false,
+            },
+        }
+    }
+
+    fn replay_buffered(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        // Messages for the (new) current epoch become deliverable; later
+        // ones stay. Replay preserves arrival order.
+        let mut deliverable = Vec::new();
+        let mut keep = Vec::new();
+        for (from, msg) in std::mem::take(&mut self.buffered) {
+            if self.should_buffer(&msg) {
+                keep.push((from, msg));
+            } else {
+                deliverable.push((from, msg));
+            }
+        }
+        self.buffered = keep;
+        for (from, msg) in deliverable {
+            self.dispatch(ctx, from, msg);
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, msg: LbMsg) {
+        match msg {
+            LbMsg::ReduceUp { slot, summary } => {
+                if let Some(done) = self.slot_mut(slot).on_child(summary) {
+                    self.reduce_complete(ctx, slot, done);
+                }
+            }
+            LbMsg::ReduceDown { slot, summary } => {
+                self.broadcast_down(ctx, slot, summary);
+                self.on_reduce_result(ctx, slot, summary);
+            }
+            LbMsg::Gossip { epoch, round, pairs } => {
+                debug_assert_eq!(epoch, self.det.epoch(), "buffering must align epochs");
+                self.on_gossip(ctx, round, pairs);
+            }
+            LbMsg::Propose { epoch, tasks } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_propose(ctx, from, tasks);
+            }
+            LbMsg::ProposeReply { epoch, rejected } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_propose_reply(rejected);
+            }
+            LbMsg::Fetch { epoch, tasks } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_fetch(ctx, from, tasks);
+            }
+            LbMsg::TaskData { epoch, tasks } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_task_data(ctx, tasks);
+            }
+            LbMsg::Td(td) => {
+                let out = self.det.handle(td);
+                self.emit_td(ctx, out);
+            }
+        }
+    }
+}
+
+fn pairs_of(k: &Knowledge) -> Vec<(RankId, f64)> {
+    k.entries().map(|(r, l)| (r, l.get())).collect()
+}
+
+impl Protocol for LbRank {
+    type Msg = LbMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        // Setup allreduce: contribute own load.
+        let summary = LoadSummary::of(self.my_load());
+        self.contribute(ctx, 0, summary);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, msg: LbMsg) {
+        if self.should_buffer(&msg) {
+            self.buffered.push((from, msg));
+            return;
+        }
+        self.dispatch(ctx, from, msg);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_numbering_is_disjoint_and_ordered() {
+        let cfg = LbProtocolConfig {
+            trials: 3,
+            iters: 4,
+            ..Default::default()
+        };
+        let mut r = LbRank::new(RankId::new(0), 2, vec![], cfg, RngFactory::new(1));
+        let mut seen = Vec::new();
+        for trial in 0..3 {
+            for iter in 0..4 {
+                r.trial = trial;
+                r.iter = iter;
+                seen.push(r.gossip_epoch());
+                seen.push(r.proposal_epoch());
+            }
+        }
+        seen.push(r.commit_epoch());
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "epochs must be unique");
+        assert_eq!(*seen.first().unwrap(), 1, "epoch 0 is reserved for setup");
+        assert!(seen.windows(2).all(|w| w[0] < w[1] || w[1] == r.commit_epoch()));
+    }
+
+    #[test]
+    fn eval_slots_are_unique_per_iteration() {
+        let cfg = LbProtocolConfig {
+            trials: 2,
+            iters: 3,
+            ..Default::default()
+        };
+        let mut r = LbRank::new(RankId::new(0), 2, vec![], cfg, RngFactory::new(1));
+        let mut slots = Vec::new();
+        for trial in 0..2 {
+            for iter in 0..3 {
+                r.trial = trial;
+                r.iter = iter;
+                slots.push(r.eval_slot());
+            }
+        }
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(!slots.contains(&0), "slot 0 is the setup allreduce");
+    }
+}

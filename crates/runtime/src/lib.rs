@@ -1,0 +1,38 @@
+//! # tempered-runtime
+//!
+//! Simulated AMT runtime substrate for the TemperedLB reproduction: the
+//! stand-in for the paper's DARMA/vt tasking library over MPI.
+//!
+//! Components:
+//!
+//! * [`sim`] — deterministic discrete-event executor delivering active
+//!   messages between rank protocols under a latency model.
+//! * [`parallel`] — multi-threaded executor running the *same* protocols
+//!   with real concurrency (crossbeam channels), stress-testing protocol
+//!   correctness under arbitrary interleavings.
+//! * [`termination`] — Mattern four-counter wave termination detection,
+//!   the mechanism sequencing the barrier-free gossip protocol (§IV-B).
+//! * [`collective`] — binary-tree reduce/broadcast used for the load
+//!   allreduce and per-iteration evaluation.
+//! * [`lb`] — the full asynchronous TemperedLB/GrapevineLB protocol:
+//!   setup allreduce, epidemic gossip, lazy transfer proposals, symmetric
+//!   best tracking, and lazy migration at commit.
+//! * [`phase`] — phase demarcation and per-task instrumentation
+//!   (the *principle of persistence*, §III-B).
+//! * [`rdma`] — simulated one-sided RDMA handles with get/put/accumulate
+//!   (§III-A's second data-flow path).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collective;
+pub mod lb;
+pub mod parallel;
+pub mod phase;
+pub mod rdma;
+pub mod sim;
+pub mod stats;
+pub mod termination;
+
+pub use lb::{run_distributed_lb, DistLbResult, DistributedTemperedLb, LbProtocolConfig};
+pub use sim::{NetworkModel, Protocol, SimReport, Simulator};

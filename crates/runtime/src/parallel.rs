@@ -1,0 +1,297 @@
+//! Multi-threaded executor for rank protocols.
+//!
+//! Runs the same [`Protocol`] actors as the deterministic simulator, but
+//! with real concurrency: ranks are sharded across worker threads and
+//! messages flow through crossbeam channels. Delivery order between ranks
+//! is whatever the OS scheduler produces — exactly the nondeterminism a
+//! real AMT runtime faces — which makes this executor the stress test for
+//! protocol correctness: termination detection, epoch buffering, and
+//! collective completion must hold under arbitrary interleavings, not
+//! just the simulator's total order.
+//!
+//! The executor stops when every rank has reported done and the channels
+//! have drained. Protocols must therefore have a genuine distributed
+//! termination condition (as the LB protocol does); an actor that never
+//! reports done hangs the run, which tests guard with a wall-clock bound.
+
+use crate::sim::{Ctx, Protocol};
+use crate::stats::NetworkStats;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use tempered_core::ids::RankId;
+
+/// Channel endpoints for one worker.
+type Endpoints<M> = (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>);
+
+/// Envelope routed between workers.
+struct Envelope<M> {
+    to: usize,
+    from: RankId,
+    msg: M,
+}
+
+/// Outcome of a parallel run.
+pub struct ParallelReport<P> {
+    /// Final protocol states, indexed by rank.
+    pub ranks: Vec<P>,
+    /// Aggregated network counters.
+    pub network: NetworkStats,
+    /// Whether every rank reported done.
+    pub completed: bool,
+}
+
+/// Run `ranks` across `num_threads` workers until global completion.
+///
+/// Rank `r` is owned by worker `r % num_threads`. Each worker processes
+/// its ranks' incoming messages; sends are routed through per-worker
+/// channels. `idle_timeout` bounds how long the executor waits for
+/// quiescence after all ranks report done (to drain stale control
+/// messages) and, as a safety valve, how long a totally silent system is
+/// allowed to hang before the run is abandoned as incomplete.
+pub fn run_parallel<P>(ranks: Vec<P>, num_threads: usize, idle_timeout: Duration) -> ParallelReport<P>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
+    let num_ranks = ranks.len();
+    let workers = num_threads.clamp(1, num_ranks.max(1));
+    let done_count = AtomicUsize::new(0);
+
+    let (senders, receivers): Endpoints<P::Msg> = (0..workers).map(|_| unbounded()).unzip();
+
+    // Shard ranks: worker w owns ranks with index % workers == w.
+    let mut shards: Vec<Vec<(usize, P)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, p) in ranks.into_iter().enumerate() {
+        shards[i % workers].push((i, p));
+    }
+
+    let mut results: Vec<Option<(usize, P)>> = (0..num_ranks).map(|_| None).collect();
+    let mut network = NetworkStats::default();
+    let mut completed = true;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, shard) in shards.into_iter().enumerate() {
+            let senders = senders.clone();
+            let rx = receivers[w].clone();
+            let done_count = &done_count;
+            handles.push(scope.spawn(move || {
+                worker_loop(shard, senders, rx, done_count, num_ranks, idle_timeout)
+            }));
+        }
+        // Drop our copies so channels can hang up when workers finish.
+        drop(senders);
+        drop(receivers);
+        for h in handles {
+            let (shard, stats, ok) = h.join().expect("worker panicked");
+            for (i, p) in shard {
+                results[i] = Some((i, p));
+            }
+            network.merge(&stats);
+            completed &= ok;
+        }
+    });
+
+    let ranks: Vec<P> = results
+        .into_iter()
+        .map(|slot| slot.expect("every rank returned").1)
+        .collect();
+    ParallelReport {
+        ranks,
+        network,
+        completed,
+    }
+}
+
+fn worker_loop<P>(
+    mut shard: Vec<(usize, P)>,
+    senders: Vec<Sender<Envelope<P::Msg>>>,
+    rx: Receiver<Envelope<P::Msg>>,
+    done_count: &AtomicUsize,
+    num_ranks: usize,
+    idle_timeout: Duration,
+) -> (Vec<(usize, P)>, NetworkStats, bool)
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
+    let workers = senders.len();
+    let mut stats = NetworkStats::default();
+    let mut outbox: Vec<(RankId, P::Msg, usize)> = Vec::new();
+    let mut done_flags: Vec<bool> = shard.iter().map(|_| false).collect();
+
+    let flush = |from: RankId,
+                     outbox: &mut Vec<(RankId, P::Msg, usize)>,
+                     stats: &mut NetworkStats| {
+        for (to, msg, bytes) in outbox.drain(..) {
+            stats.record(bytes);
+            let t = to.as_usize();
+            // A send can only fail after global completion, when peer
+            // workers have exited; at that point the message is stale
+            // control traffic and dropping it is correct.
+            let _ = senders[t % workers].send(Envelope { to: t, from, msg });
+        }
+    };
+
+    // Start local ranks.
+    for (slot, (i, p)) in shard.iter_mut().enumerate() {
+        let me = RankId::from(*i);
+        let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
+        p.on_start(&mut ctx);
+        flush(me, &mut outbox, &mut stats);
+        if p.is_done() && !done_flags[slot] {
+            done_flags[slot] = true;
+            done_count.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let mut idle = Duration::ZERO;
+    let tick = Duration::from_millis(1);
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(env) => {
+                idle = Duration::ZERO;
+                let slot = shard
+                    .iter()
+                    .position(|(i, _)| *i == env.to)
+                    .expect("routed to owning worker");
+                let me = RankId::from(env.to);
+                let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
+                shard[slot].1.on_message(&mut ctx, env.from, env.msg);
+                flush(me, &mut outbox, &mut stats);
+                if shard[slot].1.is_done() && !done_flags[slot] {
+                    done_flags[slot] = true;
+                    done_count.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if done_count.load(Ordering::SeqCst) == num_ranks {
+                    return (shard, stats, true);
+                }
+                idle += tick;
+                if idle >= idle_timeout {
+                    // Deadlocked or livelocked protocol: give up.
+                    return (shard, stats, false);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return (shard, stats, done_count.load(Ordering::SeqCst) == num_ranks);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lb::{LbProtocolConfig, LbRank};
+    use tempered_core::distribution::Distribution;
+    use tempered_core::ids::TaskId;
+    use tempered_core::rng::RngFactory;
+
+    fn concentrated(num_ranks: usize, hot: usize, tasks_per_hot: usize) -> Distribution {
+        let per_rank: Vec<Vec<f64>> = (0..num_ranks)
+            .map(|r| {
+                if r < hot {
+                    vec![1.0; tasks_per_hot]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
+        Distribution::from_loads(per_rank)
+    }
+
+    fn build_ranks(dist: &Distribution, cfg: LbProtocolConfig, seed: u64) -> Vec<LbRank> {
+        let factory = RngFactory::new(seed);
+        dist.rank_ids()
+            .map(|r| {
+                let tasks: Vec<(TaskId, f64)> = dist
+                    .tasks_on(r)
+                    .iter()
+                    .map(|t| (t.id, t.load.get()))
+                    .collect();
+                LbRank::new(r, dist.num_ranks(), tasks, cfg, factory)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lb_protocol_completes_under_real_concurrency() {
+        let dist = concentrated(24, 2, 40);
+        let cfg = LbProtocolConfig {
+            trials: 2,
+            iters: 3,
+            fanout: 4,
+            rounds: 5,
+            ..Default::default()
+        };
+        let ranks = build_ranks(&dist, cfg, 77);
+        let report = run_parallel(ranks, 4, Duration::from_secs(20));
+        assert!(report.completed, "protocol must terminate under threads");
+        // Task conservation across the whole system.
+        let total: usize = report.ranks.iter().map(|r| r.final_tasks().len()).sum();
+        assert_eq!(total, dist.num_tasks());
+        // Quality: the threaded run balances comparably.
+        let max_load: f64 = report
+            .ranks
+            .iter()
+            .map(|r| r.final_tasks().iter().map(|t| t.load).sum::<f64>())
+            .fold(0.0, f64::max);
+        let avg = dist.total_load().get() / dist.num_ranks() as f64;
+        assert!(
+            max_load / avg - 1.0 < 2.0,
+            "imbalance after threaded LB too high: {}",
+            max_load / avg - 1.0
+        );
+    }
+
+    /// A protocol that never reports done: the executor must detect the
+    /// hang via the idle timeout and report `completed = false` instead
+    /// of blocking forever (failure injection for the watchdog path).
+    #[test]
+    fn hung_protocol_trips_idle_timeout() {
+        struct Hang;
+        impl crate::sim::Protocol for Hang {
+            type Msg = ();
+            fn on_start(&mut self, _ctx: &mut crate::sim::Ctx<'_, ()>) {}
+            fn on_message(
+                &mut self,
+                _ctx: &mut crate::sim::Ctx<'_, ()>,
+                _from: RankId,
+                _msg: (),
+            ) {
+            }
+            fn is_done(&self) -> bool {
+                false // never
+            }
+        }
+        let report = run_parallel(
+            vec![Hang, Hang, Hang],
+            2,
+            Duration::from_millis(50),
+        );
+        assert!(!report.completed, "hang must be reported, not awaited");
+        assert_eq!(report.ranks.len(), 3);
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_conservation() {
+        let dist = concentrated(8, 1, 16);
+        let cfg = LbProtocolConfig {
+            trials: 1,
+            iters: 2,
+            fanout: 3,
+            rounds: 4,
+            ..Default::default()
+        };
+        for threads in [1, 2, 8] {
+            let ranks = build_ranks(&dist, cfg, 5);
+            let report = run_parallel(ranks, threads, Duration::from_secs(20));
+            assert!(report.completed, "threads={threads}");
+            let total: usize = report.ranks.iter().map(|r| r.final_tasks().len()).sum();
+            assert_eq!(total, dist.num_tasks(), "threads={threads}");
+        }
+    }
+}

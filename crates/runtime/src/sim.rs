@@ -1,0 +1,472 @@
+//! Deterministic discrete-event executor for rank protocols.
+//!
+//! This is the substrate standing in for the paper's DARMA/vt runtime over
+//! MPI: a set of ranks exchanging *active messages*, each message
+//! triggering a handler on the target rank. The executor delivers
+//! messages in virtual-time order under a configurable latency model, so
+//! an entire distributed protocol — gossip, collectives, termination
+//! detection, migration — runs bit-reproducibly from a seed while
+//! exercising exactly the code a real asynchronous runtime would.
+//!
+//! Design notes:
+//!
+//! * Events are ordered by `(virtual time, sequence number)`; the sequence
+//!   number breaks ties deterministically, so runs are reproducible even
+//!   when many messages share a timestamp.
+//! * Handlers never touch other ranks directly: all effects flow through
+//!   [`Ctx::send`]. This keeps protocol implementations portable to the
+//!   multi-threaded executor in [`crate::parallel`], which provides the
+//!   same trait with real concurrency.
+//! * The executor exposes an [`Protocol::on_quiescence`] hook fired when
+//!   the event queue drains. Protocol code may use it for test
+//!   scaffolding, but the shipped LB protocol sequences itself with the
+//!   distributed termination detector in [`crate::termination`] — the
+//!   simulator hook exists to *validate* the detector against ground
+//!   truth.
+
+use crate::stats::NetworkStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tempered_core::ids::RankId;
+use tempered_core::rng::RngFactory;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Latency model applied to every message.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// Fixed per-message latency (virtual seconds).
+    pub base_latency: f64,
+    /// Additional latency per payload byte.
+    pub per_byte: f64,
+    /// Uniform jitter amplitude: actual latency is multiplied by a factor
+    /// drawn from `[1, 1 + jitter]`. Drawn from a seeded stream, so jitter
+    /// is deterministic.
+    pub jitter: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // Ballpark EDR InfiniBand: ~1 µs base, ~0.08 ns/byte (12.5 GB/s).
+        NetworkModel {
+            base_latency: 1.0e-6,
+            per_byte: 8.0e-11,
+            jitter: 0.2,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Zero-latency instant network; useful in tests where only causal
+    /// order matters.
+    pub fn instant() -> Self {
+        NetworkModel {
+            base_latency: 0.0,
+            per_byte: 0.0,
+            jitter: 0.0,
+        }
+    }
+
+    fn latency(&self, bytes: usize, rng: &mut SmallRng) -> f64 {
+        let raw = self.base_latency + self.per_byte * bytes as f64;
+        if self.jitter > 0.0 {
+            raw * (1.0 + rng.gen::<f64>() * self.jitter)
+        } else {
+            raw
+        }
+    }
+}
+
+/// A rank-level protocol: the active-message handler interface.
+///
+/// Implementations are state machines; every rank in a simulation is one
+/// instance. `Msg` must be `Clone` because point-to-point fan-out (e.g.
+/// broadcast trees) reuses one logical payload for several targets.
+pub trait Protocol: Sized {
+    /// The protocol's message type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Invoked once per rank before any message is delivered.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Invoked for each delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: RankId, msg: Self::Msg);
+
+    /// Invoked on every rank when the event queue drains (simulator-level
+    /// quiescence — global ground truth). Default: no-op.
+    fn on_quiescence(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Whether this rank considers the protocol finished; the executor
+    /// stops early once every rank reports done *and* no events remain.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Handler context: the only channel for effects.
+pub struct Ctx<'a, M> {
+    /// This rank's id.
+    me: RankId,
+    now: f64,
+    outbox: &'a mut Vec<(RankId, M, usize)>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Construct a context for an executor implementation (used by the
+    /// threaded executor in [`crate::parallel`]).
+    pub(crate) fn for_executor(
+        me: RankId,
+        now: f64,
+        outbox: &'a mut Vec<(RankId, M, usize)>,
+    ) -> Self {
+        Ctx { me, now, outbox }
+    }
+
+    /// Construct a detached context for *protocol composition*: an outer
+    /// protocol embedding an inner one (with a different message type)
+    /// collects the inner protocol's sends in `outbox`, then wraps and
+    /// re-sends them through its own context. The embedded LB protocol
+    /// inside the distributed PIC application uses exactly this.
+    pub fn detached(me: RankId, now: f64, outbox: &'a mut Vec<(RankId, M, usize)>) -> Self {
+        Ctx { me, now, outbox }
+    }
+
+    /// The rank executing the current handler.
+    #[inline]
+    pub fn me(&self) -> RankId {
+        self.me
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Send `msg` to `to`, accounting `payload_bytes` against the latency
+    /// model and the network statistics.
+    pub fn send(&mut self, to: RankId, msg: M, payload_bytes: usize) {
+        self.outbox.push((to, msg, payload_bytes));
+    }
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    time: f64,
+    seq: u64,
+    to: RankId,
+    from: RankId,
+    msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of an executed simulation.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Final virtual time (the protocol's modeled makespan).
+    pub finish_time: f64,
+    /// Total events delivered.
+    pub events_delivered: u64,
+    /// Network accounting.
+    pub network: NetworkStats,
+    /// Whether the run ended because every rank reported done (vs. queue
+    /// exhaustion).
+    pub completed: bool,
+}
+
+/// The deterministic event-driven executor.
+pub struct Simulator<P: Protocol> {
+    ranks: Vec<P>,
+    queue: BinaryHeap<Reverse<Event<P::Msg>>>,
+    model: NetworkModel,
+    rng: SmallRng,
+    now: f64,
+    seq: u64,
+    stats: NetworkStats,
+    events_delivered: u64,
+    /// Safety valve against protocol bugs that livelock the simulation.
+    pub max_events: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Build a simulator over per-rank protocol instances.
+    pub fn new(ranks: Vec<P>, model: NetworkModel, factory: &RngFactory) -> Self {
+        let rng = factory.rank_stream(b"simnet", 0, 0);
+        Simulator {
+            ranks,
+            queue: BinaryHeap::new(),
+            model,
+            rng,
+            now: 0.0,
+            seq: 0,
+            stats: NetworkStats::default(),
+            events_delivered: 0,
+            max_events: 500_000_000,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Immutable view of a rank's protocol state.
+    pub fn rank(&self, r: RankId) -> &P {
+        &self.ranks[r.as_usize()]
+    }
+
+    /// Consume the simulator and return the final per-rank states.
+    pub fn into_ranks(self) -> Vec<P> {
+        self.ranks
+    }
+
+    fn flush_outbox(&mut self, from: RankId, outbox: &mut Vec<(RankId, P::Msg, usize)>) {
+        for (to, msg, bytes) in outbox.drain(..) {
+            assert!(
+                to.as_usize() < self.ranks.len(),
+                "send to out-of-range rank {to}"
+            );
+            let latency = self.model.latency(bytes, &mut self.rng);
+            self.stats.record(bytes);
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                time: self.now + latency,
+                seq: self.seq,
+                to,
+                from,
+                msg,
+            }));
+        }
+    }
+
+    /// Run until every rank is done (and the queue is empty), the queue
+    /// drains with no progress, or the event budget is exhausted.
+    pub fn run(&mut self) -> SimReport {
+        let mut outbox: Vec<(RankId, P::Msg, usize)> = Vec::new();
+
+        // Start handlers.
+        for p in 0..self.ranks.len() {
+            let me = RankId::from(p);
+            let mut ctx = Ctx {
+                me,
+                now: self.now,
+                outbox: &mut outbox,
+            };
+            self.ranks[p].on_start(&mut ctx);
+            self.flush_outbox(me, &mut outbox);
+        }
+
+        loop {
+            if self.events_delivered >= self.max_events {
+                panic!(
+                    "simulation exceeded {} events: protocol livelock?",
+                    self.max_events
+                );
+            }
+            match self.queue.pop() {
+                Some(Reverse(ev)) => {
+                    debug_assert!(ev.time >= self.now, "time must be monotone");
+                    self.now = ev.time;
+                    self.events_delivered += 1;
+                    let to = ev.to.as_usize();
+                    let mut ctx = Ctx {
+                        me: ev.to,
+                        now: self.now,
+                        outbox: &mut outbox,
+                    };
+                    self.ranks[to].on_message(&mut ctx, ev.from, ev.msg);
+                    self.flush_outbox(ev.to, &mut outbox);
+                }
+                None => {
+                    // Queue drained: report quiescence to every rank; a
+                    // protocol may respond by sending more messages (e.g.
+                    // starting its next stage in tests).
+                    for p in 0..self.ranks.len() {
+                        let me = RankId::from(p);
+                        let mut ctx = Ctx {
+                            me,
+                            now: self.now,
+                            outbox: &mut outbox,
+                        };
+                        self.ranks[p].on_quiescence(&mut ctx);
+                        self.flush_outbox(me, &mut outbox);
+                    }
+                    if self.queue.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if self.queue.is_empty() && self.ranks.iter().all(|r| r.is_done()) {
+                break;
+            }
+        }
+
+        SimReport {
+            finish_time: self.now,
+            events_delivered: self.events_delivered,
+            network: self.stats.clone(),
+            completed: self.ranks.iter().all(|r| r.is_done()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: rank 0 pings everyone; everyone pongs back; rank 0
+    /// counts pongs.
+    #[derive(Debug)]
+    struct PingPong {
+        me: usize,
+        num_ranks: usize,
+        pongs: usize,
+        done: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    enum PpMsg {
+        Ping,
+        Pong,
+    }
+
+    impl Protocol for PingPong {
+        type Msg = PpMsg;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, PpMsg>) {
+            if self.me == 0 {
+                for r in 1..self.num_ranks {
+                    ctx.send(RankId::from(r), PpMsg::Ping, 8);
+                }
+                if self.num_ranks == 1 {
+                    self.done = true;
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, PpMsg>, from: RankId, msg: PpMsg) {
+            match msg {
+                PpMsg::Ping => {
+                    ctx.send(from, PpMsg::Pong, 8);
+                    self.done = true;
+                }
+                PpMsg::Pong => {
+                    self.pongs += 1;
+                    if self.pongs == self.num_ranks - 1 {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn make(n: usize) -> Vec<PingPong> {
+        (0..n)
+            .map(|me| PingPong {
+                me,
+                num_ranks: n,
+                pongs: 0,
+                done: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let mut sim = Simulator::new(make(8), NetworkModel::default(), &RngFactory::new(1));
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.events_delivered, 14); // 7 pings + 7 pongs
+        assert_eq!(report.network.messages, 14);
+        assert!(report.finish_time > 0.0);
+        assert_eq!(sim.rank(RankId::new(0)).pongs, 7);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = |seed| {
+            let mut sim =
+                Simulator::new(make(16), NetworkModel::default(), &RngFactory::new(seed));
+            sim.run().finish_time
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "jitter should differ across seeds");
+    }
+
+    #[test]
+    fn instant_network_has_zero_time() {
+        let mut sim = Simulator::new(make(4), NetworkModel::instant(), &RngFactory::new(1));
+        let report = sim.run();
+        assert_eq!(report.finish_time, 0.0);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn single_rank_finishes_immediately() {
+        let mut sim = Simulator::new(make(1), NetworkModel::default(), &RngFactory::new(1));
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.events_delivered, 0);
+    }
+
+    /// Failure injection: a protocol that ping-pongs forever must trip
+    /// the event budget instead of spinning the simulator.
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn livelock_protocol_trips_event_budget() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if ctx.me() == RankId::new(0) {
+                    ctx.send(RankId::new(1), 0, 1);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, from: RankId, msg: u8) {
+                ctx.send(from, msg, 1); // bounce forever
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![Forever, Forever],
+            NetworkModel::instant(),
+            &RngFactory::new(1),
+        );
+        sim.max_events = 10_000;
+        sim.run();
+    }
+
+    #[test]
+    fn latency_scales_with_bytes() {
+        let model = NetworkModel {
+            base_latency: 1.0,
+            per_byte: 1.0,
+            jitter: 0.0,
+        };
+        let mut rng = RngFactory::new(0).rank_stream(b"x", 0, 0);
+        assert_eq!(model.latency(0, &mut rng), 1.0);
+        assert_eq!(model.latency(10, &mut rng), 11.0);
+    }
+}

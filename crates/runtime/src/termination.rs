@@ -1,0 +1,421 @@
+//! Distributed termination detection: Mattern's four-counter wave method.
+//!
+//! The asynchronous gossip protocol has no barriers; §IV-B: rounds
+//! "proceed without barriers, relying on distributed *termination
+//! detection* to detect when all causally related gossip messages have
+//! been received and processed". We implement the classic four-counter
+//! algorithm:
+//!
+//! A control token circulates the ring `0 → 1 → … → P−1 → 0`,
+//! accumulating every rank's counts of *basic* (application) messages
+//! sent and received for the current epoch. When the token returns to the
+//! coordinator, the epoch is declared terminated iff the totals of two
+//! **consecutive** waves are equal *and* sent == received — the second
+//! wave proves no message was in flight behind the first token's back.
+//! The coordinator then broadcasts `Terminated` down a binary tree.
+//!
+//! Key rule for correctness in the embedding protocol: a received basic
+//! message is counted **when it is processed**, not when it is buffered —
+//! otherwise a counted-but-unprocessed message could still generate sends
+//! after the counts look stable.
+//!
+//! The detector is a passive component: it owns counters and wave state,
+//! and returns the control messages for the caller to transmit through
+//! whatever executor is in use (event-driven or threaded).
+
+use crate::collective::Tree;
+use serde::{Deserialize, Serialize};
+use tempered_core::ids::RankId;
+
+/// Control messages of the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TdMsg {
+    /// Ring token accumulating `(sent, received)` for `epoch`.
+    Token {
+        /// Epoch being probed.
+        epoch: u64,
+        /// Wave number within the epoch.
+        wave: u64,
+        /// Accumulated basic-message send count.
+        sent: u64,
+        /// Accumulated basic-message receive count.
+        recv: u64,
+    },
+    /// Tree broadcast: `epoch` has terminated.
+    Terminated {
+        /// The terminated epoch.
+        epoch: u64,
+    },
+}
+
+/// Wire size of a control message (for latency/accounting models).
+pub const TD_MSG_BYTES: usize = 40;
+
+/// What the embedding protocol must do with a produced message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TdSend {
+    /// Destination rank.
+    pub to: RankId,
+    /// The control payload.
+    pub msg: TdMsg,
+}
+
+/// Result of handling a control message.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TdOutcome {
+    /// Control messages to transmit.
+    pub sends: Vec<TdSend>,
+    /// Set when this rank has just learned the epoch terminated.
+    pub terminated_epoch: Option<u64>,
+}
+
+/// Per-rank termination detector state.
+#[derive(Clone, Debug)]
+pub struct TerminationDetector {
+    me: RankId,
+    num_ranks: usize,
+    tree: Tree,
+    epoch: u64,
+    sent: u64,
+    recv: u64,
+    /// Coordinator only: totals of the previous completed wave.
+    prev_wave: Option<(u64, u64)>,
+    /// Coordinator only: wave currently circulating.
+    wave: u64,
+    terminated: bool,
+}
+
+impl TerminationDetector {
+    /// Create the detector for rank `me` of `num_ranks`. Rank 0
+    /// coordinates.
+    pub fn new(me: RankId, num_ranks: usize) -> Self {
+        TerminationDetector {
+            me,
+            num_ranks,
+            tree: Tree::new(num_ranks, RankId::new(0)),
+            epoch: 0,
+            sent: 0,
+            recv: 0,
+            prev_wave: None,
+            wave: 0,
+            terminated: false,
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the current epoch has been declared terminated at this
+    /// rank.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Basic-message counters `(sent, received)` for the current epoch.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.sent, self.recv)
+    }
+
+    /// Begin a new epoch: resets counters and wave state. The coordinator
+    /// must follow with [`TerminationDetector::kick`] to launch wave 1.
+    pub fn start_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.sent = 0;
+        self.recv = 0;
+        self.prev_wave = None;
+        self.wave = 0;
+        self.terminated = false;
+    }
+
+    /// Count one basic message sent in this epoch.
+    #[inline]
+    pub fn on_basic_send(&mut self) {
+        self.sent += 1;
+    }
+
+    /// Count one basic message *processed* in this epoch.
+    #[inline]
+    pub fn on_basic_recv(&mut self) {
+        self.recv += 1;
+    }
+
+    /// Coordinator: launch the first wave of the current epoch. No-op on
+    /// other ranks. For a single-rank system the epoch terminates
+    /// immediately (nothing can be in flight).
+    pub fn kick(&mut self) -> TdOutcome {
+        if self.me.as_u32() != 0 || self.terminated {
+            return TdOutcome::default();
+        }
+        if self.num_ranks == 1 {
+            self.terminated = true;
+            return TdOutcome {
+                sends: Vec::new(),
+                terminated_epoch: Some(self.epoch),
+            };
+        }
+        self.wave += 1;
+        TdOutcome {
+            sends: vec![TdSend {
+                to: RankId::new(1),
+                msg: TdMsg::Token {
+                    epoch: self.epoch,
+                    wave: self.wave,
+                    sent: self.sent,
+                    recv: self.recv,
+                },
+            }],
+            terminated_epoch: None,
+        }
+    }
+
+    /// Handle an incoming control message.
+    pub fn handle(&mut self, msg: TdMsg) -> TdOutcome {
+        match msg {
+            TdMsg::Token {
+                epoch,
+                wave,
+                sent,
+                recv,
+            } => {
+                if epoch != self.epoch || self.terminated {
+                    // Stale token from a finished epoch: drop it.
+                    return TdOutcome::default();
+                }
+                if self.me.as_u32() == 0 {
+                    // Wave completed.
+                    let totals = (sent, recv);
+                    let stable = self.prev_wave == Some(totals);
+                    self.prev_wave = Some(totals);
+                    if sent == recv && stable {
+                        // Terminated: broadcast down the tree.
+                        self.terminated = true;
+                        let mut sends: Vec<TdSend> = self
+                            .tree
+                            .children(self.me)
+                            .into_iter()
+                            .map(|to| TdSend {
+                                to,
+                                msg: TdMsg::Terminated { epoch },
+                            })
+                            .collect();
+                        sends.shrink_to_fit();
+                        TdOutcome {
+                            sends,
+                            terminated_epoch: Some(epoch),
+                        }
+                    } else {
+                        // Start the next wave with fresh accumulation.
+                        self.wave = wave + 1;
+                        TdOutcome {
+                            sends: vec![TdSend {
+                                to: RankId::new(1),
+                                msg: TdMsg::Token {
+                                    epoch,
+                                    wave: self.wave,
+                                    sent: self.sent,
+                                    recv: self.recv,
+                                },
+                            }],
+                            terminated_epoch: None,
+                        }
+                    }
+                } else {
+                    // Accumulate and pass along the ring.
+                    let next =
+                        RankId::from((self.me.as_usize() + 1) % self.num_ranks);
+                    TdOutcome {
+                        sends: vec![TdSend {
+                            to: next,
+                            msg: TdMsg::Token {
+                                epoch,
+                                wave,
+                                sent: sent + self.sent,
+                                recv: recv + self.recv,
+                            },
+                        }],
+                        terminated_epoch: None,
+                    }
+                }
+            }
+            TdMsg::Terminated { epoch } => {
+                if epoch != self.epoch {
+                    return TdOutcome::default();
+                }
+                self.terminated = true;
+                let sends = self
+                    .tree
+                    .children(self.me)
+                    .into_iter()
+                    .map(|to| TdSend {
+                        to,
+                        msg: TdMsg::Terminated { epoch },
+                    })
+                    .collect();
+                TdOutcome {
+                    sends,
+                    terminated_epoch: Some(epoch),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Drive detectors by hand with an in-memory queue, with `basic`
+    /// pre-set counters emulating a finished basic computation.
+    fn drive(num_ranks: usize, counters: Vec<(u64, u64)>) -> Vec<bool> {
+        let mut dets: Vec<TerminationDetector> = (0..num_ranks)
+            .map(|r| {
+                let mut d = TerminationDetector::new(RankId::from(r), num_ranks);
+                d.start_epoch(1);
+                for _ in 0..counters[r].0 {
+                    d.on_basic_send();
+                }
+                for _ in 0..counters[r].1 {
+                    d.on_basic_recv();
+                }
+                d
+            })
+            .collect();
+        let mut queue: VecDeque<(usize, TdMsg)> = VecDeque::new();
+        let kick = dets[0].kick();
+        for s in kick.sends {
+            queue.push_back((s.to.as_usize(), s.msg));
+        }
+        let mut guard = 0;
+        while let Some((to, msg)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 100_000, "TD did not converge");
+            let out = dets[to].handle(msg);
+            for s in out.sends {
+                queue.push_back((s.to.as_usize(), s.msg));
+            }
+        }
+        dets.iter().map(|d| d.is_terminated()).collect()
+    }
+
+    #[test]
+    fn quiesced_system_terminates_everywhere() {
+        // Balanced counters: 3 sent, 3 received globally.
+        let term = drive(4, vec![(3, 0), (0, 1), (0, 1), (0, 1)]);
+        assert!(term.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn zero_traffic_epoch_terminates() {
+        let term = drive(5, vec![(0, 0); 5]);
+        assert!(term.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn single_rank_terminates_on_kick() {
+        let mut d = TerminationDetector::new(RankId::new(0), 1);
+        d.start_epoch(3);
+        let out = d.kick();
+        assert_eq!(out.terminated_epoch, Some(3));
+        assert!(d.is_terminated());
+    }
+
+    #[test]
+    fn unbalanced_counters_never_terminate_waves_keep_running() {
+        // A message is permanently "in flight": sent=1, recv=0 globally.
+        // The detector must keep circulating tokens and never declare
+        // termination; we bound the experiment at 10 waves.
+        let num_ranks = 3;
+        let mut dets: Vec<TerminationDetector> = (0..num_ranks)
+            .map(|r| {
+                let mut d = TerminationDetector::new(RankId::from(r), num_ranks);
+                d.start_epoch(1);
+                d
+            })
+            .collect();
+        dets[0].on_basic_send(); // never received anywhere
+        let mut queue: VecDeque<(usize, TdMsg)> = VecDeque::new();
+        for s in dets[0].kick().sends {
+            queue.push_back((s.to.as_usize(), s.msg));
+        }
+        let mut waves_seen = 0;
+        while let Some((to, msg)) = queue.pop_front() {
+            if let TdMsg::Token { wave, .. } = msg {
+                waves_seen = waves_seen.max(wave);
+                if wave > 10 {
+                    break;
+                }
+            }
+            for s in dets[to].handle(msg).sends {
+                queue.push_back((s.to.as_usize(), s.msg));
+            }
+        }
+        assert!(waves_seen > 10, "waves should keep circulating");
+        assert!(dets.iter().all(|d| !d.is_terminated()));
+    }
+
+    #[test]
+    fn late_delivery_requires_second_stable_wave() {
+        // Wave 1 sees sent=1, recv=0 (in flight); the message then lands;
+        // waves 2 and 3 both see (1,1) → terminate after wave 3.
+        let num_ranks = 2;
+        let mut d0 = TerminationDetector::new(RankId::new(0), num_ranks);
+        let mut d1 = TerminationDetector::new(RankId::new(1), num_ranks);
+        d0.start_epoch(1);
+        d1.start_epoch(1);
+        d0.on_basic_send();
+
+        // Wave 1: token through rank 1 (recv not yet counted).
+        let t1 = d0.kick().sends.remove(0);
+        let back1 = d1.handle(t1.msg).sends.remove(0);
+        // Basic message now processed at rank 1.
+        d1.on_basic_recv();
+        // Coordinator sees (1, 0): mismatch → wave 2.
+        let t2 = d0.handle(back1.msg).sends.remove(0);
+        let back2 = d1.handle(t2.msg).sends.remove(0);
+        // Coordinator sees (1, 1) but not yet stable → wave 3.
+        let out = d0.handle(back2.msg);
+        assert!(out.terminated_epoch.is_none());
+        let t3 = out.sends[0];
+        let back3 = d1.handle(t3.msg).sends.remove(0);
+        // (1,1) twice in a row → terminated.
+        let fin = d0.handle(back3.msg);
+        assert_eq!(fin.terminated_epoch, Some(1));
+        // Broadcast reaches rank 1.
+        let down = &fin.sends[0];
+        assert_eq!(down.msg, TdMsg::Terminated { epoch: 1 });
+        let got = d1.handle(down.msg);
+        assert_eq!(got.terminated_epoch, Some(1));
+        assert!(d1.is_terminated());
+    }
+
+    #[test]
+    fn stale_tokens_are_dropped() {
+        let mut d = TerminationDetector::new(RankId::new(1), 4);
+        d.start_epoch(5);
+        let out = d.handle(TdMsg::Token {
+            epoch: 4,
+            wave: 9,
+            sent: 10,
+            recv: 10,
+        });
+        assert!(out.sends.is_empty());
+        assert!(out.terminated_epoch.is_none());
+        let out = d.handle(TdMsg::Terminated { epoch: 4 });
+        assert!(out.terminated_epoch.is_none());
+        assert!(!d.is_terminated());
+    }
+
+    #[test]
+    fn start_epoch_resets_state() {
+        let mut d = TerminationDetector::new(RankId::new(0), 1);
+        d.start_epoch(1);
+        assert_eq!(d.kick().terminated_epoch, Some(1));
+        d.start_epoch(2);
+        assert!(!d.is_terminated());
+        assert_eq!(d.counters(), (0, 0));
+        assert_eq!(d.epoch(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the runtime substrate: termination detection
+//! under arbitrary counter states, tree topology invariants, and the full
+//! asynchronous LB protocol over randomized distributions.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use tempered_core::distribution::Distribution;
+use tempered_core::ids::RankId;
+use tempered_core::rng::RngFactory;
+use tempered_runtime::collective::{LoadSummary, Tree};
+use tempered_runtime::lb::LbProtocolConfig;
+use tempered_runtime::sim::NetworkModel;
+use tempered_runtime::termination::{TdMsg, TerminationDetector};
+use tempered_runtime::run_distributed_lb;
+
+proptest! {
+    /// The spanning tree is a tree for any size and root: every non-root
+    /// rank has exactly one parent, parent/child relations agree, and all
+    /// ranks are reachable.
+    #[test]
+    fn tree_is_spanning(n in 1usize..600, root_sel in any::<prop::sample::Index>()) {
+        let root = RankId::from(root_sel.index(n));
+        let tree = Tree::new(n, root);
+        let mut seen = vec![false; n];
+        let mut queue = vec![root];
+        seen[root.as_usize()] = true;
+        while let Some(r) = queue.pop() {
+            for c in tree.children(r) {
+                prop_assert!(!seen[c.as_usize()], "cycle at {c}");
+                prop_assert_eq!(tree.parent(c), Some(r));
+                seen[c.as_usize()] = true;
+                queue.push(c);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(tree.parent(root), None);
+    }
+
+    /// LoadSummary combine is associative and commutative (a reduction
+    /// over any tree shape gives the same result).
+    #[test]
+    fn load_summary_combine_is_monoidal(
+        a in 0.0f64..100.0,
+        b in 0.0f64..100.0,
+        c in 0.0f64..100.0,
+    ) {
+        let (x, y, z) = (LoadSummary::of(a), LoadSummary::of(b), LoadSummary::of(c));
+        let left = x.combine(y).combine(z);
+        let right = x.combine(y.combine(z));
+        prop_assert!((left.total - right.total).abs() < 1e-9);
+        prop_assert_eq!(left.max, right.max);
+        prop_assert_eq!(left.count, right.count);
+        let swapped = y.combine(x);
+        let orig = x.combine(y);
+        prop_assert_eq!(orig.max, swapped.max);
+        prop_assert!((orig.total - swapped.total).abs() < 1e-9);
+    }
+
+    /// Termination detection declares termination on every rank iff the
+    /// global send/receive counters balance.
+    #[test]
+    fn termination_iff_counters_balance(
+        // Per-rank (sent, recv) counters; we then force balance or not.
+        counters in prop::collection::vec((0u64..5, 0u64..5), 2..12),
+        balance in any::<bool>(),
+    ) {
+        let n = counters.len();
+        let mut counters = counters;
+        // Force the global invariant recv <= sent (a receive implies a send).
+        let sent: u64 = counters.iter().map(|c| c.0).sum();
+        let recv: u64 = counters.iter().map(|c| c.1).sum();
+        if recv > sent {
+            counters[0].0 += recv - sent;
+        }
+        if balance {
+            // Make totals equal by topping up rank 0's receive count.
+            let sent: u64 = counters.iter().map(|c| c.0).sum();
+            let recv: u64 = counters.iter().map(|c| c.1).sum();
+            counters[0].1 += sent - recv;
+        } else {
+            // Ensure strict imbalance: one extra send, never received.
+            counters[0].0 += 1;
+        }
+
+        let mut dets: Vec<TerminationDetector> = (0..n)
+            .map(|r| {
+                let mut d = TerminationDetector::new(RankId::from(r), n);
+                d.start_epoch(1);
+                for _ in 0..counters[r].0 { d.on_basic_send(); }
+                for _ in 0..counters[r].1 { d.on_basic_recv(); }
+                d
+            })
+            .collect();
+        let mut queue: VecDeque<(usize, TdMsg)> = VecDeque::new();
+        for s in dets[0].kick().sends {
+            queue.push_back((s.to.as_usize(), s.msg));
+        }
+        let mut wave_guard = 0u64;
+        while let Some((to, msg)) = queue.pop_front() {
+            if let TdMsg::Token { wave, .. } = msg {
+                wave_guard = wave;
+                if wave > 6 {
+                    break; // unbalanced: waves run forever by design
+                }
+            }
+            for s in dets[to].handle(msg).sends {
+                queue.push_back((s.to.as_usize(), s.msg));
+            }
+        }
+        if balance {
+            prop_assert!(dets.iter().all(|d| d.is_terminated()),
+                "balanced counters must terminate");
+        } else {
+            prop_assert!(dets.iter().all(|d| !d.is_terminated()),
+                "unbalanced counters must never terminate");
+            prop_assert!(wave_guard > 6, "waves must keep circulating");
+        }
+    }
+}
+
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec(prop::collection::vec(0.05f64..3.0, 0..8), 2..10)
+        .prop_map(Distribution::from_loads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full asynchronous protocol conserves tasks and load and never
+    /// worsens the imbalance, for arbitrary inputs and seeds.
+    #[test]
+    fn async_protocol_is_safe(dist in arb_distribution(), seed in any::<u64>()) {
+        let cfg = LbProtocolConfig {
+            trials: 1,
+            iters: 2,
+            fanout: 2,
+            rounds: 3,
+            ..Default::default()
+        };
+        let out = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(seed));
+        prop_assert_eq!(out.distribution.num_tasks(), dist.num_tasks());
+        prop_assert!(out.distribution.total_load().approx_eq(dist.total_load()));
+        prop_assert!(out.final_imbalance <= out.initial_imbalance + 1e-9);
+        out.distribution.check_invariants().map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 1 as ASCII art: SPMD decomposition, overdecomposition into
+//! colors, and the post-LB color-to-rank assignment for a small mesh with
+//! a concentrated particle burst.
+//!
+//! Run with: `cargo run --release --example decomposition`
+
+use tempered_lb::empire::{BdotScenario, CostModel, EmpireSim};
+use tempered_lb::prelude::*;
+
+fn main() {
+    let mut scenario = BdotScenario::small();
+    scenario.steps = 30;
+    let mesh = scenario.mesh;
+    let mut sim = EmpireSim::new(scenario, CostModel::default(), 5);
+    for _ in 0..30 {
+        sim.step();
+    }
+
+    let (gx, gy) = mesh.color_grid();
+    println!(
+        "mesh: {}x{} ranks, {}x{} colors per rank (overdecomposition x{})",
+        mesh.ranks_x,
+        mesh.ranks_y,
+        mesh.colors_x,
+        mesh.colors_y,
+        mesh.colors_per_rank()
+    );
+    println!();
+
+    // (a) SPMD decomposition: each cell shows its home rank.
+    println!("(a) SPMD decomposition (home rank of each color):");
+    for cy in (0..gy).rev() {
+        let mut line = String::new();
+        for cx in 0..gx {
+            let c = tempered_lb::empire::ColorId::from_grid(&mesh, cx, cy);
+            line.push_str(&format!("{:>3}", mesh.home_rank(c).as_u32()));
+        }
+        println!("  {line}");
+    }
+    println!();
+
+    // (b) Overdecomposition: per-color particle load after the burst.
+    println!("(b) per-color load after 30 steps ('.' empty → '#' hottest):");
+    let max_load = mesh
+        .colors()
+        .map(|c| sim.distribution.load_of(c.task_id()).unwrap().get())
+        .fold(0.0f64, f64::max);
+    let shades = [b'.', b':', b'-', b'=', b'+', b'*', b'%', b'#'];
+    for cy in (0..gy).rev() {
+        let mut line = String::new();
+        for cx in 0..gx {
+            let c = tempered_lb::empire::ColorId::from_grid(&mesh, cx, cy);
+            let l = sim.distribution.load_of(c.task_id()).unwrap().get();
+            let shade = if max_load == 0.0 {
+                0
+            } else {
+                ((l / max_load) * (shades.len() - 1) as f64).round() as usize
+            };
+            line.push(shades[shade] as char);
+            line.push(' ');
+        }
+        println!("  {line}");
+    }
+    println!();
+
+    // (c) Post-LB assignment: colors remapped off the hot ranks.
+    let before = sim.distribution.imbalance();
+    let mut lb = TemperedLb::default();
+    lb.config.trials = 3;
+    lb.config.iters = 6;
+    let result = lb.rebalance(&sim.distribution, sim.factory(), 0);
+    println!(
+        "(c) color-to-rank assignment after TemperedLB (I: {:.2} → {:.2}, {} colors moved):",
+        before,
+        result.final_imbalance,
+        result.migrations.len()
+    );
+    for cy in (0..gy).rev() {
+        let mut line = String::new();
+        for cx in 0..gx {
+            let c = tempered_lb::empire::ColorId::from_grid(&mesh, cx, cy);
+            let rank = result.distribution.location_of(c.task_id()).unwrap();
+            let moved = rank != mesh.home_rank(c);
+            if moved {
+                line.push_str(&format!("[{:>2}]", rank.as_u32()));
+            } else {
+                line.push_str(&format!(" {:>2} ", rank.as_u32()));
+            }
+        }
+        println!("  {line}");
+    }
+    println!();
+    println!("  [NN] marks colors migrated away from their home rank: the hot");
+    println!("  central colors spread to the idle corner ranks.");
+}

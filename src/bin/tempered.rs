@@ -1,0 +1,60 @@
+//! `tempered` — balance a task-to-rank assignment from the command line.
+//!
+//! ```text
+//! tempered --input loads.csv --balancer tempered --migrations plan.csv
+//! ```
+//!
+//! See `tempered --help` (or [`tempered_lb::cli::USAGE`]).
+
+use std::process::ExitCode;
+use tempered_lb::cli;
+
+fn main() -> ExitCode {
+    let opts = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            // --help lands here too; it is not an error for the shell.
+            let is_help = msg.starts_with("tempered —");
+            eprintln!("{msg}");
+            return if is_help {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let input_text = match &opts.input {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    match cli::run(&opts, input_text.as_deref()) {
+        Ok((report, migrations)) => {
+            print!("{report}");
+            match &opts.migrations_out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &migrations) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("migration plan  : {path}");
+                }
+                None => {
+                    println!("\nmigration plan:\n{migrations}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
