@@ -1,0 +1,528 @@
+//! Offline vendored mini property-testing framework.
+//!
+//! Implements the subset of the `proptest` 1.x surface this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_filter`, [`any`] for `u64`/`bool`/[`sample::Index`], range and
+//! tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert*`/`prop_assume!` assertion macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs verbatim), and the per-test RNG is seeded from the test
+//! name, so runs are fully deterministic rather than driven by an
+//! OS-entropy seed that gets persisted to a regressions file.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` / a filter; try another.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from anything displayable (usable directly as
+    /// `map_err(TestCaseError::fail)`).
+    pub fn fail<S: fmt::Display>(msg: S) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Build a rejection.
+    pub fn reject<S: fmt::Display>(msg: S) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Execution knobs, settable via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Give up after this many rejects (filters/assumes) in a row.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of random values of type `Value`.
+///
+/// `sample` returns `None` when a filter rejects the draw; the runner
+/// retries with fresh randomness.
+pub trait Strategy {
+    /// The generated type. Debug so failures can print the inputs.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Reject values failing `pred` (the `reason` is informational).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            _reason: reason,
+            pred,
+        }
+    }
+
+    /// Box the strategy (handy for heterogeneous collections).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed dynamic strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+trait DynStrategy {
+    type Value: fmt::Debug;
+    fn dyn_sample(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        self.sample(rng)
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> Option<T> {
+        self.0.dyn_sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// Always produce `value`.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + fmt::Debug {
+    fn arbitrary_sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary_sample(rng: &mut SmallRng) -> Self {
+        sample::Index { raw: rng.gen() }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> Option<T> {
+        Some(T::arbitrary_sample(rng))
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// Range strategies: `low..high` samples uniformly from the half-open range.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> Option<$t> {
+                Some(rng.gen_range(self.start..self.end))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// Tuple strategies up to arity 6.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/a);
+impl_tuple_strategy!(A/a, B/b);
+impl_tuple_strategy!(A/a, B/b, C/c);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::*;
+
+    /// Length specification for [`vec`], converted from ranges or exact
+    /// sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Option<Vec<S::Value>> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`any::<prop::sample::Index>()`).
+
+    /// An abstract index into collections whose length is only known
+    /// inside the test body.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        pub(crate) raw: u64,
+    }
+
+    impl Index {
+        /// Resolve against a collection of length `len` (must be > 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test RNG seed.
+#[doc(hidden)]
+pub fn seed_from_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+#[doc(hidden)]
+pub fn new_test_rng(name: &str) -> SmallRng {
+    use rand::SeedableRng;
+    SmallRng::seed_from_u64(seed_from_name(name))
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// `prop::collection` / `prop::sample` paths, as in real proptest's
+    /// prelude which re-exports the crate under the name `prop`.
+    pub use crate as prop;
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(arg in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::new_test_rng(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted, {} rejected)",
+                            stringify!($name), accepted, rejected
+                        );
+                    }
+                    let drawn = (|| {
+                        ::std::option::Option::Some(($($crate::Strategy::sample(&($strat), &mut rng)?,)+))
+                    })();
+                    let ($($arg,)+) = match drawn {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            rejected += 1;
+                            continue;
+                        }
+                    };
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case #{}: {}\ninputs: {}",
+                                stringify!($name), accepted, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Reject the current case (retried with fresh randomness) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(pair in (0u32..10, 0.5f64..2.0), n in 1usize..5) {
+            let (a, b) = pair;
+            prop_assert!(a < 10);
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0u64..100, 2..6).prop_map(|v| v.len())) {
+            prop_assert!((2..6).contains(&v));
+        }
+
+        #[test]
+        fn filters_and_assume(x in (0u64..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assume!(x != 2);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 2);
+        }
+
+        #[test]
+        fn index_resolves(sel in any::<prop::sample::Index>()) {
+            let v = [10, 20, 30];
+            let got = v[sel.index(v.len())];
+            prop_assert!(v.contains(&got));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..4) {
+                prop_assert!(x < 2, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

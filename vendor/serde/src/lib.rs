@@ -1,0 +1,18 @@
+//! Offline vendored serde facade.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits plus the no-op
+//! derive macros from the vendored `serde_derive`, so `use serde::{...}`
+//! and `#[derive(Serialize, Deserialize)]` compile without the registry.
+//! Nothing in the workspace serializes at runtime; output files are
+//! written as hand-formatted CSV.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace annotates public data types with serde derives so that a
+//! real serde can be slotted in when the registry is reachable, but no
+//! code path actually serializes at runtime. These stubs accept the
+//! derive (including `#[serde(...)]` helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
