@@ -36,9 +36,7 @@ fn bench_strategies(c: &mut Criterion) {
     group.bench_function("grapevine", |b| {
         b.iter(|| GrapevineLb::default().rebalance(&d, &factory, 0))
     });
-    group.bench_function("greedy", |b| {
-        b.iter(|| GreedyLb.rebalance(&d, &factory, 0))
-    });
+    group.bench_function("greedy", |b| b.iter(|| GreedyLb.rebalance(&d, &factory, 0)));
     group.bench_function("hier", |b| {
         b.iter(|| HierLb::default().rebalance(&d, &factory, 0))
     });
@@ -65,16 +63,20 @@ fn bench_tempered_budget(c: &mut Criterion) {
     let factory = RngFactory::new(5);
     for &(trials, iters) in &[(1usize, 1usize), (1, 8), (10, 8)] {
         let label = format!("{trials}x{iters}");
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(trials, iters), |b, &(t, i)| {
-            b.iter(|| {
-                TemperedLb::new(TemperedConfig {
-                    trials: t,
-                    iters: i,
-                    ..TemperedConfig::default()
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(trials, iters),
+            |b, &(t, i)| {
+                b.iter(|| {
+                    TemperedLb::new(TemperedConfig {
+                        trials: t,
+                        iters: i,
+                        ..TemperedConfig::default()
+                    })
+                    .rebalance(&d, &factory, 0)
                 })
-                .rebalance(&d, &factory, 0)
-            })
-        });
+            },
+        );
     }
     group.finish();
 }

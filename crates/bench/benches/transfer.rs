@@ -53,7 +53,14 @@ fn bench_transfer_variants(c: &mut Criterion) {
             b.iter(|| {
                 let mut knowledge = make_knowledge(128);
                 let mut rng = factory.rank_stream(b"bench", 0, 0);
-                transfer_stage(RankId::new(0), &tasks, &mut knowledge, l_ave, &cfg, &mut rng)
+                transfer_stage(
+                    RankId::new(0),
+                    &tasks,
+                    &mut knowledge,
+                    l_ave,
+                    &cfg,
+                    &mut rng,
+                )
             })
         });
     }
@@ -66,11 +73,9 @@ fn bench_orderings(c: &mut Criterion) {
     let l_ave = Load::new(100.0);
     let l_p: Load = tasks.iter().map(|t| t.load).sum();
     for ordering in OrderingKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(ordering),
-            &ordering,
-            |b, &o| b.iter(|| o.order_tasks(&tasks, l_ave, l_p)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(ordering), &ordering, |b, &o| {
+            b.iter(|| o.order_tasks(&tasks, l_ave, l_p))
+        });
     }
     group.finish();
 }
@@ -96,8 +101,12 @@ fn bench_criterion_eval(c: &mut Criterion) {
             let mut acc = 0u32;
             for i in 0..1000 {
                 let l_x = Load::new((i % 10) as f64 * 0.3);
-                if CriterionKind::Relaxed.evaluate(l_x, Load::new(1.0), Load::new(2.0), Load::new(5.0))
-                {
+                if CriterionKind::Relaxed.evaluate(
+                    l_x,
+                    Load::new(1.0),
+                    Load::new(2.0),
+                    Load::new(5.0),
+                ) {
                     acc += 1;
                 }
             }

@@ -20,7 +20,10 @@ fn main() {
     let mut rows: Vec<(String, Timeline)> = Vec::new();
 
     let periodic = tempered_bench::fig_config(scenario, mode);
-    rows.push(("periodic (paper: every 100)".into(), run_timeline(&periodic)));
+    rows.push((
+        "periodic (paper: every 100)".into(),
+        run_timeline(&periodic),
+    ));
 
     for threshold in [1.0, 0.5, 0.25] {
         let mut cfg = periodic;
@@ -42,8 +45,8 @@ fn main() {
         ],
     );
     for (label, tl) in &rows {
-        let mean_i = tl.steps[5..].iter().map(|s| s.imbalance).sum::<f64>()
-            / (tl.steps.len() - 5) as f64;
+        let mean_i =
+            tl.steps[5..].iter().map(|s| s.imbalance).sum::<f64>() / (tl.steps.len() - 5) as f64;
         t.push_row(vec![
             label.clone(),
             tl.lb_invocations.to_string(),

@@ -24,10 +24,14 @@ fn study(label: &str, scenario: BdotScenario) {
     println!("--- {label} ---");
     println!(
         "  no-LB I:  step{}={:.2}  step{}={:.2}  step{}={:.2}  step{}={:.2}",
-        at(0.05), none.steps[at(0.05)].imbalance,
-        at(0.3), none.steps[at(0.3)].imbalance,
-        at(0.6), none.steps[at(0.6)].imbalance,
-        n - 1, none.steps[n - 1].imbalance,
+        at(0.05),
+        none.steps[at(0.05)].imbalance,
+        at(0.3),
+        none.steps[at(0.3)].imbalance,
+        at(0.6),
+        none.steps[at(0.6)].imbalance,
+        n - 1,
+        none.steps[n - 1].imbalance,
     );
     println!(
         "  t_p: spmd={:.1} none={:.1} grape={:.1} temp={:.1} | particle speedup: grape={:.2}x temp={:.2}x",

@@ -1,0 +1,159 @@
+//! Chaos harness: sweep the hardened asynchronous LB protocol over a
+//! drop-rate × straggler-factor grid (with duplication and delay spikes
+//! on every cell) and check that the delivery layer keeps the *outcome*
+//! fault-free: whenever no rank degrades, the final assignment must be
+//! identical to the fault-free run of the same configuration and seed.
+//!
+//! Per cell it records the repair work the reliability layer performed
+//! (retransmissions, suppressed duplicates, give-ups), degradation
+//! counts, and the modeled makespan — the cost of chaos in one table.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin chaos`
+//! Writes `results/chaos.csv`.
+
+use lbaf::Table;
+use tempered_core::distribution::Distribution;
+use tempered_core::ids::{RankId, TaskId};
+use tempered_core::rng::RngFactory;
+use tempered_runtime::lb::LbProtocolConfig;
+use tempered_runtime::sim::NetworkModel;
+use tempered_runtime::{
+    run_distributed_lb, run_distributed_lb_with_faults, FaultPlan, RetryConfig,
+};
+
+/// Hot-spot input: a few overloaded ranks, the rest empty.
+fn concentrated(num_ranks: usize, hot: usize, tasks_per_hot: usize) -> Distribution {
+    let per_rank: Vec<Vec<f64>> = (0..num_ranks)
+        .map(|r| {
+            if r < hot {
+                vec![1.0; tasks_per_hot]
+            } else {
+                vec![]
+            }
+        })
+        .collect();
+    Distribution::from_loads(per_rank)
+}
+
+/// Per-rank sorted task-id view of an assignment, for exact comparison.
+fn assignment(d: &Distribution) -> Vec<Vec<TaskId>> {
+    d.rank_ids()
+        .map(|r| {
+            let mut ids: Vec<TaskId> = d.tasks_on(r).iter().map(|t| t.id).collect();
+            ids.sort();
+            ids
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = tempered_bench::quick_mode();
+    let (num_ranks, hot, tasks) = if quick { (16, 2, 25) } else { (32, 3, 40) };
+    let dist = concentrated(num_ranks, hot, tasks);
+    let seed = 4242;
+
+    let cfg = LbProtocolConfig {
+        trials: 2,
+        iters: 3,
+        fanout: 4,
+        rounds: 5,
+        ..Default::default()
+    }
+    .hardened(RetryConfig {
+        timeout: 200e-6,
+        backoff: 1.5,
+        max_retries: 30,
+        stage_deadline: 30.0,
+    });
+
+    eprintln!(
+        "chaos sweep: {num_ranks} ranks, {} tasks, drop × straggler grid",
+        dist.num_tasks()
+    );
+
+    // Reference outcome: same config and seed, no faults.
+    let clean = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(seed));
+    let reference = assignment(&clean.distribution);
+
+    let drops = [0.0, 0.05, 0.1, 0.2];
+    let stragglers = [1.0, 4.0, 16.0];
+
+    let mut table = Table::new(
+        "Hardened protocol under chaos (duplicate=0.1, spike=0.05 everywhere)",
+        &[
+            "drop",
+            "straggler",
+            "dropped",
+            "retrans",
+            "dup_supp",
+            "gave_up",
+            "degraded",
+            "events",
+            "finish_ms",
+            "imbalance",
+            "outcome",
+        ],
+    );
+
+    let mut mismatches = 0usize;
+    for &drop in &drops {
+        for &straggler in &stragglers {
+            let plan = FaultPlan {
+                seed: 0xC4A05 ^ ((drop * 1e3) as u64) ^ (((straggler * 1e3) as u64) << 16),
+                drop,
+                duplicate: 0.1,
+                delay_spike: 0.05,
+                delay_spike_scale: 10.0,
+                stragglers: if straggler > 1.0 {
+                    vec![(RankId::new(0), straggler)]
+                } else {
+                    Vec::new()
+                },
+                ..FaultPlan::none()
+            };
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                cfg,
+                NetworkModel::default(),
+                &RngFactory::new(seed),
+                plan,
+            );
+            let outcome = if out.degraded_ranks > 0 {
+                "degraded".to_string()
+            } else if assignment(&out.distribution) == reference {
+                "identical".to_string()
+            } else {
+                mismatches += 1;
+                "MISMATCH".to_string()
+            };
+            table.push_row(vec![
+                format!("{drop:.2}"),
+                format!("{straggler:.0}"),
+                out.report.faults.dropped.to_string(),
+                out.reliable.retransmitted.to_string(),
+                out.reliable.duplicates_suppressed.to_string(),
+                out.reliable.gave_up.to_string(),
+                out.degraded_ranks.to_string(),
+                out.report.events_delivered.to_string(),
+                format!("{:.2}", out.report.finish_time * 1e3),
+                format!("{:.3}", out.final_imbalance),
+                outcome,
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    println!(
+        "fault-free reference: imbalance {:.3} -> {:.3}, {} migrations",
+        clean.initial_imbalance, clean.final_imbalance, clean.tasks_migrated
+    );
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/chaos.csv", table.to_csv()).expect("write results/chaos.csv");
+    println!("wrote results/chaos.csv");
+
+    assert_eq!(
+        mismatches, 0,
+        "a non-degraded chaotic run diverged from the fault-free assignment"
+    );
+}

@@ -19,7 +19,11 @@ fn main() {
     let mut scenario = BdotScenario::small();
     scenario.mesh.ranks_x = 8;
     scenario.mesh.ranks_y = 8;
-    scenario.steps = if tempered_bench::quick_mode() { 60 } else { 200 };
+    scenario.steps = if tempered_bench::quick_mode() {
+        60
+    } else {
+        200
+    };
     scenario.inject_base = 60;
     let cost = CostModel::default();
     let seed = 2021;

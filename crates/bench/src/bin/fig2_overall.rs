@@ -34,10 +34,7 @@ fn main() {
     println!("{}", t.render());
 
     // ASCII bar chart of total time, mirroring the figure.
-    let max_total = timelines
-        .iter()
-        .map(|t| t.t_total())
-        .fold(0.0f64, f64::max);
+    let max_total = timelines.iter().map(|t| t.t_total()).fold(0.0f64, f64::max);
     println!("total time (each '#' ≈ {:.0}s):", max_total / 50.0);
     for tl in &timelines {
         let bars = ((tl.t_total() / max_total) * 50.0).round() as usize;

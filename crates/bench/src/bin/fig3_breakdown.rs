@@ -10,7 +10,15 @@ fn main() {
     let timelines = tempered_bench::run_fig2_timelines();
     let mut t = Table::new(
         "Fig. 3 — execution time breakdown (modeled seconds)",
-        &["Type", "t_n", "t_p", "t_lb", "t_total", "migrations", "LB runs"],
+        &[
+            "Type",
+            "t_n",
+            "t_p",
+            "t_lb",
+            "t_total",
+            "migrations",
+            "LB runs",
+        ],
     );
     for tl in &timelines {
         t.push_row(vec![

@@ -49,7 +49,14 @@ fn main() {
     let factory = RngFactory::new(7);
     let mut t = Table::new(
         "Balancer replay over recorded phases (imbalance I)",
-        &["Phase", "Initial", "Tempered", "Grapevine", "Greedy", "Hier"],
+        &[
+            "Phase",
+            "Initial",
+            "Tempered",
+            "Grapevine",
+            "Greedy",
+            "Hier",
+        ],
     );
     for (i, phase) in trace.phases.iter().enumerate() {
         let dist = trace.distribution(i).expect("self-recorded phases parse");
@@ -64,8 +71,16 @@ fn main() {
         t.push_row(vec![
             phase.phase.to_string(),
             fmt_sig(dist.imbalance()),
-            fmt_sig(tempered.rebalance(&dist, &factory, i as u64).final_imbalance),
-            fmt_sig(grapevine.rebalance(&dist, &factory, i as u64).final_imbalance),
+            fmt_sig(
+                tempered
+                    .rebalance(&dist, &factory, i as u64)
+                    .final_imbalance,
+            ),
+            fmt_sig(
+                grapevine
+                    .rebalance(&dist, &factory, i as u64)
+                    .final_imbalance,
+            ),
             fmt_sig(greedy.rebalance(&dist, &factory, i as u64).final_imbalance),
             fmt_sig(hier.rebalance(&dist, &factory, i as u64).final_imbalance),
         ]);

@@ -34,15 +34,28 @@ fn main() {
 
     println!("{}", sweep_ablation(&dist, 1).to_table().render());
     println!("{}", sweep_orderings(&dist, 1).to_table().render());
-    println!("{}", sweep_fanout(&dist, &[1, 2, 4, 6, 8], 1).to_table().render());
-    println!("{}", sweep_rounds(&dist, &[1, 2, 4, 6, 10], 1).to_table().render());
+    println!(
+        "{}",
+        sweep_fanout(&dist, &[1, 2, 4, 6, 8], 1).to_table().render()
+    );
+    println!(
+        "{}",
+        sweep_rounds(&dist, &[1, 2, 4, 6, 10], 1)
+            .to_table()
+            .render()
+    );
     println!(
         "{}",
         sweep_budget(&dist, &[(1, 1), (1, 4), (1, 8), (4, 4), (10, 8)], 1)
             .to_table()
             .render()
     );
-    println!("{}", sweep_threshold(&dist, &[1.0, 1.05, 1.2, 1.5, 2.0], 1).to_table().render());
+    println!(
+        "{}",
+        sweep_threshold(&dist, &[1.0, 1.05, 1.2, 1.5, 2.0], 1)
+            .to_table()
+            .render()
+    );
     println!(
         "{}",
         sweep_knowledge_cap(&dist, &[0, 256, 64, 16, 4], 1)

@@ -10,9 +10,7 @@
 //! ×24 overdecomposition, 1400 steps) by default; set
 //! `TEMPERED_QUICK=1` to run a reduced configuration for smoke testing.
 
-use empire_pic::{
-    run_timeline, BdotScenario, ExecutionMode, LbStrategy, Timeline, TimelineConfig,
-};
+use empire_pic::{run_timeline, BdotScenario, ExecutionMode, LbStrategy, Timeline, TimelineConfig};
 use tempered_core::ordering::OrderingKind;
 
 /// Master seed shared by all figure runs.

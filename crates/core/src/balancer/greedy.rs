@@ -153,8 +153,16 @@ mod tests {
     #[test]
     fn greedy_on_uniform_tasks_is_perfect() {
         // 64 unit tasks on 8 ranks → exactly 8 each.
-        let dist = Distribution::from_loads(vec![vec![1.0; 64], vec![], vec![], vec![],
-                                                 vec![], vec![], vec![], vec![]]);
+        let dist = Distribution::from_loads(vec![
+            vec![1.0; 64],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ]);
         let mut lb = GreedyLb;
         let r = lb.rebalance(&dist, &RngFactory::new(0), 0);
         assert!(r.final_imbalance.abs() < 1e-9);

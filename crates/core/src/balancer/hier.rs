@@ -76,10 +76,8 @@ impl LoadBalancer for HierLb {
         let num_ranks = dist.num_ranks();
 
         // Mutable working copy of per-rank task lists.
-        let mut tasks: Vec<Vec<Task>> = dist
-            .rank_ids()
-            .map(|r| dist.tasks_on(r).to_vec())
-            .collect();
+        let mut tasks: Vec<Vec<Task>> =
+            dist.rank_ids().map(|r| dist.tasks_on(r).to_vec()).collect();
 
         let all_ranks: Vec<usize> = (0..num_ranks).collect();
         let mut messages = 0u64;
@@ -240,8 +238,7 @@ fn balance_leaf_group(ranks: &[usize], tasks: &mut [Vec<Task>], messages: &mut u
     all.sort_by(|a, b| b.load.total_cmp(&a.load).then(a.id.cmp(&b.id)));
     // (load, task count, rank): the count breaks zero-load ties so idle
     // tasks spread instead of stacking on the first rank (see GreedyLb).
-    let mut loads: Vec<(Load, usize, usize)> =
-        ranks.iter().map(|&r| (Load::ZERO, 0, r)).collect();
+    let mut loads: Vec<(Load, usize, usize)> = ranks.iter().map(|&r| (Load::ZERO, 0, r)).collect();
     for t in all {
         // Least-loaded rank in the group; linear scan is fine at leaf
         // group sizes (≤ group_size).

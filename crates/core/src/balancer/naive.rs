@@ -129,7 +129,9 @@ mod tests {
         // Loads shifted by one rank.
         for rank in dist.rank_ids() {
             let next = RankId::from((rank.as_usize() + 1) % dist.num_ranks());
-            assert!(dist.rank_load(rank).approx_eq(r.distribution.rank_load(next)));
+            assert!(dist
+                .rank_load(rank)
+                .approx_eq(r.distribution.rank_load(next)));
         }
     }
 

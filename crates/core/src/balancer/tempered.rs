@@ -140,8 +140,7 @@ mod tests {
         let mut lb = quick();
         let r = lb.rebalance(&dist, &RngFactory::new(11), 0);
         check_postconditions(&dist, &r);
-        let bound =
-            lower_bound_max_load(dist.average_load(), dist.max_task_load()).get();
+        let bound = lower_bound_max_load(dist.average_load(), dist.max_task_load()).get();
         assert!(
             r.distribution.max_load().get() <= 1.6 * bound,
             "tempered max load {} far above lower bound {bound}",

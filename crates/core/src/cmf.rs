@@ -84,9 +84,7 @@ impl Cmf {
     pub fn build(knowledge: &Knowledge, l_ave: Load, kind: CmfKind) -> Option<Cmf> {
         let l_s = match kind {
             CmfKind::Original => l_ave,
-            CmfKind::Modified => knowledge
-                .max_known_load()
-                .map_or(l_ave, |m| m.max(l_ave)),
+            CmfKind::Modified => knowledge.max_known_load().map_or(l_ave, |m| m.max(l_ave)),
         };
         if l_s.is_zero() {
             return None;
@@ -154,8 +152,12 @@ mod tests {
     #[test]
     fn original_cmf_weights_by_spare_capacity() {
         // l_ave = 1.0; loads 0.0 and 0.5 → weights 1.0 and 0.5.
-        let c = Cmf::build(&kn(&[(0, 0.0), (1, 0.5)]), Load::new(1.0), CmfKind::Original)
-            .unwrap();
+        let c = Cmf::build(
+            &kn(&[(0, 0.0), (1, 0.5)]),
+            Load::new(1.0),
+            CmfKind::Original,
+        )
+        .unwrap();
         assert_eq!(c.support_len(), 2);
         assert!((c.probability(0) - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.probability(1) - 1.0 / 3.0).abs() < 1e-12);

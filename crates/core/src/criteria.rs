@@ -111,10 +111,8 @@ mod tests {
             (0.8, 0.1, 3.0),
         ];
         for (l_x, load, l_p) in cases {
-            let orig =
-                CriterionKind::Original.evaluate(Load(l_x), Load(load), AVE, Load(l_p));
-            let relaxed =
-                CriterionKind::Relaxed.evaluate(Load(l_x), Load(load), AVE, Load(l_p));
+            let orig = CriterionKind::Original.evaluate(Load(l_x), Load(load), AVE, Load(l_p));
+            let relaxed = CriterionKind::Relaxed.evaluate(Load(l_x), Load(load), AVE, Load(l_p));
             if orig {
                 assert!(relaxed, "original accepted but relaxed rejected: {cases:?}");
             }

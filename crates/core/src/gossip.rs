@@ -271,10 +271,7 @@ impl FlatKnowledge {
     }
 
     fn into_knowledge(self) -> Knowledge {
-        self.ranks
-            .into_iter()
-            .zip(self.loads)
-            .collect()
+        self.ranks.into_iter().zip(self.loads).collect()
     }
 }
 
@@ -498,8 +495,7 @@ fn run_message_tree(
         if msg.round < cfg.rounds {
             let me = msg.target;
             for _ in 0..cfg.fanout {
-                if let Some(target) = sample_target(&mut rngs[t], num_ranks, me, &knowledge[t])
-                {
+                if let Some(target) = sample_target(&mut rngs[t], num_ranks, me, &knowledge[t]) {
                     queue.push_back(Msg {
                         target,
                         payload: knowledge[t].to_pairs(),

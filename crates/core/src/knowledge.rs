@@ -123,10 +123,7 @@ impl Knowledge {
     /// The maximum load estimate among known ranks (`max(LOAD^p)` on
     /// Algorithm 2 line 25); `None` if empty.
     pub fn max_known_load(&self) -> Option<Load> {
-        self.loads
-            .iter()
-            .copied()
-            .reduce(|a, b| a.max(b))
+        self.loads.iter().copied().reduce(|a, b| a.max(b))
     }
 
     /// Serialize into `(rank, load)` pairs for a gossip message payload.

@@ -69,8 +69,8 @@ pub mod transfer;
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::balancer::{
-        GrapevineLb, GreedyLb, HierConfig, HierLb, LoadBalancer, NullLb, RandomLb,
-        RebalanceResult, RotateLb, TemperedConfig, TemperedLb,
+        GrapevineLb, GreedyLb, HierConfig, HierLb, LoadBalancer, NullLb, RandomLb, RebalanceResult,
+        RotateLb, TemperedConfig, TemperedLb,
     };
     pub use crate::cmf::{Cmf, CmfKind};
     pub use crate::criteria::CriterionKind;

@@ -243,8 +243,7 @@ mod tests {
         // Tasks exceeding 6: {7, 9} → cutoff 7. Order: ≤7 descending
         // [7, 5, 2, 1] then >7 ascending [9].
         let ts = tasks(&[1.0, 2.0, 5.0, 7.0, 9.0]);
-        let o =
-            OrderingKind::FewestMigrations.order_tasks(&ts, Load::new(4.0), Load::new(10.0));
+        let o = OrderingKind::FewestMigrations.order_tasks(&ts, Load::new(4.0), Load::new(10.0));
         assert_eq!(loads_of(&o), vec![7.0, 5.0, 2.0, 1.0, 9.0]);
     }
 
@@ -252,8 +251,7 @@ mod tests {
     fn fewest_migrations_falls_back_to_descending() {
         // excess = 20, no task exceeds it → descending.
         let ts = tasks(&[1.0, 2.0, 5.0]);
-        let o =
-            OrderingKind::FewestMigrations.order_tasks(&ts, Load::new(1.0), Load::new(21.0));
+        let o = OrderingKind::FewestMigrations.order_tasks(&ts, Load::new(1.0), Load::new(21.0));
         assert_eq!(loads_of(&o), vec![5.0, 2.0, 1.0]);
     }
 
@@ -262,8 +260,7 @@ mod tests {
         // l_ex <= 0: every task qualifies, cutoff = min load → order is
         // [min, then ascending rest] by the two-segment rule.
         let ts = tasks(&[3.0, 1.0, 2.0]);
-        let o =
-            OrderingKind::FewestMigrations.order_tasks(&ts, Load::new(10.0), Load::new(6.0));
+        let o = OrderingKind::FewestMigrations.order_tasks(&ts, Load::new(10.0), Load::new(6.0));
         assert_eq!(loads_of(&o), vec![1.0, 2.0, 3.0]);
     }
 

@@ -167,8 +167,8 @@ pub fn refine(
         for iter in 1..=cfg.iters {
             // Sub-epoch so each (epoch, trial, iteration) draws fresh
             // randomness.
-            let sub_epoch = ((epoch << 20) | ((trial as u64) << 10) | iter as u64)
-                .wrapping_mul(0x9E37_79B9);
+            let sub_epoch =
+                ((epoch << 20) | ((trial as u64) << 10) | iter as u64).wrapping_mul(0x9E37_79B9);
 
             // Line 7: INFORM over the proposed loads.
             let gossip = run_gossip(work.rank_loads(), l_ave, &cfg.gossip, factory, sub_epoch);
@@ -313,8 +313,18 @@ mod tests {
     fn grapevine_improves_less_than_tempered() {
         let dist = concentrated(64, 2, 100);
         let factory = RngFactory::new(42);
-        let grapevine = refine(&dist, &small_cfg(TransferConfig::grapevine(), 1, 10), &factory, 0);
-        let tempered = refine(&dist, &small_cfg(TransferConfig::tempered(), 1, 10), &factory, 0);
+        let grapevine = refine(
+            &dist,
+            &small_cfg(TransferConfig::grapevine(), 1, 10),
+            &factory,
+            0,
+        );
+        let tempered = refine(
+            &dist,
+            &small_cfg(TransferConfig::tempered(), 1, 10),
+            &factory,
+            0,
+        );
         assert!(
             tempered.best_imbalance < grapevine.best_imbalance,
             "tempered {} should beat grapevine {}",

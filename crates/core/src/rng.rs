@@ -76,11 +76,9 @@ impl RngFactory {
 
     /// Derive the seed for a `(label, rank, round)` triple.
     pub fn seed_for(&self, label: &[u8], rank: u64, epoch: u64) -> u64 {
-        let label_key = label
-            .iter()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
-                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-            });
+        let label_key = label.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
         derive_seed(self.master, &[label_key, rank, epoch])
     }
 

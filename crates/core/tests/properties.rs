@@ -14,10 +14,7 @@ use tempered_core::prelude::*;
 /// Per-rank load lists: up to 8 ranks, up to 12 tasks each, loads in
 /// (0, 4].
 fn arb_loads() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.01f64..4.0, 0..12),
-        2..8,
-    )
+    prop::collection::vec(prop::collection::vec(0.01f64..4.0, 0..12), 2..8)
 }
 
 fn arb_distribution() -> impl Strategy<Value = Distribution> {

@@ -145,8 +145,7 @@ impl EmpireSim {
     /// Per-rank non-particle (field solve) time: uniform across ranks by
     /// construction of the static mesh decomposition.
     pub fn nonparticle_time_per_rank(&self) -> f64 {
-        let cells =
-            self.scenario.mesh.colors_per_rank() * self.scenario.mesh.cells_per_color();
+        let cells = self.scenario.mesh.colors_per_rank() * self.scenario.mesh.cells_per_color();
         cells as f64 * self.cost.per_cell
     }
 }
@@ -201,7 +200,10 @@ mod tests {
             early > late,
             "imbalance must decay as the plasma spreads: {early} → {late}"
         );
-        assert!(early > 2.0, "injection burst must be concentrated, I={early}");
+        assert!(
+            early > 2.0,
+            "injection burst must be concentrated, I={early}"
+        );
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!   PIC message type (protocol composition via [`Ctx::detached`]); when
 //!   it commits, gaining ranks fetch the *real particle payloads* from
 //!   the previous owners and notify mesh homes of the ownership change.
+//!   LB traffic is tagged with an invocation *generation* so that stale
+//!   timers or retransmissions from a previous balancing pass can never
+//!   leak into a later one, and only LB traffic is eligible for fault
+//!   injection (the PIC exchange itself is not hardened). A rank whose
+//!   embedded balancer degrades (see [`LbRank`]) keeps its pre-LB colors
+//!   — the degraded round is effectively aborted — and records the step
+//!   in [`PicRank::degraded_lb_steps`].
 
 use crate::mesh::ColorId;
 use crate::particles::ParticleBuffer;
@@ -34,7 +41,8 @@ use std::collections::HashMap;
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::rng::RngFactory;
 use tempered_runtime::collective::{LoadSummary, ReduceSlot, Tree};
-use tempered_runtime::lb::{LbMsg, LbProtocolConfig, LbRank};
+use tempered_runtime::fault::FaultPlan;
+use tempered_runtime::lb::{LbProtocolConfig, LbRank, LbWire};
 use tempered_runtime::sim::{Ctx, NetworkModel, Protocol, SimReport, Simulator};
 use tempered_runtime::termination::{TdMsg, TerminationDetector};
 
@@ -109,8 +117,16 @@ pub enum PicMsg {
     },
     /// PIC-level termination detection control traffic.
     Td(TdMsg),
-    /// Embedded LB protocol traffic.
-    Lb(LbMsg),
+    /// Embedded LB protocol traffic (delivery frames *and* the LB's
+    /// self-timers, pumped through the PIC message type).
+    Lb {
+        /// LB invocation generation: stale traffic from an earlier
+        /// balancing pass is dropped instead of corrupting the current
+        /// one.
+        gen: u64,
+        /// The wrapped LB transport frame.
+        wire: LbWire,
+    },
 }
 
 impl PicMsg {
@@ -130,14 +146,11 @@ impl PicMsg {
             PicMsg::OwnerUpdate { .. } => 24,
             PicMsg::RequestParticles { colors, .. } => 16 + 8 * colors.len(),
             PicMsg::MigrateParticles { colors, .. } => {
-                16 + colors
-                    .iter()
-                    .map(|(_, p)| 16 + 32 * p.len())
-                    .sum::<usize>()
+                16 + colors.iter().map(|(_, p)| 16 + 32 * p.len()).sum::<usize>()
             }
             PicMsg::StatsUp { .. } | PicMsg::StatsDown { .. } => 32,
             PicMsg::Td(_) => tempered_runtime::termination::TD_MSG_BYTES,
-            PicMsg::Lb(m) => m.wire_bytes(),
+            PicMsg::Lb { wire, .. } => wire.wire_bytes(),
         }
     }
 }
@@ -192,11 +205,17 @@ pub struct PicRank {
     /// Embedded balancer (alive during and after its run on an LB step).
     lb: Option<LbRank>,
     lb_done_handled: bool,
+    /// Generation of the current (or most recent) LB invocation; 0
+    /// before the first one. Tags all wrapped LB traffic and timers.
+    lb_gen: u64,
 
     /// Per-step statistics (identical across ranks; rank 0's are read).
     pub stats: Vec<DistStepStats>,
     /// Colors gained through LB over the whole run.
     pub colors_gained: usize,
+    /// Steps whose embedded LB invocation ended degraded on this rank
+    /// (the rank then kept its pre-LB colors).
+    pub degraded_lb_steps: Vec<usize>,
 
     done: bool,
 }
@@ -207,8 +226,7 @@ impl PicRank {
         let mesh = cfg.scenario.mesh;
         let num_ranks = mesh.num_ranks();
         let owned: Vec<ColorId> = mesh.colors().filter(|&c| mesh.home_rank(c) == me).collect();
-        let owner_table: HashMap<ColorId, RankId> =
-            owned.iter().map(|&c| (c, me)).collect();
+        let owner_table: HashMap<ColorId, RankId> = owned.iter().map(|&c| (c, me)).collect();
         PicRank {
             me,
             num_ranks,
@@ -226,8 +244,10 @@ impl PicRank {
             buffered: Vec::new(),
             lb: None,
             lb_done_handled: false,
+            lb_gen: 0,
             stats: Vec::new(),
             colors_gained: 0,
+            degraded_lb_steps: Vec::new(),
             done: false,
         }
     }
@@ -280,7 +300,11 @@ impl PicRank {
         ctx.send(to, msg, bytes);
     }
 
-    fn emit_td(&mut self, ctx: &mut Ctx<'_, PicMsg>, outcome: tempered_runtime::termination::TdOutcome) {
+    fn emit_td(
+        &mut self,
+        ctx: &mut Ctx<'_, PicMsg>,
+        outcome: tempered_runtime::termination::TdOutcome,
+    ) {
         for s in outcome.sends {
             self.send_ctrl(ctx, s.to, PicMsg::Td(s.msg));
         }
@@ -355,7 +379,15 @@ impl PicRank {
             } else {
                 home
             };
-            self.send_basic(ctx, target, PicMsg::Particles { epoch, color, particles });
+            self.send_basic(
+                ctx,
+                target,
+                PicMsg::Particles {
+                    epoch,
+                    color,
+                    particles,
+                },
+            );
         }
 
         let kick = self.det.kick();
@@ -384,7 +416,15 @@ impl PicRank {
             .expect("home tracks all its colors");
         debug_assert_ne!(owner, self.me, "owned() would have caught this");
         let epoch = self.det.epoch();
-        self.send_basic(ctx, owner, PicMsg::Particles { epoch, color, particles });
+        self.send_basic(
+            ctx,
+            owner,
+            PicMsg::Particles {
+                epoch,
+                color,
+                particles,
+            },
+        );
     }
 
     fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, PicMsg>, epoch: u64) {
@@ -456,10 +496,10 @@ impl PicRank {
     fn enter_lb(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.stage = PicStage::Lb;
         self.lb_done_handled = false;
+        self.lb_gen += 1;
         let mesh = self.cfg.scenario.mesh;
         // Instrument: per-color particle counts → task loads.
-        let mut counts: HashMap<ColorId, usize> =
-            self.owned.iter().map(|&c| (c, 0)).collect();
+        let mut counts: HashMap<ColorId, usize> = self.owned.iter().map(|&c| (c, 0)).collect();
         for i in 0..self.particles.len() {
             let c = mesh.color_at(self.particles.x[i], self.particles.y[i]);
             *counts.get_mut(&c).expect("resident particles are owned") += 1;
@@ -484,26 +524,34 @@ impl PicRank {
     }
 
     /// Run `f` against the embedded LB with an adapter context, then wrap
-    /// and transmit whatever it sent.
+    /// and transmit whatever it sent — and re-schedule whatever timers it
+    /// armed (retry timers, stage deadlines) as wrapped self-messages, so
+    /// the LB's delivery hardening works unchanged inside the PIC app.
     fn pump_lb(
         &mut self,
         ctx: &mut Ctx<'_, PicMsg>,
-        f: impl FnOnce(&mut LbRank, &mut Ctx<'_, LbMsg>),
+        f: impl FnOnce(&mut LbRank, &mut Ctx<'_, LbWire>),
         lb: &mut LbRank,
     ) {
-        let mut outbox: Vec<(RankId, LbMsg, usize)> = Vec::new();
+        let mut outbox: Vec<(RankId, LbWire, usize)> = Vec::new();
+        let timers;
         {
             let mut lb_ctx = Ctx::detached(self.me, ctx.now(), &mut outbox);
             f(lb, &mut lb_ctx);
+            timers = lb_ctx.take_timers();
         }
-        for (to, msg, bytes) in outbox {
-            ctx.send(to, PicMsg::Lb(msg), bytes);
+        let gen = self.lb_gen;
+        for (to, wire, bytes) in outbox {
+            ctx.send(to, PicMsg::Lb { gen, wire }, bytes);
+        }
+        for (delay, wire) in timers {
+            ctx.schedule(delay, PicMsg::Lb { gen, wire });
         }
     }
 
-    fn on_lb_msg(&mut self, ctx: &mut Ctx<'_, PicMsg>, from: RankId, msg: LbMsg) {
+    fn on_lb_msg(&mut self, ctx: &mut Ctx<'_, PicMsg>, from: RankId, wire: LbWire) {
         let mut lb = self.lb.take().expect("LB messages only while LB exists");
-        self.pump_lb(ctx, |lb, lb_ctx| lb.on_message(lb_ctx, from, msg), &mut lb);
+        self.pump_lb(ctx, |lb, lb_ctx| lb.on_message(lb_ctx, from, wire), &mut lb);
         self.lb = Some(lb);
         self.check_lb_done(ctx);
     }
@@ -517,6 +565,11 @@ impl PicRank {
             return;
         }
         self.lb_done_handled = true;
+        if self.lb.as_ref().is_some_and(|lb| lb.degraded) {
+            // The balancer abandoned this round; the rank keeps its
+            // pre-LB colors (LbRank::degrade reverted its task set).
+            self.degraded_lb_steps.push(self.step);
+        }
         self.enter_migration(ctx);
     }
 
@@ -612,7 +665,14 @@ impl PicRank {
         let mut payload: Vec<(ColorId, Vec<WireParticle>)> = shipped.into_iter().collect();
         payload.sort_by_key(|(c, _)| *c);
         let epoch = self.det.epoch();
-        self.send_basic(ctx, from, PicMsg::MigrateParticles { epoch, colors: payload });
+        self.send_basic(
+            ctx,
+            from,
+            PicMsg::MigrateParticles {
+                epoch,
+                colors: payload,
+            },
+        );
     }
 
     fn on_migrate_particles(&mut self, colors: Vec<(ColorId, Vec<WireParticle>)>) {
@@ -640,10 +700,12 @@ impl PicRank {
 
     fn should_buffer(&self, msg: &PicMsg) -> bool {
         match msg {
-            PicMsg::Td(TdMsg::Token { epoch, .. }) | PicMsg::Td(TdMsg::Terminated { epoch }) => {
-                *epoch > self.det.epoch()
-            }
-            PicMsg::Lb(_) => self.stage != PicStage::Lb && self.lb.is_none(),
+            PicMsg::Td(TdMsg::Token { epoch, .. })
+            | PicMsg::Td(TdMsg::Terminated { epoch, .. }) => *epoch > self.det.epoch(),
+            // Traffic for a balancing pass this rank has not entered yet
+            // waits; current- and past-generation traffic is dispatched
+            // (and dropped there if stale).
+            PicMsg::Lb { gen, .. } => *gen > self.lb_gen,
             other => match other.basic_epoch() {
                 Some(e) => e > self.det.epoch(),
                 None => false,
@@ -669,11 +731,19 @@ impl PicRank {
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_, PicMsg>, from: RankId, msg: PicMsg) {
         match msg {
-            PicMsg::Particles { epoch, color, particles } => {
+            PicMsg::Particles {
+                epoch,
+                color,
+                particles,
+            } => {
                 debug_assert_eq!(epoch, self.det.epoch());
                 self.on_particles(ctx, color, particles);
             }
-            PicMsg::OwnerUpdate { epoch, color, owner } => {
+            PicMsg::OwnerUpdate {
+                epoch,
+                color,
+                owner,
+            } => {
                 debug_assert_eq!(epoch, self.det.epoch());
                 self.det.on_basic_recv();
                 debug_assert_eq!(self.cfg.scenario.mesh.home_rank(color), self.me);
@@ -688,7 +758,7 @@ impl PicRank {
                 self.on_migrate_particles(colors);
             }
             PicMsg::StatsUp { slot, summary } => {
-                if let Some(done) = self.slot_mut(slot).on_child(summary) {
+                if let Some(done) = self.slot_mut(slot).on_child(from, summary) {
                     self.stats_complete(ctx, slot, done);
                 }
             }
@@ -700,13 +770,29 @@ impl PicRank {
                 let out = self.det.handle(td);
                 self.emit_td(ctx, out);
             }
-            PicMsg::Lb(m) => self.on_lb_msg(ctx, from, m),
+            PicMsg::Lb { gen, wire } => {
+                // Stale generations (a finished or abandoned invocation)
+                // are dropped: their retry timers and retransmissions
+                // must not alias the current invocation's sequence
+                // numbers or stage counters.
+                if gen == self.lb_gen && self.lb.is_some() {
+                    self.on_lb_msg(ctx, from, wire);
+                }
+            }
         }
     }
 }
 
 impl Protocol for PicRank {
     type Msg = PicMsg;
+
+    /// Only the embedded balancer's traffic is hardened against loss, so
+    /// only it is eligible for fault injection; the PIC exchange, stats,
+    /// and PIC-level TD traffic assume the reliable transport of the
+    /// host runtime (as the paper's vt/MPI stack does).
+    fn faultable(msg: &PicMsg) -> bool {
+        matches!(msg, PicMsg::Lb { .. })
+    }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.begin_step(ctx);
@@ -732,6 +818,10 @@ pub struct DistPicResult {
     pub stats: Vec<DistStepStats>,
     /// Total colors that changed owner through LB.
     pub colors_migrated: usize,
+    /// Number of distinct LB steps in which at least one rank degraded
+    /// (the degrading ranks kept their pre-LB colors for that round).
+    /// Always 0 on a fault-free run.
+    pub degraded_lb_rounds: usize,
     /// Executor report.
     pub report: SimReport,
     /// Final per-rank particle counts.
@@ -740,22 +830,40 @@ pub struct DistPicResult {
 
 /// Run the distributed PIC application end to end on the event-driven
 /// executor.
-pub fn run_distributed_pic(
+pub fn run_distributed_pic(cfg: DistPicConfig, model: NetworkModel, seed: u64) -> DistPicResult {
+    run_distributed_pic_with_faults(cfg, model, seed, FaultPlan::none())
+}
+
+/// Run the distributed PIC application under an adversarial network.
+/// Faults apply to embedded-LB traffic only (see [`Protocol::faultable`]
+/// on [`PicRank`]); a balancing round that cannot complete within its
+/// retry budget is abandoned by the affected ranks, which keep their
+/// pre-round colors, and the step is counted in `degraded_lb_rounds`.
+pub fn run_distributed_pic_with_faults(
     cfg: DistPicConfig,
     model: NetworkModel,
     seed: u64,
+    plan: FaultPlan,
 ) -> DistPicResult {
     let factory = RngFactory::new(seed);
     let ranks: Vec<PicRank> = (0..cfg.scenario.mesh.num_ranks())
         .map(|r| PicRank::new(RankId::from(r), cfg, factory))
         .collect();
     let mut sim = Simulator::new(ranks, model, &factory);
+    sim.set_fault_plan(plan);
     let report = sim.run();
     assert!(report.completed, "PIC protocol must run to completion");
     let ranks = sim.into_ranks();
+    let mut degraded_steps: Vec<usize> = ranks
+        .iter()
+        .flat_map(|r| r.degraded_lb_steps.iter().copied())
+        .collect();
+    degraded_steps.sort_unstable();
+    degraded_steps.dedup();
     DistPicResult {
         stats: ranks[0].stats.clone(),
         colors_migrated: ranks.iter().map(|r| r.colors_gained).sum(),
+        degraded_lb_rounds: degraded_steps.len(),
         final_particles: ranks.iter().map(|r| r.num_particles()).collect(),
         report,
     }

@@ -77,8 +77,7 @@ pub fn jacobi_relax(grid: &mut [f64], tmp: &mut [f64], n: usize, sweeps: usize) 
         for j in 1..n - 1 {
             for i in 1..n - 1 {
                 let idx = j * n + i;
-                let new = 0.25
-                    * (grid[idx - 1] + grid[idx + 1] + grid[idx - n] + grid[idx + n]);
+                let new = 0.25 * (grid[idx - 1] + grid[idx + 1] + grid[idx - n] + grid[idx + n]);
                 let d = new - grid[idx];
                 residual += d * d;
                 tmp[idx] = new;

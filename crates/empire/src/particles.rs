@@ -202,7 +202,10 @@ mod tests {
             p.advance(&mesh, &field, step as f64 * 0.01, 0.01);
         }
         let after = spread(&p);
-        assert!(after > before * 1.5, "cloud must expand: {before} → {after}");
+        assert!(
+            after > before * 1.5,
+            "cloud must expand: {before} → {after}"
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
         let first = s.injection_at(0);
         let last = s.injection_at(s.steps - 1);
         assert_eq!(first, s.inject_base);
-        assert_eq!(last, (s.inject_base as f64 * (1.0 + s.inject_growth)) as usize);
+        assert_eq!(
+            last,
+            (s.inject_base as f64 * (1.0 + s.inject_growth)) as usize
+        );
         assert!(s.injection_at(s.steps / 2) > first);
         assert!(s.injection_at(s.steps / 2) < last);
     }

@@ -316,10 +316,7 @@ pub fn run_timeline(cfg: &TimelineConfig) -> Timeline {
         }
 
         let stats = sim.distribution.statistics();
-        let lower = lower_bound_max_load(
-            stats.average,
-            sim.distribution.max_task_load(),
-        );
+        let lower = lower_bound_max_load(stats.average, sim.distribution.max_task_load());
         let locality = measure_locality(&cfg.scenario.mesh, &sim.distribution);
         steps.push(StepStats {
             step,
@@ -534,10 +531,7 @@ mod tests {
         let greedy = run_timeline(&quick(ExecutionMode::Amt(LbStrategy::Greedy)));
         let last = spmd.steps.len() - 1;
         // SPMD keeps the block decomposition's locality for the whole run.
-        assert_eq!(
-            spmd.steps[0].comm_locality,
-            spmd.steps[last].comm_locality
-        );
+        assert_eq!(spmd.steps[0].comm_locality, spmd.steps[last].comm_locality);
         // Balancing moves colors off their blocks, reducing locality.
         assert!(
             greedy.steps[last].comm_locality < spmd.steps[last].comm_locality,

@@ -212,10 +212,7 @@ pub fn run_criterion_experiment(
 }
 
 /// The §V-D side-by-side imbalance comparison (third table).
-pub fn comparison_table(
-    original: &CriterionResult,
-    relaxed: &CriterionResult,
-) -> Table {
+pub fn comparison_table(original: &CriterionResult, relaxed: &CriterionResult) -> Table {
     assert_eq!(original.rows.len(), relaxed.rows.len());
     let mut t = Table::new(
         "Imbalance per iteration: criterion 35 (original) vs 37 (relaxed)",
@@ -244,9 +241,9 @@ mod tests {
     fn original_criterion_stalls_with_high_rejection() {
         let r = run_small(CriterionVariant::Original);
         assert_eq!(r.rows.len(), 9); // initial + 8 iterations
-        // Late iterations reject nearly everything (paper: >94 % from
-        // iteration 2 on; our single-pass Algorithm 2 takes a couple of
-        // iterations to hit the granularity wall — see EXPERIMENTS.md).
+                                     // Late iterations reject nearly everything (paper: >94 % from
+                                     // iteration 2 on; our single-pass Algorithm 2 takes a couple of
+                                     // iterations to hit the granularity wall — see EXPERIMENTS.md).
         for row in &r.rows[r.rows.len() - 3..] {
             let rate = row.rejection_rate.unwrap_or(100.0);
             assert!(
@@ -275,7 +272,10 @@ mod tests {
             first < initial / 10.0,
             "first relaxed iteration should collapse I: {initial} → {first}"
         );
-        assert!(last < 1.5, "final imbalance should be near-balanced, got {last}");
+        assert!(
+            last < 1.5,
+            "final imbalance should be near-balanced, got {last}"
+        );
         // First iteration rejection is low (paper: 5.4 %).
         let rate1 = r.rows[1].rejection_rate.unwrap();
         assert!(rate1 < 40.0, "first-iteration rejection too high: {rate1}");
@@ -294,7 +294,10 @@ mod tests {
         // so assert a 25% separation rather than the 2x this test
         // historically required; absolute quality of the relaxed run is
         // covered by `relaxed_criterion_collapses_imbalance`.
-        assert!(ir < io * 0.75, "relaxed {ir} must clearly beat original {io}");
+        assert!(
+            ir < io * 0.75,
+            "relaxed {ir} must clearly beat original {io}"
+        );
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl ConcentratedLayout {
         let mut assigned: usize = counts.iter().sum();
         let mut i = self.populated_ranks;
         while assigned < self.num_tasks {
-            i = if i == 0 { self.populated_ranks - 1 } else { i - 1 };
+            i = if i == 0 {
+                self.populated_ranks - 1
+            } else {
+                i - 1
+            };
             counts[i] += 1;
             assigned += 1;
         }
@@ -173,9 +177,7 @@ mod tests {
             assert_eq!(a.rank_load(r), b.rank_load(r));
         }
         let c = layout.build(10);
-        let same = a
-            .rank_ids()
-            .all(|r| a.rank_load(r) == c.rank_load(r));
+        let same = a.rank_ids().all(|r| a.rank_load(r) == c.rank_load(r));
         assert!(!same, "different seeds should jitter loads differently");
     }
 

@@ -17,8 +17,8 @@ pub mod table;
 pub mod trace;
 
 pub use experiment::{
-    comparison_table, run_criterion_experiment, CriterionExperiment, CriterionResult,
-    CriterionRow, CriterionVariant,
+    comparison_table, run_criterion_experiment, CriterionExperiment, CriterionResult, CriterionRow,
+    CriterionVariant,
 };
 pub use layout::{log_uniform_layout, ConcentratedLayout};
 pub use sweep::{

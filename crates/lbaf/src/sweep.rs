@@ -127,7 +127,14 @@ pub fn sweep_rounds(dist: &Distribution, rounds: &[usize], seed: u64) -> Sweep {
 pub fn sweep_budget(dist: &Distribution, budgets: &[(usize, usize)], seed: u64) -> Sweep {
     let points = budgets
         .iter()
-        .map(|&(t, i)| point(format!("trials={t} iters={i}"), dist, &base_config(t, i), seed))
+        .map(|&(t, i)| {
+            point(
+                format!("trials={t} iters={i}"),
+                dist,
+                &base_config(t, i),
+                seed,
+            )
+        })
         .collect();
     Sweep {
         title: "Refinement budget sweep (TemperedLB)".into(),
@@ -168,7 +175,12 @@ pub fn sweep_ablation(dist: &Distribution, seed: u64) -> Sweep {
 
     let mut no_recompute = full;
     no_recompute.transfer.recompute_cmf = false;
-    points.push(point("CMF recompute → off".into(), dist, &no_recompute, seed));
+    points.push(point(
+        "CMF recompute → off".into(),
+        dist,
+        &no_recompute,
+        seed,
+    ));
 
     let mut one_shot = full;
     one_shot.trials = 1;
@@ -226,22 +238,13 @@ pub fn sweep_knowledge_cap(dist: &Distribution, caps: &[usize], seed: u64) -> Sw
 /// Gossip coverage as a function of rounds: fraction of ranks achieving
 /// full knowledge, and message cost (supports the `log_f P` claim of
 /// §IV-B's theoretical analysis).
-pub fn gossip_coverage(
-    dist: &Distribution,
-    fanout: usize,
-    max_rounds: usize,
-    seed: u64,
-) -> Table {
+pub fn gossip_coverage(dist: &Distribution, fanout: usize, max_rounds: usize, seed: u64) -> Table {
     let mut t = Table::new(
         format!("Gossip coverage vs rounds (f={fanout})"),
         &["k", "full-knowledge ranks (%)", "mean |S|", "messages"],
     );
     let l_ave = dist.average_load();
-    let underloaded = dist
-        .rank_loads()
-        .iter()
-        .filter(|&&l| l < l_ave)
-        .count();
+    let underloaded = dist.rank_loads().iter().filter(|&&l| l < l_ave).count();
     for k in 0..=max_rounds {
         let cfg = GossipConfig {
             fanout,

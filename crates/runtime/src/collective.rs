@@ -131,12 +131,17 @@ impl LoadSummary {
 /// A rank completes when it has its own contribution plus one message per
 /// child; the embedding protocol then forwards the partial to the parent,
 /// or — at the root — owns the final value.
+///
+/// Partials are folded in a *canonical* order — own contribution first,
+/// then children sorted by rank — regardless of arrival order. Floating
+/// point addition is not associative, so arrival-order folding would make
+/// the reduced total depend on message timing; the canonical fold keeps
+/// the result identical across executors, fault plans, and reorderings.
 #[derive(Clone, Debug)]
 pub struct ReduceSlot {
     expected_children: usize,
-    received_children: usize,
     own: Option<LoadSummary>,
-    acc: LoadSummary,
+    children: Vec<(RankId, LoadSummary)>,
 }
 
 impl ReduceSlot {
@@ -144,9 +149,8 @@ impl ReduceSlot {
     pub fn new(expected_children: usize) -> Self {
         ReduceSlot {
             expected_children,
-            received_children: 0,
             own: None,
-            acc: LoadSummary::default(),
+            children: Vec::with_capacity(expected_children),
         }
     }
 
@@ -154,28 +158,29 @@ impl ReduceSlot {
     /// if the slot is now full.
     pub fn contribute(&mut self, own: LoadSummary) -> Option<LoadSummary> {
         debug_assert!(self.own.is_none(), "double contribution");
-        self.acc = self.acc.combine(own);
         self.own = Some(own);
         self.completed()
     }
 
-    /// Record a child's partial; returns the completed partial if full.
-    pub fn on_child(&mut self, partial: LoadSummary) -> Option<LoadSummary> {
+    /// Record the partial from child rank `from`; returns the completed
+    /// partial if full.
+    pub fn on_child(&mut self, from: RankId, partial: LoadSummary) -> Option<LoadSummary> {
         debug_assert!(
-            self.received_children < self.expected_children,
+            self.children.len() < self.expected_children,
             "more child partials than children"
         );
-        self.received_children += 1;
-        self.acc = self.acc.combine(partial);
+        self.children.push((from, partial));
         self.completed()
     }
 
     fn completed(&self) -> Option<LoadSummary> {
-        if self.own.is_some() && self.received_children == self.expected_children {
-            Some(self.acc)
-        } else {
-            None
+        let own = self.own?;
+        if self.children.len() != self.expected_children {
+            return None;
         }
+        let mut sorted = self.children.clone();
+        sorted.sort_by_key(|(r, _)| *r);
+        Some(sorted.into_iter().fold(own, |acc, (_, p)| acc.combine(p)))
     }
 }
 
@@ -234,8 +239,8 @@ mod tests {
     fn reduce_slot_completes_in_any_order() {
         // Children first, then own.
         let mut s = ReduceSlot::new(2);
-        assert!(s.on_child(LoadSummary::of(1.0)).is_none());
-        assert!(s.on_child(LoadSummary::of(2.0)).is_none());
+        assert!(s.on_child(RankId::new(1), LoadSummary::of(1.0)).is_none());
+        assert!(s.on_child(RankId::new(2), LoadSummary::of(2.0)).is_none());
         let done = s.contribute(LoadSummary::of(3.0)).unwrap();
         assert_eq!(done.total, 6.0);
         assert_eq!(done.count, 3);
@@ -243,9 +248,29 @@ mod tests {
         // Own first, then children.
         let mut s = ReduceSlot::new(2);
         assert!(s.contribute(LoadSummary::of(3.0)).is_none());
-        assert!(s.on_child(LoadSummary::of(1.0)).is_none());
-        let done = s.on_child(LoadSummary::of(2.0)).unwrap();
+        assert!(s.on_child(RankId::new(1), LoadSummary::of(1.0)).is_none());
+        let done = s.on_child(RankId::new(2), LoadSummary::of(2.0)).unwrap();
         assert_eq!(done.max, 3.0);
+    }
+
+    #[test]
+    fn reduce_slot_folds_in_canonical_order() {
+        // FP addition is order-sensitive; the slot must fold own-first,
+        // children-by-rank, no matter the arrival order.
+        let a = LoadSummary::of(0.1);
+        let b = LoadSummary::of(0.2);
+        let own = LoadSummary::of(0.3);
+        let mut s1 = ReduceSlot::new(2);
+        s1.on_child(RankId::new(1), a);
+        s1.on_child(RankId::new(2), b);
+        let r1 = s1.contribute(own).unwrap();
+        let mut s2 = ReduceSlot::new(2);
+        s2.contribute(own);
+        s2.on_child(RankId::new(2), b);
+        let r2 = s2.on_child(RankId::new(1), a).unwrap();
+        assert_eq!(r1.total.to_bits(), r2.total.to_bits());
+        assert_eq!(r1.max.to_bits(), r2.max.to_bits());
+        assert_eq!(r1.count, r2.count);
     }
 
     #[test]
@@ -263,20 +288,20 @@ mod tests {
         let mut slots: Vec<ReduceSlot> = (0..n)
             .map(|r| ReduceSlot::new(tree.children(RankId::from(r)).len()))
             .collect();
-        // Messages queued as (target, partial).
-        let mut inbox: Vec<(usize, LoadSummary)> = Vec::new();
+        // Messages queued as (target, sender, partial).
+        let mut inbox: Vec<(usize, usize, LoadSummary)> = Vec::new();
         for (r, slot) in slots.iter_mut().enumerate() {
             if let Some(done) = slot.contribute(LoadSummary::of((r + 1) as f64)) {
                 if let Some(p) = tree.parent(RankId::from(r)) {
-                    inbox.push((p.as_usize(), done));
+                    inbox.push((p.as_usize(), r, done));
                 }
             }
         }
         let mut root_result = None;
-        while let Some((t, partial)) = inbox.pop() {
-            if let Some(done) = slots[t].on_child(partial) {
+        while let Some((t, from, partial)) = inbox.pop() {
+            if let Some(done) = slots[t].on_child(RankId::from(from), partial) {
                 match tree.parent(RankId::from(t)) {
-                    Some(p) => inbox.push((p.as_usize(), done)),
+                    Some(p) => inbox.push((p.as_usize(), t, done)),
                     None => root_result = Some(done),
                 }
             }

@@ -1,0 +1,454 @@
+//! Seed-deterministic fault injection for the message-passing executors.
+//!
+//! A [`FaultPlan`] describes an adverse network: per-message drop,
+//! duplication, reorder and heavy-tailed delay-spike probabilities,
+//! per-rank straggler slowdowns, and transient per-rank pause windows.
+//! Both executors ([`crate::sim::Simulator`] and
+//! [`crate::parallel::run_parallel_with`]) consult the same
+//! [`FaultInjector`] logic, so a given plan means the same thing under
+//! discrete-event simulation and real threads.
+//!
+//! Two properties drive the design:
+//!
+//! 1. **Statelessness relative to the model RNG.** Fault decisions are
+//!    pure hashes of `(plan seed, from, to, per-link ordinal)` — they
+//!    consume nothing from the executor's random streams. A zeroed plan
+//!    therefore leaves every other random decision bit-identical to a
+//!    run with no injector at all.
+//! 2. **Executor-neutral units.** A [`Fate`] expresses extra delay as a
+//!    *multiplier on nominal latency*; the simulator applies it to its
+//!    virtual-time network model, the threaded executor converts it to a
+//!    wall-clock hold-back. The schedule of effects (which message is
+//!    dropped, duplicated, …) is identical either way.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tempered_core::ids::RankId;
+use tempered_core::rng::{derive_seed, splitmix64};
+
+/// A transient outage: messages arriving at `rank` during
+/// `[from, until)` (seconds — virtual in the simulator, wall-clock from
+/// run start in the threaded executor) are held and delivered at
+/// `until`. Models a rank that stops processing for a while (GC pause,
+/// OS preemption, network partition healing).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PauseWindow {
+    /// The paused rank.
+    pub rank: RankId,
+    /// Window start (inclusive).
+    pub from: f64,
+    /// Window end (exclusive); deferred messages land here.
+    pub until: f64,
+}
+
+/// Declarative description of the faults to inject into a run.
+///
+/// All probabilities are per *faultable* message (see
+/// [`crate::sim::Protocol::faultable`]) and must lie in `[0, 1]`.
+/// [`FaultPlan::none`] — the default — injects nothing and is
+/// guaranteed not to perturb the run in any way.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the fault-decision hash stream (independent of the
+    /// experiment master seed).
+    pub seed: u64,
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a (non-dropped) message is delivered twice.
+    pub duplicate: f64,
+    /// Probability of a heavy-tailed delay spike.
+    pub delay_spike: f64,
+    /// Spike magnitude: the latency multiplier is drawn from a truncated
+    /// Pareto `scale / (1 - 0.99·u)`, i.e. in `[scale, 100·scale]`.
+    pub delay_spike_scale: f64,
+    /// Probability a message is deliberately held back (reordered past
+    /// later traffic).
+    pub reorder: f64,
+    /// Latency multiplier applied to reordered messages.
+    pub reorder_factor: f64,
+    /// Per-rank straggler slowdowns: every message to or from the rank
+    /// has its latency multiplied by the factor (≥ 1).
+    pub stragglers: Vec<(RankId, f64)>,
+    /// Transient per-rank outage windows.
+    pub pauses: Vec<PauseWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no perturbation.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay_spike: 0.0,
+            delay_spike_scale: 1.0,
+            reorder: 0.0,
+            reorder_factor: 1.0,
+            stragglers: Vec::new(),
+            pauses: Vec::new(),
+        }
+    }
+
+    /// True when the plan can have no observable effect. Executors use
+    /// this to skip the injector entirely, making a zeroed plan
+    /// bit-identical to no plan.
+    pub fn is_zero(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.delay_spike == 0.0
+            && self.reorder == 0.0
+            && self.stragglers.iter().all(|&(_, f)| f <= 1.0)
+            && self.pauses.is_empty()
+    }
+
+    /// Panic on out-of-range parameters; called once by the executors.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("delay_spike", self.delay_spike),
+            ("reorder", self.reorder),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "FaultPlan.{name} must be a probability, got {p}"
+            );
+        }
+        for &(r, f) in &self.stragglers {
+            assert!(f >= 1.0, "straggler factor for {r} must be >= 1, got {f}");
+        }
+        for w in &self.pauses {
+            assert!(
+                w.until >= w.from && w.from >= 0.0,
+                "pause window for {} is malformed: [{}, {})",
+                w.rank,
+                w.from,
+                w.until
+            );
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// The injector's verdict for one message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fate {
+    /// Delivered copies: 0 (dropped), 1 (normal), or 2 (duplicated).
+    pub copies: u32,
+    /// Multiplier on the message's nominal latency (≥ 1).
+    pub delay_factor: f64,
+}
+
+impl Fate {
+    /// The fate of an unfaulted message.
+    pub fn clean() -> Self {
+        Fate {
+            copies: 1,
+            delay_factor: 1.0,
+        }
+    }
+}
+
+/// Counters of injected effects, reported alongside network stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Faultable messages that passed through the injector.
+    pub faultable: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages duplicated.
+    pub duplicated: u64,
+    /// Messages hit by a delay spike.
+    pub spiked: u64,
+    /// Messages held back for reordering.
+    pub reordered: u64,
+    /// Messages slowed by a straggler factor.
+    pub straggled: u64,
+    /// Deliveries deferred past a pause window.
+    pub paused: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another stats block (for merging per-worker counters).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.faultable += other.faultable;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.spiked += other.spiked;
+        self.reordered += other.reordered;
+        self.straggled += other.straggled;
+        self.paused += other.paused;
+    }
+}
+
+/// Turns the hash `u` into a uniform in `[0, 1)`.
+#[inline]
+fn unit(u: u64) -> f64 {
+    (u >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Deterministic fault decisions for a stream of messages.
+///
+/// Each `(from, to)` link has an ordinal counter; the fate of the n-th
+/// message on a link is a pure function of `(seed, from, to, n)`. Sends
+/// from a rank are always processed by the component that owns the rank
+/// (the simulator, or the rank's worker thread), so per-link ordinals are
+/// deterministic under both executors.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    straggler: HashMap<RankId, f64>,
+    ordinals: HashMap<(RankId, RankId), u64>,
+    /// Effect counters, updated as fates are drawn.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan` (validates it).
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate();
+        let straggler = plan.stragglers.iter().copied().collect();
+        FaultInjector {
+            plan,
+            straggler,
+            ordinals: HashMap::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next message on the `from → to` link.
+    pub fn fate(&mut self, from: RankId, to: RankId) -> Fate {
+        self.stats.faultable += 1;
+        let ord = self.ordinals.entry((from, to)).or_insert(0);
+        *ord += 1;
+        let mut state = derive_seed(
+            self.plan.seed,
+            &[0xFA_017_u64, from.as_u32() as u64, to.as_u32() as u64, *ord],
+        );
+        let u_drop = unit(splitmix64(&mut state));
+        let u_dup = unit(splitmix64(&mut state));
+        let u_spike = unit(splitmix64(&mut state));
+        let u_reorder = unit(splitmix64(&mut state));
+        let u_mag = unit(splitmix64(&mut state));
+
+        if u_drop < self.plan.drop {
+            self.stats.dropped += 1;
+            return Fate {
+                copies: 0,
+                delay_factor: 1.0,
+            };
+        }
+        let copies = if u_dup < self.plan.duplicate {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut delay_factor = 1.0_f64;
+        let strag = self
+            .straggler
+            .get(&from)
+            .copied()
+            .unwrap_or(1.0)
+            .max(self.straggler.get(&to).copied().unwrap_or(1.0));
+        if strag > 1.0 {
+            self.stats.straggled += 1;
+            delay_factor *= strag;
+        }
+        if u_spike < self.plan.delay_spike {
+            self.stats.spiked += 1;
+            // Truncated Pareto(α = 1): heavy tail, bounded at 100×scale.
+            delay_factor *= self.plan.delay_spike_scale / (1.0 - 0.99 * u_mag);
+        }
+        if u_reorder < self.plan.reorder {
+            self.stats.reordered += 1;
+            delay_factor *= self.plan.reorder_factor.max(1.0);
+        }
+        Fate {
+            copies,
+            delay_factor,
+        }
+    }
+
+    /// If `arrival` (seconds) falls inside a pause window of rank `to`,
+    /// return the deferred delivery time.
+    pub fn deferred_until(&mut self, to: RankId, arrival: f64) -> Option<f64> {
+        let mut deferred: Option<f64> = None;
+        for w in &self.plan.pauses {
+            if w.rank == to && arrival >= w.from && arrival < w.until {
+                deferred = Some(deferred.map_or(w.until, |d: f64| d.max(w.until)));
+            }
+        }
+        if deferred.is_some() {
+            self.stats.paused += 1;
+        }
+        deferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(drop: f64, dup: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            drop,
+            duplicate: dup,
+            ..FaultPlan::none()
+        }
+    }
+
+    #[test]
+    fn zero_plan_is_zero_and_clean() {
+        assert!(FaultPlan::none().is_zero());
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for i in 0..100 {
+            let f = inj.fate(RankId::new(0), RankId::new(i % 7));
+            assert_eq!(f, Fate::clean());
+        }
+        assert_eq!(inj.stats.dropped, 0);
+        assert_eq!(inj.stats.faultable, 100);
+    }
+
+    #[test]
+    fn unity_stragglers_still_count_as_zero_plan() {
+        let mut p = FaultPlan::none();
+        p.stragglers = vec![(RankId::new(3), 1.0)];
+        assert!(p.is_zero());
+        p.stragglers = vec![(RankId::new(3), 2.0)];
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_link_ordinal() {
+        let p = plan(0.3, 0.2);
+        let mut a = FaultInjector::new(p.clone());
+        let mut b = FaultInjector::new(p);
+        let links = [(0u32, 1u32), (1, 0), (0, 2), (0, 1), (2, 5)];
+        for &(f, t) in &links {
+            assert_eq!(
+                a.fate(RankId::new(f), RankId::new(t)),
+                b.fate(RankId::new(f), RankId::new(t))
+            );
+        }
+    }
+
+    #[test]
+    fn fate_ignores_interleaving_of_other_links() {
+        // The n-th message on a link has the same fate regardless of
+        // traffic on other links.
+        let p = plan(0.5, 0.0);
+        let mut lone = FaultInjector::new(p.clone());
+        let fates: Vec<Fate> = (0..20)
+            .map(|_| lone.fate(RankId::new(3), RankId::new(4)))
+            .collect();
+        let mut busy = FaultInjector::new(p);
+        let mut got = Vec::new();
+        for i in 0..20 {
+            // Interleave unrelated traffic.
+            busy.fate(RankId::new(1), RankId::new(2));
+            got.push(busy.fate(RankId::new(3), RankId::new(4)));
+            if i % 3 == 0 {
+                busy.fate(RankId::new(4), RankId::new(3));
+            }
+        }
+        assert_eq!(fates, got);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let mut inj = FaultInjector::new(plan(0.2, 0.0));
+        let n = 10_000;
+        for i in 0..n {
+            inj.fate(RankId::new(i % 16), RankId::new((i + 1) % 16));
+        }
+        let rate = inj.stats.dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "drop rate {rate} far from 0.2");
+    }
+
+    #[test]
+    fn duplicates_add_copies() {
+        let mut inj = FaultInjector::new(plan(0.0, 1.0));
+        let f = inj.fate(RankId::new(0), RankId::new(1));
+        assert_eq!(f.copies, 2);
+        assert_eq!(inj.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn stragglers_scale_delay_both_directions() {
+        let mut p = FaultPlan::none();
+        p.stragglers = vec![(RankId::new(2), 8.0)];
+        let mut inj = FaultInjector::new(p);
+        let out = inj.fate(RankId::new(2), RankId::new(0));
+        let inb = inj.fate(RankId::new(0), RankId::new(2));
+        let other = inj.fate(RankId::new(0), RankId::new(1));
+        assert_eq!(out.delay_factor, 8.0);
+        assert_eq!(inb.delay_factor, 8.0);
+        assert_eq!(other.delay_factor, 1.0);
+        assert_eq!(inj.stats.straggled, 2);
+    }
+
+    #[test]
+    fn spikes_are_heavy_but_bounded() {
+        let mut p = FaultPlan::none();
+        p.seed = 7;
+        p.delay_spike = 1.0;
+        p.delay_spike_scale = 10.0;
+        let mut inj = FaultInjector::new(p);
+        for i in 0..1000 {
+            let f = inj.fate(RankId::new(0), RankId::new(1 + i % 5));
+            assert!(f.delay_factor >= 10.0);
+            assert!(f.delay_factor <= 10.0 * 101.0);
+        }
+        assert_eq!(inj.stats.spiked, 1000);
+    }
+
+    #[test]
+    fn pause_windows_defer_delivery() {
+        let mut p = FaultPlan::none();
+        p.pauses = vec![PauseWindow {
+            rank: RankId::new(1),
+            from: 1.0,
+            until: 2.0,
+        }];
+        let mut inj = FaultInjector::new(p);
+        assert_eq!(inj.deferred_until(RankId::new(1), 0.5), None);
+        assert_eq!(inj.deferred_until(RankId::new(1), 1.5), Some(2.0));
+        assert_eq!(inj.deferred_until(RankId::new(1), 2.0), None);
+        assert_eq!(inj.deferred_until(RankId::new(0), 1.5), None);
+        assert_eq!(inj.stats.paused, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn out_of_range_probability_panics() {
+        FaultInjector::new(plan(1.5, 0.0));
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = FaultStats {
+            faultable: 1,
+            dropped: 2,
+            duplicated: 3,
+            spiked: 4,
+            reordered: 5,
+            straggled: 6,
+            paused: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.dropped, 4);
+        assert_eq!(a.paused, 14);
+    }
+}

@@ -23,6 +23,68 @@ pub struct TaskEntry {
     pub home: RankId,
 }
 
+/// Transport envelope around [`LbMsg`]: the delivery layer of the
+/// hardened protocol.
+///
+/// With [`super::LbProtocolConfig::reliability`] unset every message
+/// travels as [`LbWire::Raw`] — zero overhead, bit-identical to the
+/// historical best-effort protocol. With a [`crate::reliable::RetryConfig`]
+/// installed, protocol messages travel as [`LbWire::Data`] with a
+/// per-link sequence number and are acknowledged / retransmitted /
+/// deduplicated by a [`crate::reliable::ReliableChannel`]; the two timer
+/// variants are scheduled by a rank *to itself* via
+/// [`crate::sim::Ctx::schedule`] and never cross the network.
+#[derive(Clone, Debug)]
+pub enum LbWire {
+    /// Best-effort transmission (legacy mode; no delivery guarantee).
+    Raw(LbMsg),
+    /// Reliable transmission: retransmitted until acknowledged,
+    /// deduplicated by `seq` at the receiver.
+    Data {
+        /// Per-(sender → receiver) sequence number, starting at 1.
+        seq: u64,
+        /// The protocol payload.
+        msg: LbMsg,
+    },
+    /// Acknowledgement for a [`LbWire::Data`] with the same `seq`
+    /// (best-effort; a lost ack merely causes a redundant resend).
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// Self-timer: check whether `(to, seq)` is still unacknowledged
+    /// and retransmit or give up.
+    RetryTimer {
+        /// Destination of the pending message.
+        to: RankId,
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// Self-timer: if the rank's stage-transition counter still equals
+    /// `stage_seq` when this fires, the stage has made no progress for a
+    /// full deadline and the rank degrades.
+    StageTimer {
+        /// Value of the stage counter when the timer was armed.
+        stage_seq: u64,
+    },
+}
+
+/// Wire overhead of the reliable framing (sequence number + tag),
+/// added to [`LbMsg::wire_bytes`] for [`LbWire::Data`] transmissions.
+pub const SEQ_OVERHEAD_BYTES: usize = 12;
+
+impl LbWire {
+    /// Modeled wire size. Timers never cross the network and cost 0.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            LbWire::Raw(m) => m.wire_bytes(),
+            LbWire::Data { msg, .. } => msg.wire_bytes() + SEQ_OVERHEAD_BYTES,
+            LbWire::Ack { .. } => SEQ_OVERHEAD_BYTES,
+            LbWire::RetryTimer { .. } | LbWire::StageTimer { .. } => 0,
+        }
+    }
+}
+
 /// Protocol messages.
 #[derive(Clone, Debug)]
 pub enum LbMsg {
@@ -150,9 +212,30 @@ mod tests {
             None
         );
         assert_eq!(
-            LbMsg::Td(TdMsg::Terminated { epoch: 1 }).basic_epoch(),
+            LbMsg::Td(TdMsg::Terminated { epoch: 1, sent: 0 }).basic_epoch(),
             None
         );
+    }
+
+    #[test]
+    fn wire_framing_overhead() {
+        let inner = LbMsg::Fetch {
+            epoch: 2,
+            tasks: vec![TaskId::new(1), TaskId::new(2)],
+        };
+        let raw = LbWire::Raw(inner.clone()).wire_bytes();
+        let framed = LbWire::Data { seq: 9, msg: inner }.wire_bytes();
+        assert_eq!(raw + SEQ_OVERHEAD_BYTES, framed);
+        assert_eq!(LbWire::Ack { seq: 9 }.wire_bytes(), SEQ_OVERHEAD_BYTES);
+        assert_eq!(
+            LbWire::RetryTimer {
+                to: RankId::new(0),
+                seq: 1
+            }
+            .wire_bytes(),
+            0
+        );
+        assert_eq!(LbWire::StageTimer { stage_seq: 3 }.wire_bytes(), 0);
     }
 
     #[test]

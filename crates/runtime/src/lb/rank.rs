@@ -5,10 +5,12 @@
 //! ```text
 //! Setup      allreduce (Σ load, max load) → every rank knows ℓ_ave, ℓ_max
 //! ┌─ per (trial, iteration) ──────────────────────────────────────────┐
-//! │ Gossip     Algorithm 1, barrier-free; sequenced by termination     │
-//! │            detection (epoch 2·(t·n_iters + i))                     │
+//! │ Gossip     Algorithm 1, barrier-free; each message round is its    │
+//! │            own TD epoch (round r of iteration j lives in epoch     │
+//! │            1 + j·(k+1) + (r−1)), so a round's sends are a pure     │
+//! │            function of the previous round's *complete* receipts    │
 //! │ Proposals  Algorithm 2 locally; lazy-transfer messages inform      │
-//! │            recipients of their new logical tasks (epoch … + 1)     │
+//! │            recipients of their new logical tasks (epoch … + k)     │
 //! │ Evaluate   allreduce of proposed max load → identical I_proposed   │
 //! │            at every rank → symmetric best-tracking, no coordinator │
 //! └────────────────────────────────────────────────────────────────────┘
@@ -20,12 +22,41 @@
 //! Every rank advances through stages *locally*, driven only by received
 //! messages; out-of-order messages from ranks that advanced earlier are
 //! buffered by epoch and replayed (see [`super::messages::LbMsg`]).
+//!
+//! # Determinism
+//!
+//! Stepping gossip by TD epoch (instead of forwarding reactively on
+//! receipt) plus canonicalizing order-sensitive state — knowledge sorted
+//! by rank at every epoch start, the resident task vector sorted by task
+//! id at every stage boundary — makes the final assignment a pure
+//! function of `(input, config, seed)`, independent of message timing,
+//! interleaving, or executor. This is what lets the chaos harness assert
+//! that a faulted run converges to the *same* assignment as a fault-free
+//! one. (The NACK variant is excluded: which proposals a recipient
+//! bounces depends inherently on arrival order.)
+//!
+//! # Hardening
+//!
+//! With [`LbProtocolConfig::reliability`] set, every protocol message —
+//! gossip, proposals, migrations, collectives, *and* termination tokens —
+//! travels through a [`ReliableChannel`]: sequence-numbered
+//! [`LbWire::Data`] frames, acked on arrival, retransmitted with
+//! exponential backoff, deduplicated at the receiver. Epoch buffering
+//! sits *behind* the dedup layer, so a retransmitted duplicate can never
+//! be double-processed even across epoch transitions. A rank whose
+//! retry budget runs out or whose stage makes no progress for a full
+//! [`RetryConfig::stage_deadline`] *degrades*: it abandons the protocol,
+//! reverts to its input tasks (unless already committing, where the
+//! globally-agreed best is kept), and goes silent so that peers degrade
+//! via their own deadlines instead of acting on its partial state.
+//! With `reliability` unset every message travels as [`LbWire::Raw`]
+//! with zero overhead — the historical best-effort protocol.
 
-use super::messages::{LbMsg, TaskEntry};
+use super::messages::{LbMsg, LbWire, TaskEntry, SEQ_OVERHEAD_BYTES};
 use crate::collective::{LoadSummary, ReduceSlot, Tree};
+use crate::reliable::{ReliableChannel, ReliableStats, RetryAction, RetryConfig};
 use crate::sim::{Ctx, Protocol};
 use crate::termination::{TdMsg, TerminationDetector};
-use rand::rngs::SmallRng;
 use std::collections::HashMap;
 use tempered_core::gossip::sample_target;
 use tempered_core::ids::{RankId, TaskId};
@@ -54,6 +85,11 @@ pub struct LbProtocolConfig {
     /// proposed tasks that would push them past `ℓ_ave`. The paper drops
     /// this mechanism (§V-A); the flag exists to measure that choice.
     pub use_nacks: bool,
+    /// Delivery hardening. `None` (default) sends best-effort
+    /// [`LbWire::Raw`] frames — the historical protocol, bit-identical
+    /// to builds without the fault layer. `Some` enables at-least-once
+    /// delivery with retransmission, dedup, and stage deadlines.
+    pub reliability: Option<RetryConfig>,
 }
 
 impl Default for LbProtocolConfig {
@@ -66,6 +102,7 @@ impl Default for LbProtocolConfig {
             transfer: TransferConfig::tempered(),
             bytes_per_task: 65_536,
             use_nacks: false,
+            reliability: None,
         }
     }
 }
@@ -79,6 +116,15 @@ impl LbProtocolConfig {
             iters: 1,
             transfer: TransferConfig::grapevine(),
             ..Default::default()
+        }
+    }
+
+    /// The same configuration with delivery hardening enabled under the
+    /// given retry policy.
+    pub fn hardened(self, retry: RetryConfig) -> Self {
+        LbProtocolConfig {
+            reliability: Some(retry),
+            ..self
         }
     }
 }
@@ -148,7 +194,18 @@ pub struct LbRank {
 
     // Gossip state for the current iteration.
     knowledge: Knowledge,
-    gossip_rng: Option<SmallRng>,
+    gossip_round: u32,
+    /// Whether any message in the current gossip round taught us a new
+    /// underloaded rank (Algorithm 1's forwarding condition, evaluated
+    /// per round instead of per message).
+    grew: bool,
+
+    // Delivery hardening.
+    channel: ReliableChannel<LbMsg>,
+    stage_seq: u64,
+    /// Whether this rank abandoned the protocol (retry budget exhausted
+    /// or stage deadline missed) and reverted to a safe assignment.
+    pub degraded: bool,
 
     // Epoch-stamped buffering of early messages.
     buffered: Vec<(RankId, LbMsg)>,
@@ -179,18 +236,14 @@ impl LbRank {
         cfg: LbProtocolConfig,
         factory: RngFactory,
     ) -> Self {
+        assert!(cfg.rounds >= 1, "gossip needs at least one round");
         let original: Vec<TaskEntry> = tasks
             .into_iter()
-            .map(|(id, load)| TaskEntry {
-                id,
-                load,
-                home: me,
-            })
+            .map(|(id, load)| TaskEntry { id, load, home: me })
             .collect();
         LbRank {
             me,
             num_ranks,
-            cfg,
             factory,
             tree: Tree::new(num_ranks, RankId::new(0)),
             det: TerminationDetector::new(me, num_ranks),
@@ -205,7 +258,12 @@ impl LbRank {
             iter: 0,
             stage: Stage::Setup,
             knowledge: Knowledge::new(),
-            gossip_rng: None,
+            gossip_round: 0,
+            grew: false,
+            channel: ReliableChannel::new(cfg.reliability.unwrap_or_default()),
+            stage_seq: 0,
+            degraded: false,
+            cfg,
             buffered: Vec::new(),
             records: Vec::new(),
             migrations_in: 0,
@@ -227,59 +285,169 @@ impl LbRank {
         self.stage
     }
 
+    /// Delivery-layer counters (all zero in best-effort mode).
+    pub fn reliable_stats(&self) -> ReliableStats {
+        self.channel.stats
+    }
+
     fn my_load(&self) -> f64 {
         self.current.iter().map(|t| t.load).sum()
     }
 
     // ---- epoch numbering -------------------------------------------------
+    //
+    // Epoch 0 is reserved for setup. Each (trial, iteration) owns a
+    // contiguous block of `rounds + 1` epochs: one per gossip round plus
+    // one for the proposal exchange. Commit takes the single epoch after
+    // the last block. Early-exited gossip rounds leave their epoch
+    // numbers unused — TD epochs need not be consecutive, only unique
+    // and globally ordered.
 
-    fn gossip_epoch(&self) -> u64 {
-        2 * (self.trial * self.cfg.iters + self.iter) as u64 + 1
+    fn epoch_stride(&self) -> u64 {
+        self.cfg.rounds as u64 + 1
+    }
+
+    fn iter_base(&self) -> u64 {
+        (self.trial * self.cfg.iters + self.iter) as u64 * self.epoch_stride()
+    }
+
+    fn gossip_round_epoch(&self, round: u32) -> u64 {
+        1 + self.iter_base() + (round as u64 - 1)
     }
 
     fn proposal_epoch(&self) -> u64 {
-        self.gossip_epoch() + 1
+        1 + self.iter_base() + self.cfg.rounds as u64
     }
 
     fn commit_epoch(&self) -> u64 {
-        2 * (self.cfg.trials * self.cfg.iters) as u64 + 1
+        1 + (self.cfg.trials * self.cfg.iters) as u64 * self.epoch_stride()
     }
 
     fn eval_slot(&self) -> u32 {
         1 + (self.trial * self.cfg.iters + self.iter) as u32
     }
 
+    // ---- canonicalization ------------------------------------------------
+
+    /// Sort knowledge by rank id. Gossip merges append in arrival order;
+    /// sorting at every epoch boundary makes CMF construction and target
+    /// sampling independent of message timing.
+    fn canonicalize_knowledge(&mut self) {
+        let mut entries = self.knowledge.to_pairs();
+        entries.sort_by_key(|&(r, _)| r);
+        self.knowledge = entries.into_iter().collect();
+    }
+
+    /// Sort resident tasks by id. Proposals extend `current` in arrival
+    /// order; sorting at stage boundaries makes load sums (FP!) and
+    /// transfer-stage iteration order timing-independent.
+    fn canonicalize_current(&mut self) {
+        self.current.sort_by_key(|t| t.id);
+    }
+
     // ---- send helpers ----------------------------------------------------
 
-    fn send_basic(&mut self, ctx: &mut Ctx<'_, LbMsg>, to: RankId, msg: LbMsg) {
-        self.send_basic_sized(ctx, to, msg, 0);
+    /// Full modeled cost of a protocol message, including commit-stage
+    /// task payloads.
+    fn payload_bytes(&self, msg: &LbMsg) -> usize {
+        let extra = match msg {
+            LbMsg::TaskData { tasks, .. } => self.cfg.bytes_per_task * tasks.len(),
+            _ => 0,
+        };
+        msg.wire_bytes() + extra
     }
 
-    fn send_basic_sized(
-        &mut self,
-        ctx: &mut Ctx<'_, LbMsg>,
-        to: RankId,
-        msg: LbMsg,
-        extra_bytes: usize,
-    ) {
+    /// Hand a protocol message to the delivery layer: raw in best-effort
+    /// mode, sequenced + retry-timed in hardened mode.
+    fn transmit(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, msg: LbMsg) {
+        let bytes = self.payload_bytes(&msg);
+        if self.cfg.reliability.is_some() {
+            let (seq, delay) = self.channel.send(to, msg.clone());
+            ctx.send(to, LbWire::Data { seq, msg }, bytes + SEQ_OVERHEAD_BYTES);
+            ctx.schedule(delay, LbWire::RetryTimer { to, seq });
+        } else {
+            ctx.send(to, LbWire::Raw(msg), bytes);
+        }
+    }
+
+    fn send_basic(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, msg: LbMsg) {
         debug_assert!(msg.basic_epoch().is_some(), "basic send of control msg");
+        // Counted once here; retransmissions of the same sequence number
+        // are invisible to termination detection.
         self.det.on_basic_send();
-        let bytes = msg.wire_bytes() + extra_bytes;
-        ctx.send(to, msg, bytes);
+        self.transmit(ctx, to, msg);
     }
 
-    fn send_ctrl(&mut self, ctx: &mut Ctx<'_, LbMsg>, to: RankId, msg: LbMsg) {
-        let bytes = msg.wire_bytes();
-        ctx.send(to, msg, bytes);
+    fn send_ctrl(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, msg: LbMsg) {
+        self.transmit(ctx, to, msg);
     }
 
-    fn emit_td(&mut self, ctx: &mut Ctx<'_, LbMsg>, outcome: crate::termination::TdOutcome) {
+    fn emit_td(&mut self, ctx: &mut Ctx<'_, LbWire>, outcome: crate::termination::TdOutcome) {
         for s in outcome.sends {
             self.send_ctrl(ctx, s.to, LbMsg::Td(s.msg));
         }
         if let Some(epoch) = outcome.terminated_epoch {
-            self.on_epoch_terminated(ctx, epoch);
+            self.on_epoch_terminated(ctx, epoch, outcome.terminated_sent);
         }
+    }
+
+    // ---- delivery hardening ----------------------------------------------
+
+    fn arm_stage_deadline(&mut self, ctx: &mut Ctx<'_, LbWire>) {
+        if let Some(retry) = self.cfg.reliability {
+            self.stage_seq += 1;
+            ctx.schedule(
+                retry.stage_deadline,
+                LbWire::StageTimer {
+                    stage_seq: self.stage_seq,
+                },
+            );
+        }
+    }
+
+    fn on_stage_timer(&mut self, stage_seq: u64) {
+        // A stale counter means the stage advanced since this timer was
+        // armed; only a live counter indicates a stall.
+        if !self.done && stage_seq == self.stage_seq {
+            self.degrade();
+        }
+    }
+
+    fn on_retry_timer(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, seq: u64) {
+        match self.channel.on_retry_timer(to, seq) {
+            RetryAction::Resend {
+                to,
+                seq,
+                msg,
+                next_delay,
+            } => {
+                let bytes = self.payload_bytes(&msg) + SEQ_OVERHEAD_BYTES;
+                ctx.send(to, LbWire::Data { seq, msg }, bytes);
+                ctx.schedule(next_delay, LbWire::RetryTimer { to, seq });
+            }
+            RetryAction::GaveUp { .. } => self.degrade(),
+            RetryAction::Settled => {}
+        }
+    }
+
+    /// Abandon the protocol after a delivery failure. Before commit the
+    /// rank reverts to its input tasks — the only assignment it can
+    /// adopt without coordination. At commit the globally-agreed best is
+    /// kept: the logical assignment was already fixed by the evaluation
+    /// allreduce, and reverting unilaterally would desynchronize it.
+    /// The rank then goes silent (no acks, no forwards), so peers that
+    /// depend on it degrade through their own deadlines rather than
+    /// acting on its abandoned state.
+    fn degrade(&mut self) {
+        if self.done {
+            return;
+        }
+        self.degraded = true;
+        self.done = true;
+        if !matches!(self.stage, Stage::Commit | Stage::Done) {
+            self.current = self.original.clone();
+        }
+        self.stage = Stage::Done;
     }
 
     // ---- collectives -----------------------------------------------------
@@ -291,13 +459,13 @@ impl LbRank {
             .or_insert_with(|| ReduceSlot::new(children))
     }
 
-    fn contribute(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, value: LoadSummary) {
+    fn contribute(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, value: LoadSummary) {
         if let Some(done) = self.slot_mut(slot).contribute(value) {
             self.reduce_complete(ctx, slot, done);
         }
     }
 
-    fn reduce_complete(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, summary: LoadSummary) {
+    fn reduce_complete(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, summary: LoadSummary) {
         match self.tree.parent(self.me) {
             Some(parent) => {
                 self.send_ctrl(ctx, parent, LbMsg::ReduceUp { slot, summary });
@@ -310,13 +478,13 @@ impl LbRank {
         }
     }
 
-    fn broadcast_down(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, summary: LoadSummary) {
+    fn broadcast_down(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, summary: LoadSummary) {
         for child in self.tree.children(self.me) {
             self.send_ctrl(ctx, child, LbMsg::ReduceDown { slot, summary });
         }
     }
 
-    fn on_reduce_result(&mut self, ctx: &mut Ctx<'_, LbMsg>, slot: u32, summary: LoadSummary) {
+    fn on_reduce_result(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, summary: LoadSummary) {
         if slot == 0 {
             // Setup complete: everyone now knows ℓ_ave / ℓ_max.
             debug_assert_eq!(self.stage, Stage::Setup);
@@ -345,22 +513,44 @@ impl LbRank {
 
     // ---- stage transitions -------------------------------------------------
 
-    fn enter_gossip(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
-        self.stage = Stage::Gossip;
+    fn enter_gossip(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.iter_transfers = 0;
         self.iter_rejected = 0;
-        let epoch = self.gossip_epoch();
-        self.det.start_epoch(epoch);
         self.knowledge = Knowledge::new();
-        let mut rng = self
-            .factory
-            .rank_stream(b"agossip", self.me.as_u32() as u64, epoch);
+        self.canonicalize_current();
+        self.enter_gossip_round(ctx, 1);
+    }
 
-        let my_load = self.my_load();
-        if my_load < self.l_ave {
-            // Algorithm 1 lines 6–12: seed and send round-1 messages.
-            self.knowledge.insert(self.me, Load::new(my_load));
+    fn enter_gossip_round(&mut self, ctx: &mut Ctx<'_, LbWire>, round: u32) {
+        self.stage = Stage::Gossip;
+        self.gossip_round = round;
+        let epoch = self.gossip_round_epoch(round);
+        self.det.start_epoch(epoch);
+
+        // Algorithm 1, stepped: round 1 is seeded by the underloaded
+        // ranks (lines 6–12); round r+1 is sent by exactly the ranks
+        // whose knowledge grew during round r (lines 18–24). All sends
+        // happen at round entry, over the complete, canonicalized union
+        // of the previous round's receipts.
+        let sending = if round == 1 {
+            let my_load = self.my_load();
+            if my_load < self.l_ave {
+                self.knowledge.insert(self.me, Load::new(my_load));
+                true
+            } else {
+                false
+            }
+        } else {
+            self.grew
+        };
+        self.grew = false;
+        self.canonicalize_knowledge();
+
+        if sending {
             let pairs = pairs_of(&self.knowledge);
+            let mut rng = self
+                .factory
+                .rank_stream(b"agossip", self.me.as_u32() as u64, epoch);
             for _ in 0..self.cfg.fanout {
                 if let Some(target) =
                     sample_target(&mut rng, self.num_ranks, self.me, &self.knowledge)
@@ -370,61 +560,43 @@ impl LbRank {
                         target,
                         LbMsg::Gossip {
                             epoch,
-                            round: 1,
+                            round,
                             pairs: pairs.clone(),
                         },
                     );
                 }
             }
         }
-        self.gossip_rng = Some(rng);
 
+        self.arm_stage_deadline(ctx);
         // Coordinator launches termination detection for this epoch.
         let kick = self.det.kick();
         self.emit_td(ctx, kick);
         self.replay_buffered(ctx);
     }
 
-    fn on_gossip(&mut self, ctx: &mut Ctx<'_, LbMsg>, round: u32, pairs: Vec<(RankId, f64)>) {
+    fn on_gossip(&mut self, round: u32, pairs: Vec<(RankId, f64)>) {
         self.det.on_basic_recv();
-        let typed: Vec<(RankId, Load)> = pairs
-            .iter()
-            .map(|&(r, l)| (r, Load::new(l)))
-            .collect();
-        let added = self.knowledge.merge_pairs(&typed);
-        // Algorithm 1 lines 18–24, asynchronous interpretation: forward
-        // only when the message taught us something new.
-        if added > 0 && (round as usize) < self.cfg.rounds {
-            let epoch = self.det.epoch();
-            let out_pairs = pairs_of(&self.knowledge);
-            let mut rng = self
-                .gossip_rng
-                .take()
-                .expect("gossip rng present during gossip epoch");
-            for _ in 0..self.cfg.fanout {
-                if let Some(target) =
-                    sample_target(&mut rng, self.num_ranks, self.me, &self.knowledge)
-                {
-                    self.send_basic(
-                        ctx,
-                        target,
-                        LbMsg::Gossip {
-                            epoch,
-                            round: round + 1,
-                            pairs: out_pairs.clone(),
-                        },
-                    );
-                }
-            }
-            self.gossip_rng = Some(rng);
+        debug_assert_eq!(round, self.gossip_round);
+        let typed: Vec<(RankId, Load)> = pairs.iter().map(|&(r, l)| (r, Load::new(l))).collect();
+        if self.knowledge.merge_pairs(&typed) > 0 {
+            self.grew = true;
         }
     }
 
-    fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, LbMsg>, epoch: u64) {
+    fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, LbWire>, epoch: u64, sent: u64) {
         match self.stage {
             Stage::Gossip => {
-                debug_assert_eq!(epoch, self.gossip_epoch());
-                self.run_transfer(ctx);
+                debug_assert_eq!(epoch, self.gossip_round_epoch(self.gossip_round));
+                // `sent` is carried by the termination broadcast, so all
+                // ranks agree on it: if the round moved no messages the
+                // remaining rounds are provably empty and every rank
+                // skips them in lockstep.
+                if sent == 0 || self.gossip_round as usize >= self.cfg.rounds {
+                    self.run_transfer(ctx);
+                } else {
+                    self.enter_gossip_round(ctx, self.gossip_round + 1);
+                }
             }
             Stage::Proposals => {
                 debug_assert_eq!(epoch, self.proposal_epoch());
@@ -439,10 +611,12 @@ impl LbRank {
         }
     }
 
-    fn run_transfer(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+    fn run_transfer(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.stage = Stage::Proposals;
         let epoch = self.proposal_epoch();
         self.det.start_epoch(epoch);
+        self.canonicalize_current();
+        self.canonicalize_knowledge();
 
         // Algorithm 2, locally.
         let my_load = self.my_load();
@@ -487,12 +661,13 @@ impl LbRank {
             }
         }
 
+        self.arm_stage_deadline(ctx);
         let kick = self.det.kick();
         self.emit_td(ctx, kick);
         self.replay_buffered(ctx);
     }
 
-    fn on_propose(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, tasks: Vec<TaskEntry>) {
+    fn on_propose(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, tasks: Vec<TaskEntry>) {
         self.det.on_basic_recv();
         if !self.cfg.use_nacks {
             self.current.extend(tasks);
@@ -523,8 +698,10 @@ impl LbRank {
         self.current.extend(rejected);
     }
 
-    fn enter_evaluate(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+    fn enter_evaluate(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.stage = Stage::Evaluate;
+        self.canonicalize_current();
+        self.arm_stage_deadline(ctx);
         let slot = self.eval_slot();
         let summary = LoadSummary::of(self.my_load());
         self.contribute(ctx, slot, summary);
@@ -532,7 +709,7 @@ impl LbRank {
         // they replay when the epoch starts.
     }
 
-    fn advance_iteration(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+    fn advance_iteration(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.iter += 1;
         if self.iter >= self.cfg.iters {
             self.iter = 0;
@@ -548,13 +725,14 @@ impl LbRank {
         self.enter_gossip(ctx);
     }
 
-    fn enter_commit(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+    fn enter_commit(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.stage = Stage::Commit;
         let epoch = self.commit_epoch();
         self.det.start_epoch(epoch);
         // Adopt the best proposal; fetch data for tasks whose home is
         // elsewhere (lazy migration).
         self.current = self.best.clone();
+        self.canonicalize_current();
         let mut by_home: HashMap<RankId, Vec<TaskId>> = HashMap::new();
         for t in &self.current {
             if t.home != self.me {
@@ -568,21 +746,20 @@ impl LbRank {
             self.send_basic(ctx, home, LbMsg::Fetch { epoch, tasks });
         }
 
+        self.arm_stage_deadline(ctx);
         let kick = self.det.kick();
         self.emit_td(ctx, kick);
         self.replay_buffered(ctx);
     }
 
-    fn on_fetch(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, tasks: Vec<TaskId>) {
+    fn on_fetch(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, tasks: Vec<TaskId>) {
         self.det.on_basic_recv();
         self.migrations_out += tasks.len();
         let epoch = self.commit_epoch();
-        let n = tasks.len();
-        let extra = self.cfg.bytes_per_task * n;
-        self.send_basic_sized(ctx, from, LbMsg::TaskData { epoch, tasks }, extra);
+        self.send_basic(ctx, from, LbMsg::TaskData { epoch, tasks });
     }
 
-    fn on_task_data(&mut self, _ctx: &mut Ctx<'_, LbMsg>, _tasks: Vec<TaskId>) {
+    fn on_task_data(&mut self, _tasks: Vec<TaskId>) {
         self.det.on_basic_recv();
     }
 
@@ -590,7 +767,7 @@ impl LbRank {
 
     fn should_buffer(&self, msg: &LbMsg) -> bool {
         match msg {
-            LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch }) => {
+            LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch, .. }) => {
                 *epoch > self.det.epoch()
             }
             other => match other.basic_epoch() {
@@ -600,7 +777,7 @@ impl LbRank {
         }
     }
 
-    fn replay_buffered(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+    fn replay_buffered(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         // Messages for the (new) current epoch become deliverable; later
         // ones stay. Replay preserves arrival order.
         let mut deliverable = Vec::new();
@@ -618,10 +795,20 @@ impl LbRank {
         }
     }
 
-    fn dispatch(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, msg: LbMsg) {
+    /// Deliver a protocol message that passed the transport layer
+    /// (dedup already done); buffer it if it belongs to a future epoch.
+    fn receive_inner(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, msg: LbMsg) {
+        if self.should_buffer(&msg) {
+            self.buffered.push((from, msg));
+            return;
+        }
+        self.dispatch(ctx, from, msg);
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, msg: LbMsg) {
         match msg {
             LbMsg::ReduceUp { slot, summary } => {
-                if let Some(done) = self.slot_mut(slot).on_child(summary) {
+                if let Some(done) = self.slot_mut(slot).on_child(from, summary) {
                     self.reduce_complete(ctx, slot, done);
                 }
             }
@@ -629,9 +816,13 @@ impl LbRank {
                 self.broadcast_down(ctx, slot, summary);
                 self.on_reduce_result(ctx, slot, summary);
             }
-            LbMsg::Gossip { epoch, round, pairs } => {
+            LbMsg::Gossip {
+                epoch,
+                round,
+                pairs,
+            } => {
                 debug_assert_eq!(epoch, self.det.epoch(), "buffering must align epochs");
-                self.on_gossip(ctx, round, pairs);
+                self.on_gossip(round, pairs);
             }
             LbMsg::Propose { epoch, tasks } => {
                 debug_assert_eq!(epoch, self.det.epoch());
@@ -647,7 +838,7 @@ impl LbRank {
             }
             LbMsg::TaskData { epoch, tasks } => {
                 debug_assert_eq!(epoch, self.det.epoch());
-                self.on_task_data(ctx, tasks);
+                self.on_task_data(tasks);
             }
             LbMsg::Td(td) => {
                 let out = self.det.handle(td);
@@ -662,20 +853,36 @@ fn pairs_of(k: &Knowledge) -> Vec<(RankId, f64)> {
 }
 
 impl Protocol for LbRank {
-    type Msg = LbMsg;
+    type Msg = LbWire;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, LbWire>) {
+        self.arm_stage_deadline(ctx);
         // Setup allreduce: contribute own load.
         let summary = LoadSummary::of(self.my_load());
         self.contribute(ctx, 0, summary);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, LbMsg>, from: RankId, msg: LbMsg) {
-        if self.should_buffer(&msg) {
-            self.buffered.push((from, msg));
+    fn on_message(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, wire: LbWire) {
+        // A degraded rank is out of the protocol entirely: it neither
+        // processes nor acknowledges, so peers waiting on it time out
+        // instead of building on its abandoned state.
+        if self.degraded {
             return;
         }
-        self.dispatch(ctx, from, msg);
+        match wire {
+            LbWire::Raw(msg) => self.receive_inner(ctx, from, msg),
+            LbWire::Data { seq, msg } => {
+                // Ack every copy — a lost ack must be repaired by the
+                // resend of the data — but process only the first.
+                ctx.send(from, LbWire::Ack { seq }, SEQ_OVERHEAD_BYTES);
+                if self.channel.accept(from, seq) {
+                    self.receive_inner(ctx, from, msg);
+                }
+            }
+            LbWire::Ack { seq } => self.channel.on_ack(from, seq),
+            LbWire::RetryTimer { to, seq } => self.on_retry_timer(ctx, to, seq),
+            LbWire::StageTimer { stage_seq } => self.on_stage_timer(stage_seq),
+        }
     }
 
     fn is_done(&self) -> bool {
@@ -692,6 +899,7 @@ mod tests {
         let cfg = LbProtocolConfig {
             trials: 3,
             iters: 4,
+            rounds: 5,
             ..Default::default()
         };
         let mut r = LbRank::new(RankId::new(0), 2, vec![], cfg, RngFactory::new(1));
@@ -700,7 +908,9 @@ mod tests {
             for iter in 0..4 {
                 r.trial = trial;
                 r.iter = iter;
-                seen.push(r.gossip_epoch());
+                for round in 1..=5u32 {
+                    seen.push(r.gossip_round_epoch(round));
+                }
                 seen.push(r.proposal_epoch());
             }
         }
@@ -710,7 +920,8 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), seen.len(), "epochs must be unique");
         assert_eq!(*seen.first().unwrap(), 1, "epoch 0 is reserved for setup");
-        assert!(seen.windows(2).all(|w| w[0] < w[1] || w[1] == r.commit_epoch()));
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "epochs must ascend");
+        assert_eq!(*seen.last().unwrap(), r.commit_epoch());
     }
 
     #[test]
@@ -734,5 +945,36 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 6);
         assert!(!slots.contains(&0), "slot 0 is the setup allreduce");
+    }
+
+    #[test]
+    fn degrade_before_commit_reverts_to_input() {
+        let cfg = LbProtocolConfig::default();
+        let tasks = vec![(TaskId::new(1), 1.0), (TaskId::new(2), 2.0)];
+        let mut r = LbRank::new(RankId::new(0), 4, tasks, cfg, RngFactory::new(1));
+        r.stage = Stage::Proposals;
+        r.current.clear(); // pretend everything was proposed away
+        r.degrade();
+        assert!(r.degraded);
+        assert!(r.is_done());
+        assert_eq!(r.final_tasks().len(), 2);
+        assert_eq!(r.stage(), Stage::Done);
+    }
+
+    #[test]
+    fn degrade_at_commit_keeps_the_agreed_best() {
+        let cfg = LbProtocolConfig::default();
+        let tasks = vec![(TaskId::new(1), 1.0)];
+        let mut r = LbRank::new(RankId::new(0), 4, tasks, cfg, RngFactory::new(1));
+        r.stage = Stage::Commit;
+        r.current = vec![TaskEntry {
+            id: TaskId::new(9),
+            load: 3.0,
+            home: RankId::new(2),
+        }];
+        r.degrade();
+        assert!(r.degraded);
+        assert_eq!(r.final_tasks().len(), 1);
+        assert_eq!(r.final_tasks()[0].id, TaskId::new(9));
     }
 }

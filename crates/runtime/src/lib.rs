@@ -17,6 +17,10 @@
 //! * [`lb`] — the full asynchronous TemperedLB/GrapevineLB protocol:
 //!   setup allreduce, epidemic gossip, lazy transfer proposals, symmetric
 //!   best tracking, and lazy migration at commit.
+//! * [`fault`] — seed-deterministic fault injection (drop, duplication,
+//!   delay spikes, stragglers, pauses) shared by both executors.
+//! * [`reliable`] — at-least-once delivery with retransmission, backoff,
+//!   and receiver-side dedup, hardening the LB protocol against faults.
 //! * [`phase`] — phase demarcation and per-task instrumentation
 //!   (the *principle of persistence*, §III-B).
 //! * [`rdma`] — simulated one-sided RDMA handles with get/put/accumulate
@@ -26,13 +30,20 @@
 #![warn(rust_2018_idioms)]
 
 pub mod collective;
+pub mod fault;
 pub mod lb;
 pub mod parallel;
 pub mod phase;
 pub mod rdma;
+pub mod reliable;
 pub mod sim;
 pub mod stats;
 pub mod termination;
 
-pub use lb::{run_distributed_lb, DistLbResult, DistributedTemperedLb, LbProtocolConfig};
+pub use fault::{FaultPlan, FaultStats};
+pub use lb::{
+    run_distributed_lb, run_distributed_lb_with_faults, DistLbResult, DistributedTemperedLb,
+    LbProtocolConfig,
+};
+pub use reliable::{ReliableStats, RetryConfig};
 pub use sim::{NetworkModel, Protocol, SimReport, Simulator};

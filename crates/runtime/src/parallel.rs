@@ -9,17 +9,35 @@
 //! collective completion must hold under arbitrary interleavings, not
 //! just the simulator's total order.
 //!
+//! Fault injection ([`crate::fault::FaultPlan`]) is supported through
+//! [`run_parallel_with`] with the same per-message decision logic as the
+//! simulator: the n-th message on a link suffers the same drop /
+//! duplication / delay fate under both executors. Delay-style faults are
+//! expressed in wall-clock time here (one unit of latency factor =
+//! [`PARALLEL_DELAY_UNIT`]); pause windows count wall-clock seconds from
+//! run start. Protocol timers ([`Ctx::schedule`]) likewise map virtual
+//! seconds one-to-one onto wall-clock seconds.
+//!
 //! The executor stops when every rank has reported done and the channels
 //! have drained. Protocols must therefore have a genuine distributed
 //! termination condition (as the LB protocol does); an actor that never
 //! reports done hangs the run, which tests guard with a wall-clock bound.
 
+use crate::fault::{Fate, FaultInjector, FaultPlan, FaultStats};
 use crate::sim::{Ctx, Protocol};
 use crate::stats::NetworkStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tempered_core::ids::RankId;
+
+/// Wall-clock hold-back per unit of injected latency factor: a message
+/// with fate `delay_factor = f` is held for `(f − 1) ×` this duration.
+/// Chosen large against crossbeam channel latency (~µs) so stragglers
+/// and spikes genuinely reorder traffic, small enough that tests finish.
+pub const PARALLEL_DELAY_UNIT: Duration = Duration::from_micros(100);
 
 /// Channel endpoints for one worker.
 type Endpoints<M> = (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>);
@@ -29,6 +47,44 @@ struct Envelope<M> {
     to: usize,
     from: RankId,
     msg: M,
+    /// Earliest delivery time (fault-injected delay); `None` = now.
+    not_before: Option<Instant>,
+}
+
+/// A held-back delivery: either a protocol timer or a delayed envelope.
+struct Held<M> {
+    when: Instant,
+    seq: u64,
+    to: usize,
+    from: RankId,
+    msg: M,
+}
+
+impl<M> PartialEq for Held<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<M> Eq for Held<M> {}
+impl<M> Ord for Held<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.when
+            .cmp(&other.when)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+impl<M> PartialOrd for Held<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Options for [`run_parallel_with`].
+#[derive(Clone, Debug, Default)]
+pub struct ParallelOptions {
+    /// Faults to inject; [`FaultPlan::none`] (the default) injects
+    /// nothing and leaves the executor on its unfaulted fast path.
+    pub fault_plan: FaultPlan,
 }
 
 /// Outcome of a parallel run.
@@ -37,6 +93,8 @@ pub struct ParallelReport<P> {
     pub ranks: Vec<P>,
     /// Aggregated network counters.
     pub network: NetworkStats,
+    /// Aggregated injected-fault counters (zero without a fault plan).
+    pub faults: FaultStats,
     /// Whether every rank reported done.
     pub completed: bool,
 }
@@ -49,7 +107,25 @@ pub struct ParallelReport<P> {
 /// quiescence after all ranks report done (to drain stale control
 /// messages) and, as a safety valve, how long a totally silent system is
 /// allowed to hang before the run is abandoned as incomplete.
-pub fn run_parallel<P>(ranks: Vec<P>, num_threads: usize, idle_timeout: Duration) -> ParallelReport<P>
+pub fn run_parallel<P>(
+    ranks: Vec<P>,
+    num_threads: usize,
+    idle_timeout: Duration,
+) -> ParallelReport<P>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+{
+    run_parallel_with(ranks, num_threads, idle_timeout, ParallelOptions::default())
+}
+
+/// [`run_parallel`] with explicit options (fault injection).
+pub fn run_parallel_with<P>(
+    ranks: Vec<P>,
+    num_threads: usize,
+    idle_timeout: Duration,
+    options: ParallelOptions,
+) -> ParallelReport<P>
 where
     P: Protocol + Send,
     P::Msg: Send,
@@ -57,6 +133,16 @@ where
     let num_ranks = ranks.len();
     let workers = num_threads.clamp(1, num_ranks.max(1));
     let done_count = AtomicUsize::new(0);
+    let start = Instant::now();
+    // Per-worker injectors share the plan: sends from a rank are always
+    // processed by its owning worker, so per-link ordinals — and hence
+    // fault decisions — match the single-injector simulator exactly.
+    let plan = if options.fault_plan.is_zero() {
+        options.fault_plan.validate();
+        None
+    } else {
+        Some(options.fault_plan)
+    };
 
     let (senders, receivers): Endpoints<P::Msg> = (0..workers).map(|_| unbounded()).unzip();
 
@@ -68,6 +154,7 @@ where
 
     let mut results: Vec<Option<(usize, P)>> = (0..num_ranks).map(|_| None).collect();
     let mut network = NetworkStats::default();
+    let mut faults = FaultStats::default();
     let mut completed = true;
 
     std::thread::scope(|scope| {
@@ -76,19 +163,35 @@ where
             let senders = senders.clone();
             let rx = receivers[w].clone();
             let done_count = &done_count;
+            let injector = plan.clone().map(FaultInjector::new);
             handles.push(scope.spawn(move || {
-                worker_loop(shard, senders, rx, done_count, num_ranks, idle_timeout)
+                let mut worker = Worker {
+                    shard,
+                    senders,
+                    done_count,
+                    done_flags: Vec::new(),
+                    stats: NetworkStats::default(),
+                    injector,
+                    start,
+                    held: BinaryHeap::new(),
+                    outbox: Vec::new(),
+                    hseq: 0,
+                };
+                let ok = worker.run(rx, num_ranks, idle_timeout);
+                let fstats = worker.fault_stats();
+                (worker.shard, worker.stats, fstats, ok)
             }));
         }
         // Drop our copies so channels can hang up when workers finish.
         drop(senders);
         drop(receivers);
         for h in handles {
-            let (shard, stats, ok) = h.join().expect("worker panicked");
+            let (shard, stats, fstats, ok) = h.join().expect("worker panicked");
             for (i, p) in shard {
                 results[i] = Some((i, p));
             }
             network.merge(&stats);
+            faults.merge(&fstats);
             completed &= ok;
         }
     });
@@ -100,83 +203,202 @@ where
     ParallelReport {
         ranks,
         network,
+        faults,
         completed,
     }
 }
 
-fn worker_loop<P>(
-    mut shard: Vec<(usize, P)>,
+struct Worker<'a, P: Protocol> {
+    shard: Vec<(usize, P)>,
     senders: Vec<Sender<Envelope<P::Msg>>>,
-    rx: Receiver<Envelope<P::Msg>>,
-    done_count: &AtomicUsize,
-    num_ranks: usize,
-    idle_timeout: Duration,
-) -> (Vec<(usize, P)>, NetworkStats, bool)
+    done_count: &'a AtomicUsize,
+    done_flags: Vec<bool>,
+    stats: NetworkStats,
+    injector: Option<FaultInjector>,
+    start: Instant,
+    /// Protocol timers and delay-faulted envelopes awaiting their time.
+    held: BinaryHeap<Reverse<Held<P::Msg>>>,
+    outbox: Vec<(RankId, P::Msg, usize)>,
+    hseq: u64,
+}
+
+impl<P> Worker<'_, P>
 where
     P: Protocol + Send,
     P::Msg: Send,
 {
-    let workers = senders.len();
-    let mut stats = NetworkStats::default();
-    let mut outbox: Vec<(RankId, P::Msg, usize)> = Vec::new();
-    let mut done_flags: Vec<bool> = shard.iter().map(|_| false).collect();
+    fn fault_stats(&self) -> FaultStats {
+        self.injector.as_ref().map(|i| i.stats).unwrap_or_default()
+    }
 
-    let flush = |from: RankId,
-                     outbox: &mut Vec<(RankId, P::Msg, usize)>,
-                     stats: &mut NetworkStats| {
-        for (to, msg, bytes) in outbox.drain(..) {
-            stats.record(bytes);
-            let t = to.as_usize();
-            // A send can only fail after global completion, when peer
-            // workers have exited; at that point the message is stale
-            // control traffic and dropping it is correct.
-            let _ = senders[t % workers].send(Envelope { to: t, from, msg });
-        }
-    };
-
-    // Start local ranks.
-    for (slot, (i, p)) in shard.iter_mut().enumerate() {
-        let me = RankId::from(*i);
-        let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
-        p.on_start(&mut ctx);
-        flush(me, &mut outbox, &mut stats);
-        if p.is_done() && !done_flags[slot] {
-            done_flags[slot] = true;
-            done_count.fetch_add(1, Ordering::SeqCst);
+    fn mark_done(&mut self, slot: usize) {
+        if self.shard[slot].1.is_done() && !self.done_flags[slot] {
+            self.done_flags[slot] = true;
+            self.done_count.fetch_add(1, Ordering::SeqCst);
         }
     }
 
-    let mut idle = Duration::ZERO;
-    let tick = Duration::from_millis(1);
-    loop {
-        match rx.recv_timeout(tick) {
-            Ok(env) => {
-                idle = Duration::ZERO;
-                let slot = shard
-                    .iter()
-                    .position(|(i, _)| *i == env.to)
-                    .expect("routed to owning worker");
-                let me = RankId::from(env.to);
-                let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
-                shard[slot].1.on_message(&mut ctx, env.from, env.msg);
-                flush(me, &mut outbox, &mut stats);
-                if shard[slot].1.is_done() && !done_flags[slot] {
-                    done_flags[slot] = true;
-                    done_count.fetch_add(1, Ordering::SeqCst);
+    /// Route one envelope, applying fault fates. A send can only fail
+    /// after global completion, when peer workers have exited; at that
+    /// point the message is stale control traffic and dropping it is
+    /// correct.
+    fn flush(&mut self, from: RankId) {
+        let workers = self.senders.len();
+        let outbox = std::mem::take(&mut self.outbox);
+        for (to, msg, bytes) in outbox {
+            self.stats.record(bytes);
+            let t = to.as_usize();
+            let Some(inj) = &mut self.injector else {
+                let _ = self.senders[t % workers].send(Envelope {
+                    to: t,
+                    from,
+                    msg,
+                    not_before: None,
+                });
+                continue;
+            };
+            let faultable = P::faultable(&msg);
+            let fate = if faultable {
+                inj.fate(from, to)
+            } else {
+                Fate::clean()
+            };
+            for copy in 0..fate.copies {
+                let extra = (fate.delay_factor - 1.0).max(0.0) * (copy + 1) as f64;
+                let mut not_before = if extra > 0.0 {
+                    Some(Instant::now() + PARALLEL_DELAY_UNIT.mul_f64(extra))
+                } else {
+                    None
+                };
+                if faultable {
+                    let arrival = not_before
+                        .unwrap_or_else(Instant::now)
+                        .duration_since(self.start)
+                        .as_secs_f64();
+                    if let Some(until) = inj.deferred_until(to, arrival) {
+                        not_before = Some(self.start + Duration::from_secs_f64(until));
+                    }
                 }
+                let _ = self.senders[t % workers].send(Envelope {
+                    to: t,
+                    from,
+                    msg: msg.clone(),
+                    not_before,
+                });
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if done_count.load(Ordering::SeqCst) == num_ranks {
-                    return (shard, stats, true);
+        }
+    }
+
+    fn arm_timers(&mut self, me: RankId, timers: Vec<(f64, P::Msg)>) {
+        let now = Instant::now();
+        for (delay, msg) in timers {
+            self.hseq += 1;
+            self.held.push(Reverse(Held {
+                when: now + Duration::from_secs_f64(delay),
+                seq: self.hseq,
+                to: me.as_usize(),
+                from: me,
+                msg,
+            }));
+        }
+    }
+
+    fn deliver(&mut self, to: usize, from: RankId, msg: P::Msg) {
+        let slot = self
+            .shard
+            .iter()
+            .position(|(i, _)| *i == to)
+            .expect("routed to owning worker");
+        let me = RankId::from(to);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
+        self.shard[slot].1.on_message(&mut ctx, from, msg);
+        let timers = ctx.take_timers();
+        self.outbox = outbox;
+        self.flush(me);
+        self.arm_timers(me, timers);
+        self.mark_done(slot);
+    }
+
+    /// Deliver every held entry whose time has come; returns how many.
+    fn fire_due(&mut self) -> usize {
+        let mut fired = 0;
+        loop {
+            match self.held.peek() {
+                Some(Reverse(h)) if h.when <= Instant::now() => {
+                    let Reverse(h) = self.held.pop().expect("just peeked");
+                    self.deliver(h.to, h.from, h.msg);
+                    fired += 1;
                 }
-                idle += tick;
-                if idle >= idle_timeout {
-                    // Deadlocked or livelocked protocol: give up.
-                    return (shard, stats, false);
-                }
+                _ => return fired,
             }
-            Err(RecvTimeoutError::Disconnected) => {
-                return (shard, stats, done_count.load(Ordering::SeqCst) == num_ranks);
+        }
+    }
+
+    fn run(
+        &mut self,
+        rx: Receiver<Envelope<P::Msg>>,
+        num_ranks: usize,
+        idle_timeout: Duration,
+    ) -> bool {
+        self.done_flags = self.shard.iter().map(|_| false).collect();
+
+        // Start local ranks.
+        for slot in 0..self.shard.len() {
+            let me = RankId::from(self.shard[slot].0);
+            let mut outbox = std::mem::take(&mut self.outbox);
+            let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
+            self.shard[slot].1.on_start(&mut ctx);
+            let timers = ctx.take_timers();
+            self.outbox = outbox;
+            self.flush(me);
+            self.arm_timers(me, timers);
+            self.mark_done(slot);
+        }
+
+        let mut idle = Duration::ZERO;
+        let tick = Duration::from_millis(1);
+        loop {
+            // Wake early if a held delivery comes due before the tick.
+            let wait = match self.held.peek() {
+                Some(Reverse(h)) => h.when.saturating_duration_since(Instant::now()).min(tick),
+                None => tick,
+            };
+            match rx.recv_timeout(wait) {
+                Ok(env) => {
+                    idle = Duration::ZERO;
+                    match env.not_before {
+                        Some(when) if when > Instant::now() => {
+                            self.hseq += 1;
+                            self.held.push(Reverse(Held {
+                                when,
+                                seq: self.hseq,
+                                to: env.to,
+                                from: env.from,
+                                msg: env.msg,
+                            }));
+                        }
+                        _ => self.deliver(env.to, env.from, env.msg),
+                    }
+                    self.fire_due();
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.fire_due() > 0 {
+                        idle = Duration::ZERO;
+                        continue;
+                    }
+                    if self.done_count.load(Ordering::SeqCst) == num_ranks {
+                        return true;
+                    }
+                    idle += wait.max(Duration::from_micros(1));
+                    if idle >= idle_timeout {
+                        // Deadlocked or livelocked protocol: give up.
+                        return false;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return self.done_count.load(Ordering::SeqCst) == num_ranks;
+                }
             }
         }
     }
@@ -256,22 +478,12 @@ mod tests {
         impl crate::sim::Protocol for Hang {
             type Msg = ();
             fn on_start(&mut self, _ctx: &mut crate::sim::Ctx<'_, ()>) {}
-            fn on_message(
-                &mut self,
-                _ctx: &mut crate::sim::Ctx<'_, ()>,
-                _from: RankId,
-                _msg: (),
-            ) {
-            }
+            fn on_message(&mut self, _ctx: &mut crate::sim::Ctx<'_, ()>, _from: RankId, _msg: ()) {}
             fn is_done(&self) -> bool {
                 false // never
             }
         }
-        let report = run_parallel(
-            vec![Hang, Hang, Hang],
-            2,
-            Duration::from_millis(50),
-        );
+        let report = run_parallel(vec![Hang, Hang, Hang], 2, Duration::from_millis(50));
         assert!(!report.completed, "hang must be reported, not awaited");
         assert_eq!(report.ranks.len(), 3);
     }
@@ -293,5 +505,70 @@ mod tests {
             let total: usize = report.ranks.iter().map(|r| r.final_tasks().len()).sum();
             assert_eq!(total, dist.num_tasks(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn timers_fire_under_threads() {
+        struct Timed {
+            fired: bool,
+        }
+        impl Protocol for Timed {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.schedule(0.002, 9);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, from: RankId, msg: u8) {
+                assert_eq!(from, ctx.me());
+                assert_eq!(msg, 9);
+                self.fired = true;
+            }
+            fn is_done(&self) -> bool {
+                self.fired
+            }
+        }
+        let report = run_parallel(
+            vec![Timed { fired: false }, Timed { fired: false }],
+            2,
+            Duration::from_secs(5),
+        );
+        assert!(report.completed);
+        assert!(report.ranks.iter().all(|r| r.fired));
+    }
+
+    #[test]
+    fn full_drop_is_detected_as_incomplete() {
+        // Ping-pong that cannot complete when every message is dropped.
+        struct Ping {
+            me: usize,
+            got: bool,
+        }
+        impl Protocol for Ping {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if self.me == 0 {
+                    ctx.send(RankId::new(1), 1, 8);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u8>, _: RankId, _: u8) {
+                self.got = true;
+            }
+            fn is_done(&self) -> bool {
+                self.me == 0 || self.got
+            }
+        }
+        let report = run_parallel_with(
+            vec![Ping { me: 0, got: false }, Ping { me: 1, got: false }],
+            2,
+            Duration::from_millis(100),
+            ParallelOptions {
+                fault_plan: FaultPlan {
+                    drop: 1.0,
+                    ..FaultPlan::none()
+                },
+            },
+        );
+        assert!(!report.completed);
+        assert_eq!(report.faults.dropped, 1);
+        assert!(!report.ranks[1].got);
     }
 }

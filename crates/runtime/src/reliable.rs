@@ -1,0 +1,318 @@
+//! At-least-once message delivery with receiver-side deduplication.
+//!
+//! The async LB protocol is not idempotent: a lost transfer proposal or
+//! task migration silently corrupts the assignment, and a lost
+//! termination token deadlocks an epoch. Under a faulty network
+//! ([`crate::fault::FaultPlan`]) every non-idempotent message therefore
+//! travels through a [`ReliableChannel`]: the sender stamps a per-link
+//! sequence number and retransmits with exponential backoff until the
+//! receiver acknowledges; the receiver acknowledges every copy but
+//! processes only the first (**at-least-once delivery, exactly-once
+//! processing**).
+//!
+//! Like [`crate::termination::TerminationDetector`], the channel is a
+//! *passive* component: it owns sequence/retry state and tells the
+//! embedding protocol what to (re)send; timers are driven through the
+//! executor's [`crate::sim::Ctx::schedule`] facility.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use tempered_core::ids::RankId;
+
+/// Retransmission and give-up policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Initial retransmission timeout in seconds (virtual seconds under
+    /// the simulator, wall-clock under threads).
+    pub timeout: f64,
+    /// Backoff multiplier applied per retransmission.
+    pub backoff: f64,
+    /// Retransmissions before the sender gives up on a message.
+    pub max_retries: u32,
+    /// Seconds a protocol stage may sit without progress before the
+    /// rank degrades (see the LB protocol's stage deadlines).
+    pub stage_deadline: f64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            // Generous vs. the µs-scale simulated RTT: spurious
+            // retransmissions are harmless (dedup) but noisy.
+            timeout: 500e-6,
+            backoff: 2.0,
+            max_retries: 16,
+            stage_deadline: 0.25,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Timer delay for retransmission attempt `attempt` (0-based).
+    pub fn delay_for(&self, attempt: u32) -> f64 {
+        self.timeout * self.backoff.powi(attempt as i32)
+    }
+}
+
+/// Delivery-layer counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReliableStats {
+    /// Unique messages sent through the channel.
+    pub sent: u64,
+    /// Retransmissions performed.
+    pub retransmitted: u64,
+    /// Acknowledgements received for pending messages.
+    pub acked: u64,
+    /// Duplicate deliveries suppressed at the receiver.
+    pub duplicates_suppressed: u64,
+    /// Messages abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+}
+
+impl ReliableStats {
+    /// Accumulate another stats block.
+    pub fn merge(&mut self, other: &ReliableStats) {
+        self.sent += other.sent;
+        self.retransmitted += other.retransmitted;
+        self.acked += other.acked;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.gave_up += other.gave_up;
+    }
+}
+
+/// What to do when a retry timer fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RetryAction<M> {
+    /// The message is still unacknowledged: retransmit and re-arm the
+    /// timer with `next_delay` seconds.
+    Resend {
+        /// Destination rank.
+        to: RankId,
+        /// Original sequence number (unchanged across retransmissions).
+        seq: u64,
+        /// The payload to resend.
+        msg: M,
+        /// Delay for the next retry timer.
+        next_delay: f64,
+    },
+    /// Retry budget exhausted; the message is abandoned.
+    GaveUp {
+        /// Destination of the abandoned message.
+        to: RankId,
+    },
+    /// The message was acknowledged in the meantime; nothing to do.
+    Settled,
+}
+
+/// Receiver-side duplicate filter for one source: a contiguous
+/// watermark (`1..=watermark` all seen) plus a sparse set of
+/// out-of-order arrivals beyond it.
+#[derive(Clone, Debug, Default)]
+struct SeqSet {
+    watermark: u64,
+    sparse: BTreeSet<u64>,
+}
+
+impl SeqSet {
+    /// Record `seq`; returns `true` the first time it is seen.
+    fn insert(&mut self, seq: u64) -> bool {
+        if seq <= self.watermark || !self.sparse.insert(seq) {
+            return false;
+        }
+        while self.sparse.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+        true
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Pending<M> {
+    to: RankId,
+    msg: M,
+    attempts: u32,
+}
+
+/// Per-rank reliable-delivery state over message type `M`.
+#[derive(Clone, Debug)]
+pub struct ReliableChannel<M> {
+    cfg: RetryConfig,
+    next_seq: HashMap<RankId, u64>,
+    pending: HashMap<(RankId, u64), Pending<M>>,
+    seen: HashMap<RankId, SeqSet>,
+    /// Delivery-layer counters.
+    pub stats: ReliableStats,
+}
+
+impl<M: Clone> ReliableChannel<M> {
+    /// New channel with the given retry policy.
+    pub fn new(cfg: RetryConfig) -> Self {
+        ReliableChannel {
+            cfg,
+            next_seq: HashMap::new(),
+            pending: HashMap::new(),
+            seen: HashMap::new(),
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// The retry policy.
+    pub fn cfg(&self) -> &RetryConfig {
+        &self.cfg
+    }
+
+    /// Register a new outgoing message to `to`. Returns the assigned
+    /// sequence number and the delay for the first retry timer; the
+    /// caller transmits the message and arms the timer.
+    pub fn send(&mut self, to: RankId, msg: M) -> (u64, f64) {
+        let seq = self.next_seq.entry(to).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        self.pending.insert(
+            (to, seq),
+            Pending {
+                to,
+                msg,
+                attempts: 0,
+            },
+        );
+        self.stats.sent += 1;
+        (seq, self.cfg.delay_for(0))
+    }
+
+    /// Handle an acknowledgement from `from` for `seq`.
+    pub fn on_ack(&mut self, from: RankId, seq: u64) {
+        if self.pending.remove(&(from, seq)).is_some() {
+            self.stats.acked += 1;
+        }
+    }
+
+    /// Receiver side: record the arrival of `(from, seq)`. Returns
+    /// `true` if this is the first copy (process it) or `false` for a
+    /// duplicate (re-acknowledge but do not process).
+    pub fn accept(&mut self, from: RankId, seq: u64) -> bool {
+        let fresh = self.seen.entry(from).or_default().insert(seq);
+        if !fresh {
+            self.stats.duplicates_suppressed += 1;
+        }
+        fresh
+    }
+
+    /// A retry timer for `(to, seq)` fired; decide what happens next.
+    pub fn on_retry_timer(&mut self, to: RankId, seq: u64) -> RetryAction<M> {
+        let Some(p) = self.pending.get_mut(&(to, seq)) else {
+            return RetryAction::Settled;
+        };
+        if p.attempts >= self.cfg.max_retries {
+            let p = self.pending.remove(&(to, seq)).expect("just seen");
+            self.stats.gave_up += 1;
+            return RetryAction::GaveUp { to: p.to };
+        }
+        p.attempts += 1;
+        self.stats.retransmitted += 1;
+        RetryAction::Resend {
+            to: p.to,
+            seq,
+            msg: p.msg.clone(),
+            next_delay: self.cfg.delay_for(p.attempts),
+        }
+    }
+
+    /// Number of unacknowledged messages.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> ReliableChannel<&'static str> {
+        ReliableChannel::new(RetryConfig::default())
+    }
+
+    #[test]
+    fn seqs_are_per_destination_and_monotone() {
+        let mut c = ch();
+        let (s1, _) = c.send(RankId::new(1), "a");
+        let (s2, _) = c.send(RankId::new(1), "b");
+        let (s3, _) = c.send(RankId::new(2), "c");
+        assert_eq!((s1, s2, s3), (1, 2, 1));
+        assert_eq!(c.pending_count(), 3);
+    }
+
+    #[test]
+    fn ack_settles_pending() {
+        let mut c = ch();
+        let (seq, _) = c.send(RankId::new(1), "a");
+        c.on_ack(RankId::new(1), seq);
+        assert_eq!(c.pending_count(), 0);
+        assert_eq!(c.stats.acked, 1);
+        assert_eq!(c.on_retry_timer(RankId::new(1), seq), RetryAction::Settled);
+        // Duplicate ack is harmless.
+        c.on_ack(RankId::new(1), seq);
+        assert_eq!(c.stats.acked, 1);
+    }
+
+    #[test]
+    fn retry_backs_off_then_gives_up() {
+        let cfg = RetryConfig {
+            timeout: 1.0,
+            backoff: 2.0,
+            max_retries: 2,
+            stage_deadline: 10.0,
+        };
+        let mut c: ReliableChannel<&str> = ReliableChannel::new(cfg);
+        let (seq, d0) = c.send(RankId::new(3), "x");
+        assert_eq!(d0, 1.0);
+        match c.on_retry_timer(RankId::new(3), seq) {
+            RetryAction::Resend {
+                next_delay, msg, ..
+            } => {
+                assert_eq!(msg, "x");
+                assert_eq!(next_delay, 2.0);
+            }
+            other => panic!("expected resend, got {other:?}"),
+        }
+        match c.on_retry_timer(RankId::new(3), seq) {
+            RetryAction::Resend { next_delay, .. } => assert_eq!(next_delay, 4.0),
+            other => panic!("expected resend, got {other:?}"),
+        }
+        assert_eq!(
+            c.on_retry_timer(RankId::new(3), seq),
+            RetryAction::GaveUp { to: RankId::new(3) }
+        );
+        assert_eq!(c.stats.gave_up, 1);
+        assert_eq!(c.stats.retransmitted, 2);
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn accept_dedups_per_source() {
+        let mut c = ch();
+        assert!(c.accept(RankId::new(1), 1));
+        assert!(!c.accept(RankId::new(1), 1));
+        assert!(c.accept(RankId::new(2), 1));
+        // Out of order: 3 before 2.
+        assert!(c.accept(RankId::new(1), 3));
+        assert!(c.accept(RankId::new(1), 2));
+        assert!(!c.accept(RankId::new(1), 2));
+        assert!(!c.accept(RankId::new(1), 3));
+        assert_eq!(c.stats.duplicates_suppressed, 3);
+    }
+
+    #[test]
+    fn seqset_watermark_compacts() {
+        let mut s = SeqSet::default();
+        for seq in [2u64, 4, 1, 3] {
+            assert!(s.insert(seq));
+        }
+        assert_eq!(s.watermark, 4);
+        assert!(s.sparse.is_empty());
+        assert!(!s.insert(3));
+        assert!(s.insert(6));
+        assert_eq!(s.watermark, 4);
+        assert_eq!(s.sparse.len(), 1);
+    }
+}

@@ -24,6 +24,7 @@
 //!   simulator hook exists to *validate* the detector against ground
 //!   truth.
 
+use crate::fault::{Fate, FaultInjector, FaultPlan, FaultStats};
 use crate::stats::NetworkStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -102,6 +103,15 @@ pub trait Protocol: Sized {
     fn is_done(&self) -> bool {
         false
     }
+
+    /// Whether a message is subject to fault injection. Defaults to
+    /// everything; protocols embedding reliable and best-effort traffic
+    /// side by side (e.g. the PIC application, whose particle exchange
+    /// models an MPI transport) override this to expose only the traffic
+    /// their hardening actually protects.
+    fn faultable(_msg: &Self::Msg) -> bool {
+        true
+    }
 }
 
 /// Handler context: the only channel for effects.
@@ -110,6 +120,7 @@ pub struct Ctx<'a, M> {
     me: RankId,
     now: f64,
     outbox: &'a mut Vec<(RankId, M, usize)>,
+    timers: Vec<(f64, M)>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -120,7 +131,12 @@ impl<'a, M> Ctx<'a, M> {
         now: f64,
         outbox: &'a mut Vec<(RankId, M, usize)>,
     ) -> Self {
-        Ctx { me, now, outbox }
+        Ctx {
+            me,
+            now,
+            outbox,
+            timers: Vec::new(),
+        }
     }
 
     /// Construct a detached context for *protocol composition*: an outer
@@ -129,7 +145,12 @@ impl<'a, M> Ctx<'a, M> {
     /// re-sends them through its own context. The embedded LB protocol
     /// inside the distributed PIC application uses exactly this.
     pub fn detached(me: RankId, now: f64, outbox: &'a mut Vec<(RankId, M, usize)>) -> Self {
-        Ctx { me, now, outbox }
+        Ctx {
+            me,
+            now,
+            outbox,
+            timers: Vec::new(),
+        }
     }
 
     /// The rank executing the current handler.
@@ -149,6 +170,23 @@ impl<'a, M> Ctx<'a, M> {
     pub fn send(&mut self, to: RankId, msg: M, payload_bytes: usize) {
         self.outbox.push((to, msg, payload_bytes));
     }
+
+    /// Deliver `msg` back to *this* rank after `delay` seconds (virtual
+    /// seconds under the simulator, approximate wall-clock under
+    /// threads). Timers are local: they bypass the network model, the
+    /// network statistics, and fault injection. Retransmission timeouts
+    /// and stage deadlines are built on this.
+    pub fn schedule(&mut self, delay: f64, msg: M) {
+        self.timers.push((delay.max(0.0), msg));
+    }
+
+    /// Drain the timers scheduled during this handler invocation.
+    /// Executors call this after each handler; composing protocols
+    /// (outer protocol pumping an inner one through a detached context)
+    /// re-schedule the drained timers through their own context.
+    pub fn take_timers(&mut self) -> Vec<(f64, M)> {
+        std::mem::take(&mut self.timers)
+    }
 }
 
 #[derive(Debug)]
@@ -158,6 +196,8 @@ struct Event<M> {
     to: RankId,
     from: RankId,
     msg: M,
+    /// Self-scheduled timer (not a network message).
+    timer: bool,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -188,6 +228,8 @@ pub struct SimReport {
     pub events_delivered: u64,
     /// Network accounting.
     pub network: NetworkStats,
+    /// Injected-fault accounting (all zero without a fault plan).
+    pub faults: FaultStats,
     /// Whether the run ended because every rank reported done (vs. queue
     /// exhaustion).
     pub completed: bool,
@@ -202,7 +244,11 @@ pub struct Simulator<P: Protocol> {
     now: f64,
     seq: u64,
     stats: NetworkStats,
+    injector: Option<FaultInjector>,
     events_delivered: u64,
+    /// Network (non-timer) events currently queued; lets the executor
+    /// finish without draining still-armed timers of completed ranks.
+    net_in_queue: u64,
     /// Safety valve against protocol bugs that livelock the simulation.
     pub max_events: u64,
 }
@@ -219,9 +265,24 @@ impl<P: Protocol> Simulator<P> {
             now: 0.0,
             seq: 0,
             stats: NetworkStats::default(),
+            injector: None,
             events_delivered: 0,
+            net_in_queue: 0,
             max_events: 500_000_000,
         }
+    }
+
+    /// Install a fault plan. A [`FaultPlan::is_zero`] plan is discarded
+    /// outright, guaranteeing a bit-identical run: fault decisions never
+    /// touch the simulator's random stream, so the only way a plan can
+    /// perturb anything is by actually injecting a fault.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_zero() {
+            plan.validate();
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
     }
 
     /// Number of ranks.
@@ -245,37 +306,91 @@ impl<P: Protocol> Simulator<P> {
                 to.as_usize() < self.ranks.len(),
                 "send to out-of-range rank {to}"
             );
+            // The latency draw and network accounting happen for every
+            // send — including ones the injector then drops — so the
+            // random stream and stats stay aligned with a fault-free run.
             let latency = self.model.latency(bytes, &mut self.rng);
             self.stats.record(bytes);
+            let Some(inj) = &mut self.injector else {
+                self.seq += 1;
+                self.net_in_queue += 1;
+                self.queue.push(Reverse(Event {
+                    time: self.now + latency,
+                    seq: self.seq,
+                    to,
+                    from,
+                    msg,
+                    timer: false,
+                }));
+                continue;
+            };
+            let faultable = P::faultable(&msg);
+            let fate = if faultable {
+                inj.fate(from, to)
+            } else {
+                Fate::clean()
+            };
+            for copy in 0..fate.copies {
+                // A duplicated copy trails the original at double latency,
+                // like a retransmission overlapping the first delivery.
+                let mut arrival = self.now + latency * fate.delay_factor * (copy + 1) as f64;
+                if faultable {
+                    if let Some(until) = inj.deferred_until(to, arrival) {
+                        arrival = until;
+                    }
+                }
+                self.seq += 1;
+                self.net_in_queue += 1;
+                self.queue.push(Reverse(Event {
+                    time: arrival,
+                    seq: self.seq,
+                    to,
+                    from,
+                    msg: msg.clone(),
+                    timer: false,
+                }));
+            }
+        }
+    }
+
+    fn flush_timers(&mut self, me: RankId, timers: Vec<(f64, P::Msg)>) {
+        for (delay, msg) in timers {
             self.seq += 1;
             self.queue.push(Reverse(Event {
-                time: self.now + latency,
+                time: self.now + delay,
                 seq: self.seq,
-                to,
-                from,
+                to: me,
+                from: me,
                 msg,
+                timer: true,
             }));
         }
     }
 
-    /// Run until every rank is done (and the queue is empty), the queue
-    /// drains with no progress, or the event budget is exhausted.
+    /// Run until every rank is done (and no network events remain), the
+    /// queue drains with no progress, or the event budget is exhausted.
     pub fn run(&mut self) -> SimReport {
         let mut outbox: Vec<(RankId, P::Msg, usize)> = Vec::new();
 
         // Start handlers.
         for p in 0..self.ranks.len() {
             let me = RankId::from(p);
-            let mut ctx = Ctx {
-                me,
-                now: self.now,
-                outbox: &mut outbox,
-            };
+            let mut ctx = Ctx::for_executor(me, self.now, &mut outbox);
             self.ranks[p].on_start(&mut ctx);
+            let timers = ctx.take_timers();
             self.flush_outbox(me, &mut outbox);
+            self.flush_timers(me, timers);
         }
 
         loop {
+            // Done ranks may still hold armed timers (e.g. a retry timer
+            // for a message acknowledged later); those must not inflate
+            // the makespan, so only network events block completion.
+            // Checked before popping so a pending far-future timer never
+            // advances the clock of an already-finished run.
+            if self.net_in_queue == 0 && self.ranks.iter().all(|r| r.is_done()) {
+                break;
+            }
             if self.events_delivered >= self.max_events {
                 panic!(
                     "simulation exceeded {} events: protocol livelock?",
@@ -287,14 +402,15 @@ impl<P: Protocol> Simulator<P> {
                     debug_assert!(ev.time >= self.now, "time must be monotone");
                     self.now = ev.time;
                     self.events_delivered += 1;
+                    if !ev.timer {
+                        self.net_in_queue -= 1;
+                    }
                     let to = ev.to.as_usize();
-                    let mut ctx = Ctx {
-                        me: ev.to,
-                        now: self.now,
-                        outbox: &mut outbox,
-                    };
+                    let mut ctx = Ctx::for_executor(ev.to, self.now, &mut outbox);
                     self.ranks[to].on_message(&mut ctx, ev.from, ev.msg);
+                    let timers = ctx.take_timers();
                     self.flush_outbox(ev.to, &mut outbox);
+                    self.flush_timers(ev.to, timers);
                 }
                 None => {
                     // Queue drained: report quiescence to every rank; a
@@ -302,21 +418,16 @@ impl<P: Protocol> Simulator<P> {
                     // starting its next stage in tests).
                     for p in 0..self.ranks.len() {
                         let me = RankId::from(p);
-                        let mut ctx = Ctx {
-                            me,
-                            now: self.now,
-                            outbox: &mut outbox,
-                        };
+                        let mut ctx = Ctx::for_executor(me, self.now, &mut outbox);
                         self.ranks[p].on_quiescence(&mut ctx);
+                        let timers = ctx.take_timers();
                         self.flush_outbox(me, &mut outbox);
+                        self.flush_timers(me, timers);
                     }
                     if self.queue.is_empty() {
                         break;
                     }
                 }
-            }
-            if self.queue.is_empty() && self.ranks.iter().all(|r| r.is_done()) {
-                break;
             }
         }
 
@@ -324,6 +435,7 @@ impl<P: Protocol> Simulator<P> {
             finish_time: self.now,
             events_delivered: self.events_delivered,
             network: self.stats.clone(),
+            faults: self.injector.as_ref().map(|i| i.stats).unwrap_or_default(),
             completed: self.ranks.iter().all(|r| r.is_done()),
         }
     }
@@ -408,8 +520,7 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let run = |seed| {
-            let mut sim =
-                Simulator::new(make(16), NetworkModel::default(), &RngFactory::new(seed));
+            let mut sim = Simulator::new(make(16), NetworkModel::default(), &RngFactory::new(seed));
             sim.run().finish_time
         };
         assert_eq!(run(5), run(5));
@@ -456,6 +567,185 @@ mod tests {
         );
         sim.max_events = 10_000;
         sim.run();
+    }
+
+    #[test]
+    fn zeroed_fault_plan_is_bit_identical() {
+        let run = |with_plan: bool| {
+            let mut sim = Simulator::new(make(16), NetworkModel::default(), &RngFactory::new(5));
+            if with_plan {
+                sim.set_fault_plan(FaultPlan::none());
+            }
+            let r = sim.run();
+            (
+                r.finish_time.to_bits(),
+                r.events_delivered,
+                r.network.messages,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn full_drop_starves_the_protocol() {
+        let mut sim = Simulator::new(make(8), NetworkModel::default(), &RngFactory::new(1));
+        sim.set_fault_plan(FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::none()
+        });
+        let report = sim.run();
+        assert!(!report.completed, "no message can arrive");
+        assert_eq!(report.events_delivered, 0);
+        assert_eq!(report.faults.dropped, 7);
+        // Accounting still sees the send attempts.
+        assert_eq!(report.network.messages, 7);
+    }
+
+    #[test]
+    fn duplication_is_tolerated_by_idempotent_protocols() {
+        let mut sim = Simulator::new(make(8), NetworkModel::default(), &RngFactory::new(1));
+        sim.set_fault_plan(FaultPlan {
+            seed: 3,
+            duplicate: 1.0,
+            ..FaultPlan::none()
+        });
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(
+            report.faults.duplicated as usize,
+            report.network.messages as usize
+        );
+        assert!(report.events_delivered > 14);
+    }
+
+    #[test]
+    fn stragglers_stretch_the_makespan() {
+        let base = {
+            let mut sim = Simulator::new(make(8), NetworkModel::default(), &RngFactory::new(1));
+            sim.run().finish_time
+        };
+        let slow = {
+            let mut sim = Simulator::new(make(8), NetworkModel::default(), &RngFactory::new(1));
+            sim.set_fault_plan(FaultPlan {
+                stragglers: vec![(RankId::new(3), 50.0)],
+                ..FaultPlan::none()
+            });
+            sim.run().finish_time
+        };
+        assert!(
+            slow > base * 2.0,
+            "straggler must dominate: {base} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn timers_fire_at_their_virtual_time_without_network_accounting() {
+        struct Timed {
+            fired_at: Option<f64>,
+            done: bool,
+        }
+        impl Protocol for Timed {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.schedule(0.5, 7);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, from: RankId, msg: u8) {
+                assert_eq!(from, ctx.me(), "timers deliver from self");
+                assert_eq!(msg, 7);
+                self.fired_at = Some(ctx.now());
+                self.done = true;
+            }
+            fn is_done(&self) -> bool {
+                self.done
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![Timed {
+                fired_at: None,
+                done: false,
+            }],
+            NetworkModel::default(),
+            &RngFactory::new(1),
+        );
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(sim.rank(RankId::new(0)).fired_at, Some(0.5));
+        assert_eq!(report.network.messages, 0, "timers are not network traffic");
+    }
+
+    #[test]
+    fn pending_timers_do_not_inflate_the_makespan() {
+        // A rank arms a long timer but is done immediately; the run must
+        // not wait for the timer.
+        struct ArmAndQuit;
+        impl Protocol for ArmAndQuit {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.schedule(1e6, 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u8>, _: RankId, _: u8) {}
+            fn is_done(&self) -> bool {
+                true
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![ArmAndQuit, ArmAndQuit],
+            NetworkModel::default(),
+            &RngFactory::new(1),
+        );
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.finish_time, 0.0);
+    }
+
+    #[test]
+    fn pause_window_defers_delivery() {
+        // Ping sent at t=0 arrives within rank 1's pause window and is
+        // deferred to the window end.
+        struct Recorder {
+            me: usize,
+            arrived: Option<f64>,
+        }
+        impl Protocol for Recorder {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if self.me == 0 {
+                    ctx.send(RankId::new(1), 1, 8);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, _: RankId, _: u8) {
+                self.arrived = Some(ctx.now());
+            }
+            fn is_done(&self) -> bool {
+                self.me == 0 || self.arrived.is_some()
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![
+                Recorder {
+                    me: 0,
+                    arrived: None,
+                },
+                Recorder {
+                    me: 1,
+                    arrived: None,
+                },
+            ],
+            NetworkModel::default(),
+            &RngFactory::new(1),
+        );
+        sim.set_fault_plan(FaultPlan {
+            pauses: vec![crate::fault::PauseWindow {
+                rank: RankId::new(1),
+                from: 0.0,
+                until: 2.0,
+            }],
+            ..FaultPlan::none()
+        });
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(sim.rank(RankId::new(1)).arrived, Some(2.0));
+        assert_eq!(report.faults.paused, 1);
     }
 
     #[test]

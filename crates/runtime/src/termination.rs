@@ -45,6 +45,11 @@ pub enum TdMsg {
     Terminated {
         /// The terminated epoch.
         epoch: u64,
+        /// Total basic messages sent in the epoch (== total received).
+        /// Carried so protocols can make globally consistent decisions
+        /// from the epoch's traffic volume — e.g. the gossip stage exits
+        /// early when a round moved zero messages.
+        sent: u64,
     },
 }
 
@@ -67,6 +72,9 @@ pub struct TdOutcome {
     pub sends: Vec<TdSend>,
     /// Set when this rank has just learned the epoch terminated.
     pub terminated_epoch: Option<u64>,
+    /// Total basic messages sent in the terminated epoch; meaningful
+    /// only when [`TdOutcome::terminated_epoch`] is set.
+    pub terminated_sent: u64,
 }
 
 /// Per-rank termination detector state.
@@ -82,6 +90,10 @@ pub struct TerminationDetector {
     prev_wave: Option<(u64, u64)>,
     /// Coordinator only: wave currently circulating.
     wave: u64,
+    /// Non-coordinator only: highest wave already forwarded this epoch.
+    /// Guards against re-forwarding a duplicated token (at-least-once
+    /// transports may deliver the same token twice).
+    forwarded_wave: u64,
     terminated: bool,
 }
 
@@ -98,6 +110,7 @@ impl TerminationDetector {
             recv: 0,
             prev_wave: None,
             wave: 0,
+            forwarded_wave: 0,
             terminated: false,
         }
     }
@@ -126,6 +139,7 @@ impl TerminationDetector {
         self.recv = 0;
         self.prev_wave = None;
         self.wave = 0;
+        self.forwarded_wave = 0;
         self.terminated = false;
     }
 
@@ -153,6 +167,7 @@ impl TerminationDetector {
             return TdOutcome {
                 sends: Vec::new(),
                 terminated_epoch: Some(self.epoch),
+                terminated_sent: self.sent,
             };
         }
         self.wave += 1;
@@ -166,7 +181,7 @@ impl TerminationDetector {
                     recv: self.recv,
                 },
             }],
-            terminated_epoch: None,
+            ..TdOutcome::default()
         }
     }
 
@@ -184,6 +199,13 @@ impl TerminationDetector {
                     return TdOutcome::default();
                 }
                 if self.me.as_u32() == 0 {
+                    if wave != self.wave {
+                        // A duplicated or reordered token from an already
+                        // completed wave: processing it again would count
+                        // the wave twice and could fake the two-stable-wave
+                        // condition. Only the wave we launched may return.
+                        return TdOutcome::default();
+                    }
                     // Wave completed.
                     let totals = (sent, recv);
                     let stable = self.prev_wave == Some(totals);
@@ -197,13 +219,14 @@ impl TerminationDetector {
                             .into_iter()
                             .map(|to| TdSend {
                                 to,
-                                msg: TdMsg::Terminated { epoch },
+                                msg: TdMsg::Terminated { epoch, sent },
                             })
                             .collect();
                         sends.shrink_to_fit();
                         TdOutcome {
                             sends,
                             terminated_epoch: Some(epoch),
+                            terminated_sent: sent,
                         }
                     } else {
                         // Start the next wave with fresh accumulation.
@@ -218,13 +241,19 @@ impl TerminationDetector {
                                     recv: self.recv,
                                 },
                             }],
-                            terminated_epoch: None,
+                            ..TdOutcome::default()
                         }
                     }
                 } else {
+                    if wave <= self.forwarded_wave {
+                        // Duplicate of a token this rank already forwarded:
+                        // forwarding it again would double-add our counters
+                        // into the wave totals.
+                        return TdOutcome::default();
+                    }
+                    self.forwarded_wave = wave;
                     // Accumulate and pass along the ring.
-                    let next =
-                        RankId::from((self.me.as_usize() + 1) % self.num_ranks);
+                    let next = RankId::from((self.me.as_usize() + 1) % self.num_ranks);
                     TdOutcome {
                         sends: vec![TdSend {
                             to: next,
@@ -235,12 +264,12 @@ impl TerminationDetector {
                                 recv: recv + self.recv,
                             },
                         }],
-                        terminated_epoch: None,
+                        ..TdOutcome::default()
                     }
                 }
             }
-            TdMsg::Terminated { epoch } => {
-                if epoch != self.epoch {
+            TdMsg::Terminated { epoch, sent } => {
+                if epoch != self.epoch || self.terminated {
                     return TdOutcome::default();
                 }
                 self.terminated = true;
@@ -250,12 +279,13 @@ impl TerminationDetector {
                     .into_iter()
                     .map(|to| TdSend {
                         to,
-                        msg: TdMsg::Terminated { epoch },
+                        msg: TdMsg::Terminated { epoch, sent },
                     })
                     .collect();
                 TdOutcome {
                     sends,
                     terminated_epoch: Some(epoch),
+                    terminated_sent: sent,
                 }
             }
         }
@@ -383,11 +413,13 @@ mod tests {
         // (1,1) twice in a row → terminated.
         let fin = d0.handle(back3.msg);
         assert_eq!(fin.terminated_epoch, Some(1));
-        // Broadcast reaches rank 1.
+        // Broadcast reaches rank 1 and carries the epoch's traffic total.
         let down = &fin.sends[0];
-        assert_eq!(down.msg, TdMsg::Terminated { epoch: 1 });
+        assert_eq!(down.msg, TdMsg::Terminated { epoch: 1, sent: 1 });
+        assert_eq!(fin.terminated_sent, 1);
         let got = d1.handle(down.msg);
         assert_eq!(got.terminated_epoch, Some(1));
+        assert_eq!(got.terminated_sent, 1);
         assert!(d1.is_terminated());
     }
 
@@ -403,9 +435,133 @@ mod tests {
         });
         assert!(out.sends.is_empty());
         assert!(out.terminated_epoch.is_none());
-        let out = d.handle(TdMsg::Terminated { epoch: 4 });
+        let out = d.handle(TdMsg::Terminated { epoch: 4, sent: 10 });
         assert!(out.terminated_epoch.is_none());
         assert!(!d.is_terminated());
+    }
+
+    #[test]
+    fn duplicated_tokens_are_forwarded_once() {
+        // An at-least-once transport may deliver the same ring token
+        // twice. A forwarding rank must not add its counters into the
+        // wave a second time.
+        let mut d = TerminationDetector::new(RankId::new(1), 3);
+        d.start_epoch(1);
+        d.on_basic_recv();
+        let token = TdMsg::Token {
+            epoch: 1,
+            wave: 1,
+            sent: 1,
+            recv: 0,
+        };
+        let first = d.handle(token);
+        assert_eq!(first.sends.len(), 1);
+        assert_eq!(
+            first.sends[0].msg,
+            TdMsg::Token {
+                epoch: 1,
+                wave: 1,
+                sent: 1,
+                recv: 1
+            }
+        );
+        // Same token again: dropped, nothing forwarded.
+        let dup = d.handle(token);
+        assert!(dup.sends.is_empty());
+        assert!(dup.terminated_epoch.is_none());
+        // A *later* wave still passes through.
+        let next = d.handle(TdMsg::Token {
+            epoch: 1,
+            wave: 2,
+            sent: 1,
+            recv: 0,
+        });
+        assert_eq!(next.sends.len(), 1);
+    }
+
+    #[test]
+    fn duplicated_stable_wave_token_cannot_fake_termination() {
+        // Coordinator launched wave 1; a duplicate of the returning wave-1
+        // token must not be treated as a second stable wave.
+        let mut d0 = TerminationDetector::new(RankId::new(0), 2);
+        d0.start_epoch(1);
+        let _ = d0.kick(); // wave 1 out
+        let back = TdMsg::Token {
+            epoch: 1,
+            wave: 1,
+            sent: 0,
+            recv: 0,
+        };
+        // First return: totals (0,0), not yet stable → wave 2 launched.
+        let out = d0.handle(back);
+        assert!(out.terminated_epoch.is_none());
+        // Duplicate of the wave-1 token arrives after wave 2 launched:
+        // its totals match prev_wave, so naively it would terminate.
+        let dup = d0.handle(back);
+        assert!(
+            dup.terminated_epoch.is_none(),
+            "duplicate token faked stability"
+        );
+        assert!(dup.sends.is_empty());
+        assert!(!d0.is_terminated());
+        // The genuine wave-2 return still terminates normally.
+        let fin = d0.handle(TdMsg::Token {
+            epoch: 1,
+            wave: 2,
+            sent: 0,
+            recv: 0,
+        });
+        assert_eq!(fin.terminated_epoch, Some(1));
+    }
+
+    #[test]
+    fn duplicated_terminated_broadcast_is_idempotent() {
+        let mut d = TerminationDetector::new(RankId::new(1), 4);
+        d.start_epoch(2);
+        let first = d.handle(TdMsg::Terminated { epoch: 2, sent: 7 });
+        assert_eq!(first.terminated_epoch, Some(2));
+        assert_eq!(first.terminated_sent, 7);
+        assert!(!first.sends.is_empty());
+        // The duplicate must not re-broadcast down the tree.
+        let dup = d.handle(TdMsg::Terminated { epoch: 2, sent: 7 });
+        assert!(dup.sends.is_empty());
+        assert!(dup.terminated_epoch.is_none());
+    }
+
+    #[test]
+    fn max_jitter_delivery_terminates_with_late_stragglers() {
+        // Emulate maximum jitter: the in-memory queue is drained in LIFO
+        // order (latest message first), the worst possible reordering a
+        // jittered network can produce for the ring + tree traffic of a
+        // quiesced epoch. Termination must still be reached everywhere.
+        let num_ranks = 5;
+        let mut dets: Vec<TerminationDetector> = (0..num_ranks)
+            .map(|r| {
+                let mut d = TerminationDetector::new(RankId::from(r), num_ranks);
+                d.start_epoch(1);
+                d
+            })
+            .collect();
+        // Balanced traffic: rank 0 sent 4, each other rank received 1.
+        for _ in 0..4 {
+            dets[0].on_basic_send();
+        }
+        for d in dets.iter_mut().skip(1) {
+            d.on_basic_recv();
+        }
+        let mut stack: Vec<(usize, TdMsg)> = Vec::new();
+        for s in dets[0].kick().sends {
+            stack.push((s.to.as_usize(), s.msg));
+        }
+        let mut guard = 0;
+        while let Some((to, msg)) = stack.pop() {
+            guard += 1;
+            assert!(guard < 100_000, "TD did not converge under LIFO delivery");
+            for s in dets[to].handle(msg).sends {
+                stack.push((s.to.as_usize(), s.msg));
+            }
+        }
+        assert!(dets.iter().all(|d| d.is_terminated()));
     }
 
     #[test]

@@ -9,9 +9,9 @@ use tempered_core::ids::RankId;
 use tempered_core::rng::RngFactory;
 use tempered_runtime::collective::{LoadSummary, Tree};
 use tempered_runtime::lb::LbProtocolConfig;
+use tempered_runtime::run_distributed_lb;
 use tempered_runtime::sim::NetworkModel;
 use tempered_runtime::termination::{TdMsg, TerminationDetector};
-use tempered_runtime::run_distributed_lb;
 
 proptest! {
     /// The spanning tree is a tree for any size and root: every non-root

@@ -34,9 +34,7 @@ fn main() {
     let io = original.rows.last().unwrap().imbalance;
     let ir = relaxed.rows.last().unwrap().imbalance;
     println!("final imbalance: original {io:.3} vs relaxed {ir:.3}");
-    println!(
-        "The original criterion traps refinement in a local minimum (rejection"
-    );
+    println!("The original criterion traps refinement in a local minimum (rejection");
     println!("rates climb to ~100% while I plateaus); the relaxed criterion keeps");
     println!("accepting the transfers that monotonically reduce the objective F.");
 }

@@ -39,7 +39,10 @@ fn main() {
     let unbalanced = run_distributed_pic(no_lb, NetworkModel::default(), 2021);
 
     println!();
-    println!("{:>5} {:>12} {:>12} {:>12}", "step", "I (no LB)", "I (LB)", "particles");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "step", "I (no LB)", "I (LB)", "particles"
+    );
     println!("{}", "-".repeat(46));
     for s in (0..cfg.scenario.steps).step_by(6) {
         println!(

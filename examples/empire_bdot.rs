@@ -74,8 +74,6 @@ fn main() {
     }
 
     println!();
-    println!(
-        "Balanced configurations keep I near 0 between LB invocations while"
-    );
+    println!("Balanced configurations keep I near 0 between LB invocations while");
     println!("the unbalanced runs track the plasma's spatial concentration.");
 }

@@ -11,7 +11,11 @@ fn main() {
     // one corner of a decomposed domain.
     let mut per_rank: Vec<Vec<f64>> = Vec::new();
     for r in 0..4 {
-        per_rank.push((0..100).map(|i| 0.5 + ((r * 100 + i) % 10) as f64 * 0.1).collect());
+        per_rank.push(
+            (0..100)
+                .map(|i| 0.5 + ((r * 100 + i) % 10) as f64 * 0.1)
+                .collect(),
+        );
     }
     per_rank.resize(64, vec![]);
     let dist = Distribution::from_loads(per_rank);
@@ -22,7 +26,10 @@ fn main() {
     println!("  tasks            : {}", dist.num_tasks());
     println!("  max rank load    : {:.2}", stats.max.get());
     println!("  avg rank load    : {:.2}", stats.average.get());
-    println!("  imbalance I      : {:.2}   (Eq. 1: l_max/l_ave - 1)", stats.imbalance);
+    println!(
+        "  imbalance I      : {:.2}   (Eq. 1: l_max/l_ave - 1)",
+        stats.imbalance
+    );
     println!(
         "  lower bound      : {:.2}   (max(l_ave, biggest task))",
         lower_bound_max_load(stats.average, dist.max_task_load()).get()

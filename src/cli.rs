@@ -281,8 +281,20 @@ mod tests {
         assert_eq!(opts, CliOptions::default());
 
         let opts = parse_args([
-            "--balancer", "greedy", "--trials", "3", "--iters", "2", "--seed", "9",
-            "--ranks", "64", "--input", "x.csv", "--migrations", "plan.csv",
+            "--balancer",
+            "greedy",
+            "--trials",
+            "3",
+            "--iters",
+            "2",
+            "--seed",
+            "9",
+            "--ranks",
+            "64",
+            "--input",
+            "x.csv",
+            "--migrations",
+            "plan.csv",
         ])
         .unwrap();
         assert_eq!(opts.balancer, BalancerChoice::Greedy);
@@ -343,10 +355,7 @@ mod tests {
         assert!(report.contains("TemperedLB"));
         assert!(csv.lines().count() > 1, "demo must produce migrations");
         // The report shows a before -> after imbalance drop.
-        let line = report
-            .lines()
-            .find(|l| l.starts_with("imbalance"))
-            .unwrap();
+        let line = report.lines().find(|l| l.starts_with("imbalance")).unwrap();
         let nums: Vec<f64> = line
             .split(|c: char| !c.is_ascii_digit() && c != '.')
             .filter(|s| !s.is_empty())

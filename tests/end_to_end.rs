@@ -3,9 +3,7 @@
 //! agreeing on quality, and reproduction-shape assertions for the paper's
 //! headline claims at reduced scale.
 
-use tempered_lb::empire::{
-    run_timeline, BdotScenario, ExecutionMode, LbStrategy, TimelineConfig,
-};
+use tempered_lb::empire::{run_timeline, BdotScenario, ExecutionMode, LbStrategy, TimelineConfig};
 use tempered_lb::prelude::*;
 
 fn quick_cfg(mode: ExecutionMode) -> TimelineConfig {

@@ -1,9 +1,7 @@
 //! Reduced-scale checks of the paper's specific quantitative *claims* —
 //! the assertions EXPERIMENTS.md's full-scale tables rest on.
 
-use tempered_lb::lbaf::{
-    run_criterion_experiment, CriterionExperiment, CriterionVariant,
-};
+use tempered_lb::lbaf::{run_criterion_experiment, CriterionExperiment, CriterionVariant};
 use tempered_lb::prelude::*;
 
 /// §V-B: iterating the original algorithm stalls — rejection rates climb
@@ -47,7 +45,10 @@ fn section_vd_relaxed_criterion_converges() {
         .iter()
         .map(|row| row.imbalance)
         .fold(f64::INFINITY, f64::min);
-    assert!(best < 1.0, "relaxed criterion should near-balance, got {best}");
+    assert!(
+        best < 1.0,
+        "relaxed criterion should near-balance, got {best}"
+    );
 }
 
 /// §V-C Proposition: the relaxed criterion is *optimal* — relaxing it
@@ -124,7 +125,11 @@ fn gossip_rounds_follow_log_f_p() {
 #[test]
 fn fewest_migrations_ordering_migrates_less() {
     let mut per_rank: Vec<Vec<f64>> = (0..4)
-        .map(|r| (0..60).map(|i| 0.2 + ((r * 60 + i) % 9) as f64 * 0.2).collect())
+        .map(|r| {
+            (0..60)
+                .map(|i| 0.2 + ((r * 60 + i) % 9) as f64 * 0.2)
+                .collect()
+        })
         .collect();
     per_rank.resize(48, vec![]);
     let dist = Distribution::from_loads(per_rank);

@@ -99,7 +99,12 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn run_one(name: &str, samples: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+fn run_one(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
     let mut b = Bencher {
         samples,
         result: None,
