@@ -12,6 +12,7 @@
 //! Writes `results/chaos.csv`.
 
 use lbaf::Table;
+use tempered_bench::{counter_cells, lb_run_metrics, write_results};
 use tempered_core::distribution::Distribution;
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::rng::RngFactory;
@@ -126,19 +127,23 @@ fn main() {
                 mismatches += 1;
                 "MISMATCH".to_string()
             };
-            table.push_row(vec![
-                format!("{drop:.2}"),
-                format!("{straggler:.0}"),
-                out.report.faults.dropped.to_string(),
-                out.reliable.retransmitted.to_string(),
-                out.reliable.duplicates_suppressed.to_string(),
-                out.reliable.gave_up.to_string(),
-                out.degraded_ranks.to_string(),
-                out.report.events_delivered.to_string(),
-                format!("{:.2}", out.report.finish_time * 1e3),
-                format!("{:.3}", out.final_imbalance),
-                outcome,
-            ]);
+            let reg = lb_run_metrics(&out);
+            let mut row = vec![format!("{drop:.2}"), format!("{straggler:.0}")];
+            row.extend(counter_cells(
+                &reg,
+                &[
+                    "fault.dropped",
+                    "lb.reliable.retransmitted",
+                    "lb.reliable.duplicates_suppressed",
+                    "lb.reliable.gave_up",
+                    "lb.degraded_ranks",
+                    "sim.events_delivered",
+                ],
+            ));
+            row.push(format!("{:.2}", out.report.finish_time * 1e3));
+            row.push(format!("{:.3}", out.final_imbalance));
+            row.push(outcome);
+            table.push_row(row);
         }
     }
 
@@ -148,9 +153,7 @@ fn main() {
         clean.initial_imbalance, clean.final_imbalance, clean.tasks_migrated
     );
 
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/chaos.csv", table.to_csv()).expect("write results/chaos.csv");
-    println!("wrote results/chaos.csv");
+    write_results("chaos.csv", &table.to_csv());
 
     assert_eq!(
         mismatches, 0,

@@ -3,8 +3,10 @@
 //! configuration, plus migration counts.
 //!
 //! Run with: `cargo run --release -p tempered-bench --bin fig3_breakdown`
+//! Writes `results/fig3_breakdown.csv`.
 
 use lbaf::Table;
+use tempered_bench::write_results;
 
 fn main() {
     let timelines = tempered_bench::run_fig2_timelines();
@@ -32,4 +34,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    write_results("fig3_breakdown.csv", &t.to_csv());
 }

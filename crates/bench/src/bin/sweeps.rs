@@ -3,11 +3,13 @@
 //! time.
 //!
 //! Run with: `cargo run --release -p tempered-bench --bin sweeps`
+//! Writes `results/sweep_*.csv`.
 
 use lbaf::{
     gossip_coverage, sweep_ablation, sweep_budget, sweep_fanout, sweep_knowledge_cap,
     sweep_orderings, sweep_rounds, sweep_threshold, ConcentratedLayout,
 };
+use tempered_bench::write_results;
 
 fn main() {
     let layout = if tempered_bench::quick_mode() {
@@ -32,35 +34,33 @@ fn main() {
         dist.imbalance()
     );
 
-    println!("{}", sweep_ablation(&dist, 1).to_table().render());
-    println!("{}", sweep_orderings(&dist, 1).to_table().render());
-    println!(
-        "{}",
-        sweep_fanout(&dist, &[1, 2, 4, 6, 8], 1).to_table().render()
-    );
-    println!(
-        "{}",
-        sweep_rounds(&dist, &[1, 2, 4, 6, 10], 1)
-            .to_table()
-            .render()
-    );
-    println!(
-        "{}",
-        sweep_budget(&dist, &[(1, 1), (1, 4), (1, 8), (4, 4), (10, 8)], 1)
-            .to_table()
-            .render()
-    );
-    println!(
-        "{}",
-        sweep_threshold(&dist, &[1.0, 1.05, 1.2, 1.5, 2.0], 1)
-            .to_table()
-            .render()
-    );
-    println!(
-        "{}",
-        sweep_knowledge_cap(&dist, &[0, 256, 64, 16, 4], 1)
-            .to_table()
-            .render()
-    );
+    let named = [
+        ("sweep_ablation.csv", sweep_ablation(&dist, 1).to_table()),
+        ("sweep_orderings.csv", sweep_orderings(&dist, 1).to_table()),
+        (
+            "sweep_fanout.csv",
+            sweep_fanout(&dist, &[1, 2, 4, 6, 8], 1).to_table(),
+        ),
+        (
+            "sweep_rounds.csv",
+            sweep_rounds(&dist, &[1, 2, 4, 6, 10], 1).to_table(),
+        ),
+        (
+            "sweep_budget.csv",
+            sweep_budget(&dist, &[(1, 1), (1, 4), (1, 8), (4, 4), (10, 8)], 1).to_table(),
+        ),
+        (
+            "sweep_threshold.csv",
+            sweep_threshold(&dist, &[1.0, 1.05, 1.2, 1.5, 2.0], 1).to_table(),
+        ),
+        (
+            "sweep_knowledge_cap.csv",
+            sweep_knowledge_cap(&dist, &[0, 256, 64, 16, 4], 1).to_table(),
+        ),
+    ];
+    for (name, table) in named {
+        println!("{}", table.render());
+        write_results(name, &table.to_csv());
+    }
     println!("{}", gossip_coverage(&dist, 6, 8, 1).render());
 }

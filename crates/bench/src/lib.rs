@@ -12,6 +12,8 @@
 
 use empire_pic::{run_timeline, BdotScenario, ExecutionMode, LbStrategy, Timeline, TimelineConfig};
 use tempered_core::ordering::OrderingKind;
+use tempered_obs::MetricsRegistry;
+use tempered_runtime::DistLbResult;
 
 /// Master seed shared by all figure runs.
 pub const FIG_SEED: u64 = 2021;
@@ -74,6 +76,55 @@ pub fn run_fig4d_timelines() -> Vec<Timeline> {
     .collect()
 }
 
+/// Fold the per-run counters of one distributed-LB run into a
+/// [`MetricsRegistry`] under the canonical names used across the
+/// experiment binaries (`lb.*`, `fault.*`, `sim.*`). Every binary that
+/// tabulates repair work or fault accounting goes through this one
+/// aggregation instead of plucking struct fields ad hoc.
+pub fn lb_run_metrics(out: &DistLbResult) -> MetricsRegistry {
+    let mut m = MetricsRegistry::default();
+    m.counter_add("lb.reliable.sent", out.reliable.sent);
+    m.counter_add("lb.reliable.retransmitted", out.reliable.retransmitted);
+    m.counter_add("lb.reliable.acked", out.reliable.acked);
+    m.counter_add(
+        "lb.reliable.duplicates_suppressed",
+        out.reliable.duplicates_suppressed,
+    );
+    m.counter_add("lb.reliable.gave_up", out.reliable.gave_up);
+    m.counter_add("lb.degraded_ranks", out.degraded_ranks as u64);
+    m.counter_add("lb.tasks_migrated", out.tasks_migrated as u64);
+    m.counter_add("fault.faultable", out.report.faults.faultable);
+    m.counter_add("fault.dropped", out.report.faults.dropped);
+    m.counter_add("fault.reordered", out.report.faults.reordered);
+    m.counter_add("fault.duplicated", out.report.faults.duplicated);
+    m.counter_add("fault.spiked", out.report.faults.spiked);
+    m.counter_add("fault.straggled", out.report.faults.straggled);
+    m.counter_add("fault.paused", out.report.faults.paused);
+    m.counter_add("sim.events_delivered", out.report.events_delivered);
+    m.record_network("sim.net", &out.report.network);
+    m.gauge_max("sim.finish_time_s", out.report.finish_time);
+    m.gauge_max("lb.initial_imbalance", out.initial_imbalance);
+    m.gauge_max("lb.final_imbalance", out.final_imbalance);
+    m
+}
+
+/// Format the named counters of `reg` as table cells, in order; a
+/// counter that was never touched renders as `0`.
+pub fn counter_cells(reg: &MetricsRegistry, keys: &[&str]) -> Vec<String> {
+    keys.iter().map(|k| reg.counter(k).to_string()).collect()
+}
+
+/// Write one artifact under `results/`, creating the directory on
+/// demand, and announce it on stdout. Returns the path written.
+pub fn write_results(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    path
+}
+
 /// Series down-sampler: at most `max_points` evenly spaced step indices,
 /// always including the final step (figures print a readable number of
 /// rows, not 1400).
@@ -101,6 +152,31 @@ mod tests {
         assert_eq!(*s.first().unwrap(), 0);
         assert_eq!(*s.last().unwrap(), 1399);
         assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn lb_run_metrics_covers_the_tabulated_counters() {
+        use tempered_core::distribution::Distribution;
+        use tempered_core::rng::RngFactory;
+        use tempered_runtime::{run_distributed_lb, LbProtocolConfig, NetworkModel};
+
+        let dist = Distribution::from_loads(vec![vec![1.0; 8], vec![], vec![], vec![]]);
+        let cfg = LbProtocolConfig {
+            trials: 1,
+            iters: 2,
+            fanout: 2,
+            rounds: 2,
+            ..Default::default()
+        };
+        let out = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(9));
+        let reg = lb_run_metrics(&out);
+        assert_eq!(reg.counter("lb.tasks_migrated"), out.tasks_migrated as u64);
+        assert_eq!(
+            reg.counter("sim.events_delivered"),
+            out.report.events_delivered
+        );
+        let cells = counter_cells(&reg, &["lb.degraded_ranks", "no.such.counter"]);
+        assert_eq!(cells, vec!["0".to_string(), "0".to_string()]);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use rand::rngs::SmallRng;
 use std::collections::HashMap;
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::rng::RngFactory;
+use tempered_obs::{EventKind, Recorder};
 use tempered_runtime::collective::{LoadSummary, ReduceSlot, Tree};
 use tempered_runtime::fault::FaultPlan;
 use tempered_runtime::lb::{LbProtocolConfig, LbRank, LbWire};
@@ -218,6 +219,11 @@ pub struct PicRank {
     pub degraded_lb_steps: Vec<usize>,
 
     done: bool,
+
+    /// Trace recorder (disabled by default; see [`PicRank::set_recorder`]).
+    rec: Recorder,
+    /// Currently open application-phase span: `(start, kind)`.
+    open_span: Option<(f64, EventKind)>,
 }
 
 impl PicRank {
@@ -249,7 +255,43 @@ impl PicRank {
             colors_gained: 0,
             degraded_lb_steps: Vec::new(),
             done: false,
+            rec: Recorder::disabled(),
+            open_span: None,
         }
+    }
+
+    /// Attach a trace recorder. Phase spans, step boundaries, and
+    /// end-of-run counters flow into it; the embedded balancer inherits
+    /// the same recorder on every LB step. Recording never touches the
+    /// protocol's random streams, so it cannot perturb the run.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// Close the open phase span (if any) at `now` and open a new one.
+    fn span_open(&mut self, now: f64, kind: EventKind) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        self.span_close(now);
+        self.open_span = Some((now, kind));
+    }
+
+    /// Close the open phase span (if any) at `now`.
+    fn span_close(&mut self, now: f64) {
+        if let Some((t0, kind)) = self.open_span.take() {
+            self.rec.span(self.me.as_u32(), t0, now - t0, kind);
+        }
+    }
+
+    /// Flush end-of-run counters into the shared metrics registry.
+    fn flush_metrics(&self) {
+        self.rec.with_metrics(|m| {
+            m.counter_add("pic.colors_gained", self.colors_gained as u64);
+            m.counter_add("pic.degraded_lb_steps", self.degraded_lb_steps.len() as u64);
+            m.counter_add("pic.final_particles", self.particles.len() as u64);
+            m.counter_add("pic.lb_invocations", self.lb_gen);
+        });
     }
 
     /// Colors currently owned by this rank.
@@ -317,6 +359,21 @@ impl PicRank {
 
     fn begin_step(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.stage = PicStage::Exchange;
+        if self.rec.is_enabled() {
+            let step = self.step as u64;
+            self.rec.instant(
+                self.me.as_u32(),
+                ctx.now(),
+                EventKind::PhaseBoundary { step },
+            );
+            self.span_open(
+                ctx.now(),
+                EventKind::AppPhase {
+                    phase: "exchange",
+                    step,
+                },
+            );
+        }
         let epoch = self.exchange_epoch();
         self.det.start_epoch(epoch);
 
@@ -443,6 +500,13 @@ impl PicRank {
 
     fn enter_stats(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.stage = PicStage::Stats;
+        self.span_open(
+            ctx.now(),
+            EventKind::AppPhase {
+                phase: "stats",
+                step: self.step as u64,
+            },
+        );
         let slot = self.stats_slot();
         let load = self.particles.len() as f64 * self.cfg.cost.per_particle;
         if let Some(done) = self.slot_mut(slot).contribute(LoadSummary::of(load)) {
@@ -495,6 +559,13 @@ impl PicRank {
 
     fn enter_lb(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.stage = PicStage::Lb;
+        self.span_open(
+            ctx.now(),
+            EventKind::AppPhase {
+                phase: "lb",
+                step: self.step as u64,
+            },
+        );
         self.lb_done_handled = false;
         self.lb_gen += 1;
         let mesh = self.cfg.scenario.mesh;
@@ -517,6 +588,7 @@ impl PicRank {
             &[0x00D1_571B, self.step as u64],
         ));
         let mut lb = LbRank::new(self.me, self.num_ranks, tasks, self.cfg.lb, sub);
+        lb.set_recorder(self.rec.clone());
         self.pump_lb(ctx, |lb, lb_ctx| lb.on_start(lb_ctx), &mut lb);
         self.lb = Some(lb);
         self.check_lb_done(ctx);
@@ -575,6 +647,13 @@ impl PicRank {
 
     fn enter_migration(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.stage = PicStage::Migration;
+        self.span_open(
+            ctx.now(),
+            EventKind::AppPhase {
+                phase: "migration",
+                step: self.step as u64,
+            },
+        );
         let epoch = self.migration_epoch();
         self.det.start_epoch(epoch);
         let mesh = self.cfg.scenario.mesh;
@@ -687,10 +766,12 @@ impl PicRank {
     }
 
     fn advance_step(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
+        self.span_close(ctx.now());
         self.step += 1;
         if self.step >= self.cfg.scenario.steps {
             self.stage = PicStage::Done;
             self.done = true;
+            self.flush_metrics();
             return;
         }
         self.begin_step(ctx);
@@ -845,11 +926,32 @@ pub fn run_distributed_pic_with_faults(
     seed: u64,
     plan: FaultPlan,
 ) -> DistPicResult {
+    run_distributed_pic_traced(cfg, model, seed, plan, Recorder::disabled())
+}
+
+/// Run the distributed PIC application with a trace [`Recorder`]
+/// attached to every rank, the embedded balancers, and the simulator.
+/// With a disabled recorder this is exactly
+/// [`run_distributed_pic_with_faults`]; with an enabled one, the trace
+/// is bit-reproducible for a given `(cfg, model, seed, plan)` because
+/// all events are stamped with virtual time.
+pub fn run_distributed_pic_traced(
+    cfg: DistPicConfig,
+    model: NetworkModel,
+    seed: u64,
+    plan: FaultPlan,
+    recorder: Recorder,
+) -> DistPicResult {
     let factory = RngFactory::new(seed);
     let ranks: Vec<PicRank> = (0..cfg.scenario.mesh.num_ranks())
-        .map(|r| PicRank::new(RankId::from(r), cfg, factory))
+        .map(|r| {
+            let mut rank = PicRank::new(RankId::from(r), cfg, factory);
+            rank.set_recorder(recorder.clone());
+            rank
+        })
         .collect();
     let mut sim = Simulator::new(ranks, model, &factory);
+    sim.set_recorder(recorder);
     sim.set_fault_plan(plan);
     let report = sim.run();
     assert!(report.completed, "PIC protocol must run to completion");

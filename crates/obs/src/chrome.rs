@@ -1,0 +1,269 @@
+//! Chrome trace-event export (and re-import) of a [`Trace`].
+//!
+//! The writer emits the JSON object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): a
+//! `traceEvents` array of complete (`"ph":"X"`) and instant (`"ph":"i"`)
+//! events with microsecond timestamps, one event per line, `tid` = rank.
+//! Output is built with deterministic string formatting only — no
+//! hash-map iteration, no pointers, no wall-clock — so the same [`Trace`]
+//! always serializes to the same bytes.
+//!
+//! Because no general-purpose JSON parser is vendored into this
+//! workspace, [`read_chrome_trace`] parses exactly the line-oriented
+//! shape this module writes (which is all `obs_report` needs to rebuild
+//! a cost breakdown from a recorded `trace.json`); it is not a general
+//! JSON reader.
+
+use crate::event::Trace;
+
+/// One exported trace event, the common currency between the writer,
+/// the reader, and the cost-breakdown report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Chrome phase: `'X'` (complete/span) or `'i'` (instant).
+    pub ph: char,
+    /// Thread id — the recording rank.
+    pub tid: u32,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: f64,
+    /// Display name (e.g. `lb:gossip`).
+    pub name: String,
+    /// Category (e.g. `lb`, `fault`).
+    pub cat: String,
+    /// `args` entries as `(key, json_value)` pairs in emission order.
+    pub args: Vec<(String, String)>,
+}
+
+/// Microseconds with fixed millinanosecond (3-decimal) precision — the
+/// resolution Chrome renders, and a stable format for byte-identical
+/// output.
+fn fmt_us(us: f64) -> String {
+    format!("{us:.3}")
+}
+
+/// Quantize a microsecond value to the writer's 3-decimal precision, via
+/// the format string itself so records always carry exactly what the
+/// file will say (and what the reader will parse back).
+fn quantize_us(us: f64) -> f64 {
+    fmt_us(us).parse().expect("fixed-point format is parseable")
+}
+
+/// Lower a [`Trace`] to the records the exporter writes (metadata rows
+/// excluded). Deterministic given a deterministic event order.
+pub fn to_records(trace: &Trace) -> Vec<TraceRecord> {
+    trace
+        .events
+        .iter()
+        .map(|ev| TraceRecord {
+            ph: if ev.dur.is_some() { 'X' } else { 'i' },
+            tid: ev.rank,
+            ts_us: quantize_us(ev.ts * 1e6),
+            dur_us: quantize_us(ev.dur.unwrap_or(0.0) * 1e6),
+            name: ev.kind.name(),
+            cat: ev.kind.category().to_string(),
+            args: ev
+                .kind
+                .args()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        })
+        .collect()
+}
+
+fn push_args(out: &mut String, args: &[(String, String)]) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(k);
+        out.push_str("\":");
+        out.push_str(v);
+    }
+    out.push('}');
+}
+
+/// Serialize a [`Trace`] to a Chrome trace-event JSON string.
+///
+/// Layout: a `process_name` metadata row, one `thread_name` row per rank,
+/// then every event in trace order, one per line.
+pub fn write_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"tempered\"}}",
+    );
+    for rank in 0..trace.num_ranks {
+        out.push_str(&format!(
+            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"name\":\"thread_name\",\"args\":{{\"name\":\"rank {rank}\"}}}}"
+        ));
+    }
+    for rec in to_records(trace) {
+        out.push_str(",\n{\"ph\":\"");
+        out.push(rec.ph);
+        out.push_str(&format!(
+            "\",\"pid\":0,\"tid\":{},\"ts\":{}",
+            rec.tid,
+            fmt_us(rec.ts_us)
+        ));
+        if rec.ph == 'X' {
+            out.push_str(&format!(",\"dur\":{}", fmt_us(rec.dur_us)));
+        } else {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(&format!(
+            ",\"name\":\"{}\",\"cat\":\"{}\"",
+            rec.name, rec.cat
+        ));
+        push_args(&mut out, &rec.args);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extract the raw JSON value following `"key":` in `line`, if present.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+/// Parse the `"args":{...}` object of `line` into `(key, value)` pairs.
+fn parse_args(line: &str) -> Vec<(String, String)> {
+    let Some(start) = line.find("\"args\":{") else {
+        return Vec::new();
+    };
+    let body_start = start + "\"args\":{".len();
+    let Some(rel_end) = line[body_start..].find('}') else {
+        return Vec::new();
+    };
+    let body = &line[body_start..body_start + rel_end];
+    body.split(',')
+        .filter(|kv| !kv.is_empty())
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once(':')?;
+            Some((k.trim_matches('"').to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+/// Parse a `trace.json` previously produced by [`write_chrome_trace`]
+/// back into its event records. Metadata (`"ph":"M"`) rows are skipped.
+///
+/// Returns `Err` with a line-numbered message when a line is not in the
+/// writer's format.
+pub fn read_chrome_trace(json: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, raw) in json.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"ph\":") {
+            continue; // envelope lines: header, closing "]}"
+        }
+        let ph = field(line, "ph")
+            .and_then(|s| s.chars().next())
+            .ok_or_else(|| format!("line {}: missing \"ph\"", lineno + 1))?;
+        if ph == 'M' {
+            continue;
+        }
+        let parse_f64 = |key: &str| -> Result<f64, String> {
+            field(line, key)
+                .ok_or_else(|| format!("line {}: missing \"{key}\"", lineno + 1))?
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: bad \"{key}\": {e}", lineno + 1))
+        };
+        let tid = field(line, "tid")
+            .ok_or_else(|| format!("line {}: missing \"tid\"", lineno + 1))?
+            .parse::<u32>()
+            .map_err(|e| format!("line {}: bad \"tid\": {e}", lineno + 1))?;
+        let ts_us = parse_f64("ts")?;
+        let dur_us = if ph == 'X' { parse_f64("dur")? } else { 0.0 };
+        let name = field(line, "name")
+            .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
+            .to_string();
+        let cat = field(line, "cat").unwrap_or("").to_string();
+        records.push(TraceRecord {
+            ph,
+            tid,
+            ts_us,
+            dur_us,
+            name,
+            cat,
+            args: parse_args(line),
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Recorder};
+
+    fn sample_trace() -> Trace {
+        let rec = Recorder::enabled(2);
+        rec.span(
+            0,
+            0.0,
+            1.5e-6,
+            EventKind::LbStage {
+                stage: "gossip",
+                trial: 0,
+                iter: 1,
+            },
+        );
+        rec.instant(
+            1,
+            2.0e-6,
+            EventKind::Fault {
+                kind: "drop",
+                to: 0,
+            },
+        );
+        rec.span(
+            1,
+            3.0e-6,
+            0.5e-6,
+            EventKind::GossipRound {
+                trial: 0,
+                iter: 1,
+                round: 2,
+            },
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let a = write_chrome_trace(&sample_trace());
+        let b = write_chrome_trace(&sample_trace());
+        assert_eq!(a, b);
+        assert!(a.contains("\"name\":\"lb:gossip\""));
+        assert!(a.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn round_trips_through_reader() {
+        let trace = sample_trace();
+        let json = write_chrome_trace(&trace);
+        let parsed = read_chrome_trace(&json).unwrap();
+        assert_eq!(parsed, to_records(&trace));
+    }
+
+    #[test]
+    fn reader_rejects_garbage_event_line() {
+        let bad = "{\"traceEvents\":[\n{\"ph\":\"X\",\"ts\":1.0}\n]}";
+        assert!(read_chrome_trace(bad).is_err());
+    }
+}

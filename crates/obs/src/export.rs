@@ -1,0 +1,115 @@
+//! CSV and JSON dumps of a [`MetricsRegistry`].
+//!
+//! Both formats are hand-written (the workspace vendors no JSON
+//! serializer) and iterate `BTreeMap`s, so output is deterministic for a
+//! given registry.
+
+use crate::metrics::MetricsRegistry;
+
+/// Render `f64` deterministically (Rust's shortest round-trip `Display`).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Metrics as CSV with a leading `kind` discriminator column:
+///
+/// ```csv
+/// kind,name,value,count,sum,min,max,p50,p99
+/// counter,sim.net.messages,1234,,,,,,
+/// gauge,sim.finish_time_s,0.0042,,,,,,
+/// histogram,net.latency_ns,,200,250000,1000,2047,1023,2047
+/// ```
+pub fn metrics_to_csv(metrics: &MetricsRegistry) -> String {
+    let mut out = String::from("kind,name,value,count,sum,min,max,p50,p99\n");
+    for (name, v) in metrics.counters() {
+        out.push_str(&format!("counter,{name},{v},,,,,,\n"));
+    }
+    for (name, v) in metrics.gauges() {
+        out.push_str(&format!("gauge,{name},{},,,,,,\n", fmt_f64(v)));
+    }
+    for (name, h) in metrics.histograms() {
+        out.push_str(&format!(
+            "histogram,{name},,{},{},{},{},{},{}\n",
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.quantile_upper_bound(0.5),
+            h.quantile_upper_bound(0.99),
+        ));
+    }
+    out
+}
+
+/// Metrics as a JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,buckets:[[ub,n],...]}}}`.
+pub fn metrics_to_json(metrics: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in metrics.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in metrics.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{}", fmt_f64(v)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in metrics.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+        ));
+        for (j, (ub, n)) in h.nonzero_buckets().into_iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{ub},{n}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsRegistry {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("net.messages", 3);
+        m.gauge_max("finish_s", 0.5);
+        m.observe("lat", 1000);
+        m.observe("lat", 2000);
+        m
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = metrics_to_csv(&sample());
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,value,count,sum,min,max,p50,p99");
+        assert_eq!(lines[1], "counter,net.messages,3,,,,,,");
+        assert_eq!(lines[2], "gauge,finish_s,0.5,,,,,,");
+        assert!(lines[3].starts_with("histogram,lat,,2,3000,1000,2000,"));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        assert_eq!(metrics_to_json(&sample()), metrics_to_json(&sample()));
+        let json = metrics_to_json(&sample());
+        assert!(json.contains("\"net.messages\":3"));
+        assert!(json.contains("\"histograms\":{\"lat\":{\"count\":2"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests of the metrics merge algebra.
+//!
+//! Per-rank metric state is merged pairwise when a trace is snapshotted,
+//! and the merge order depends on executor internals — so the merge must
+//! be associative and commutative (and the identity must be the empty
+//! state) for the exported metrics to be deterministic. All state is
+//! integral (counts, saturating sums, log-bucket tallies) precisely so
+//! these laws hold *exactly*, not approximately.
+
+use proptest::prelude::*;
+use tempered_obs::{Histogram, MetricsRegistry};
+
+/// Build a histogram from raw observations.
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Deterministic metric names so merges collide on shared keys.
+fn name(sel: usize) -> &'static str {
+    ["alpha", "beta", "gamma"][sel % 3]
+}
+
+/// Build a registry from an op list: `(kind, name_sel, value)`.
+fn registry_of(ops: &[(u8, usize, u64)]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::default();
+    for &(kind, sel, value) in ops {
+        match kind % 3 {
+            0 => m.counter_add(name(sel), value),
+            1 => m.gauge_max(name(sel), value as f64),
+            _ => m.observe(name(sel), value),
+        }
+    }
+    m
+}
+
+/// Structural equality via the deterministic JSON export (the registry
+/// itself does not implement `PartialEq`).
+fn fingerprint(m: &MetricsRegistry) -> String {
+    tempered_obs::metrics_to_json(m)
+}
+
+proptest! {
+    /// Histogram merge is commutative: a ⊕ b = b ⊕ a.
+    #[test]
+    fn histogram_merge_commutes(
+        a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        b in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha;
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Histogram merge is associative: (a ⊕ b) ⊕ c = a ⊕ (b ⊕ c), and
+    /// merging matches recording the concatenated stream directly.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..30),
+        b in prop::collection::vec(0u64..u64::MAX, 0..30),
+        c in prop::collection::vec(0u64..u64::MAX, 0..30),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // And both equal the histogram of the concatenated stream.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// The empty histogram is the merge identity.
+    #[test]
+    fn histogram_empty_is_identity(
+        a in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let ha = hist_of(&a);
+        let mut merged = ha.clone();
+        merged.merge(&Histogram::default());
+        prop_assert_eq!(&merged, &ha);
+        let mut other = Histogram::default();
+        other.merge(&ha);
+        prop_assert_eq!(&other, &ha);
+    }
+
+    /// Registry merge is commutative across counters, gauges, and
+    /// histograms, including on colliding names.
+    #[test]
+    fn registry_merge_commutes(
+        a in prop::collection::vec((0u8..3, 0usize..3, 0u64..1_000_000), 0..25),
+        b in prop::collection::vec((0u8..3, 0usize..3, 0u64..1_000_000), 0..25),
+    ) {
+        let (ra, rb) = (registry_of(&a), registry_of(&b));
+        let mut ab = registry_of(&a);
+        ab.merge(&rb);
+        let mut ba = registry_of(&b);
+        ba.merge(&ra);
+        prop_assert_eq!(fingerprint(&ab), fingerprint(&ba));
+    }
+
+    /// Registry merge is associative.
+    #[test]
+    fn registry_merge_is_associative(
+        a in prop::collection::vec((0u8..3, 0usize..3, 0u64..1_000_000), 0..20),
+        b in prop::collection::vec((0u8..3, 0usize..3, 0u64..1_000_000), 0..20),
+        c in prop::collection::vec((0u8..3, 0usize..3, 0u64..1_000_000), 0..20),
+    ) {
+        let (rb, rc) = (registry_of(&b), registry_of(&c));
+
+        let mut left = registry_of(&a);
+        left.merge(&rb);
+        left.merge(&rc);
+
+        let mut bc = registry_of(&b);
+        bc.merge(&rc);
+        let mut right = registry_of(&a);
+        right.merge(&bc);
+
+        prop_assert_eq!(fingerprint(&left), fingerprint(&right));
+    }
+}

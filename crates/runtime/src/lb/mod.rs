@@ -22,6 +22,7 @@ use tempered_core::ids::RankId;
 use tempered_core::refine::net_migrations;
 use tempered_core::rng::RngFactory;
 use tempered_core::task::Task;
+use tempered_obs::Recorder;
 
 /// Result of a full distributed LB pass.
 #[derive(Clone, Debug)]
@@ -74,6 +75,21 @@ pub fn run_distributed_lb_with_faults(
     factory: &RngFactory,
     plan: FaultPlan,
 ) -> DistLbResult {
+    run_distributed_lb_traced(dist, cfg, model, factory, plan, Recorder::disabled())
+}
+
+/// [`run_distributed_lb_with_faults`] with an observability recorder
+/// threaded through the executor and every rank. With a fault-free plan
+/// the recorded trace is a pure function of `(dist, cfg, model, seed)`:
+/// two runs with the same inputs export byte-identical `trace.json`.
+pub fn run_distributed_lb_traced(
+    dist: &Distribution,
+    cfg: LbProtocolConfig,
+    model: NetworkModel,
+    factory: &RngFactory,
+    plan: FaultPlan,
+    recorder: Recorder,
+) -> DistLbResult {
     let num_ranks = dist.num_ranks();
     let ranks: Vec<LbRank> = dist
         .rank_ids()
@@ -83,11 +99,14 @@ pub fn run_distributed_lb_with_faults(
                 .iter()
                 .map(|t| (t.id, t.load.get()))
                 .collect();
-            LbRank::new(r, num_ranks, tasks, cfg, *factory)
+            let mut rank = LbRank::new(r, num_ranks, tasks, cfg, *factory);
+            rank.set_recorder(recorder.clone());
+            rank
         })
         .collect();
 
     let mut sim = Simulator::new(ranks, model, factory);
+    sim.set_recorder(recorder);
     sim.set_fault_plan(plan);
     let report = sim.run();
     assert!(

@@ -65,6 +65,7 @@ use tempered_core::load::Load;
 use tempered_core::rng::RngFactory;
 use tempered_core::task::Task;
 use tempered_core::transfer::{transfer_stage, TransferConfig};
+use tempered_obs::{EventKind, Recorder};
 
 /// Configuration of the asynchronous protocol.
 #[derive(Clone, Copy, Debug)]
@@ -224,7 +225,25 @@ pub struct LbRank {
     iter_transfers: usize,
     iter_rejected: usize,
 
+    // Observability.
+    rec: Recorder,
+    /// Currently open stage/round span: `(start ts, kind)`. Closed (and
+    /// emitted) by the next stage transition or at protocol end.
+    open_span: Option<(f64, EventKind)>,
+
     done: bool,
+}
+
+/// Static span label for a stage.
+fn stage_label(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Setup => "setup",
+        Stage::Gossip => "gossip",
+        Stage::Proposals => "proposals",
+        Stage::Evaluate => "evaluate",
+        Stage::Commit => "commit",
+        Stage::Done => "done",
+    }
 }
 
 impl LbRank {
@@ -271,8 +290,56 @@ impl LbRank {
             nacks_received: 0,
             iter_transfers: 0,
             iter_rejected: 0,
+            rec: Recorder::disabled(),
+            open_span: None,
             done: false,
         }
+    }
+
+    /// Attach an observability recorder (disabled by default). Stage and
+    /// gossip-round spans, retransmission/dedup/give-up instants, and
+    /// end-of-run counters are recorded against it. Recording never
+    /// consults the protocol's random streams, so it cannot perturb the
+    /// run.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// Close the open span (if any) at `now` and open a new one.
+    fn span_open(&mut self, now: f64, kind: EventKind) {
+        if !self.rec.is_enabled() {
+            return;
+        }
+        self.span_close(now);
+        self.open_span = Some((now, kind));
+    }
+
+    /// Close the open span (if any) at `now`.
+    fn span_close(&mut self, now: f64) {
+        if let Some((t0, kind)) = self.open_span.take() {
+            self.rec.span(self.me.as_u32(), t0, now - t0, kind);
+        }
+    }
+
+    /// Flush end-of-run counters into the shared metrics registry. Called
+    /// once per rank, on normal completion or degradation.
+    fn flush_metrics(&self) {
+        self.rec.with_metrics(|m| {
+            let s = self.channel.stats;
+            m.counter_add("lb.reliable.sent", s.sent);
+            m.counter_add("lb.reliable.retransmitted", s.retransmitted);
+            m.counter_add("lb.reliable.acked", s.acked);
+            m.counter_add("lb.reliable.duplicates_suppressed", s.duplicates_suppressed);
+            m.counter_add("lb.reliable.gave_up", s.gave_up);
+            m.counter_add("lb.migrations_in", self.migrations_in as u64);
+            m.counter_add("lb.migrations_out", self.migrations_out as u64);
+            m.counter_add("lb.nacks_received", self.nacks_received as u64);
+            m.counter_add("lb.degraded_ranks", self.degraded as u64);
+            m.gauge_max("lb.initial_imbalance", self.initial_imbalance);
+            if self.best_imbalance.is_finite() {
+                m.gauge_max("lb.best_imbalance", self.best_imbalance);
+            }
+        });
     }
 
     /// This rank's final task set `(id, load, home)` after the protocol.
@@ -405,11 +472,11 @@ impl LbRank {
         }
     }
 
-    fn on_stage_timer(&mut self, stage_seq: u64) {
+    fn on_stage_timer(&mut self, now: f64, stage_seq: u64) {
         // A stale counter means the stage advanced since this timer was
         // armed; only a live counter indicates a stall.
         if !self.done && stage_seq == self.stage_seq {
-            self.degrade();
+            self.degrade(now);
         }
     }
 
@@ -421,11 +488,26 @@ impl LbRank {
                 msg,
                 next_delay,
             } => {
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::Retransmit {
+                        to: to.as_u32(),
+                        seq,
+                    },
+                );
                 let bytes = self.payload_bytes(&msg) + SEQ_OVERHEAD_BYTES;
                 ctx.send(to, LbWire::Data { seq, msg }, bytes);
                 ctx.schedule(next_delay, LbWire::RetryTimer { to, seq });
             }
-            RetryAction::GaveUp { .. } => self.degrade(),
+            RetryAction::GaveUp { to, .. } => {
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::GaveUp { to: to.as_u32() },
+                );
+                self.degrade(ctx.now());
+            }
             RetryAction::Settled => {}
         }
     }
@@ -438,16 +520,25 @@ impl LbRank {
     /// The rank then goes silent (no acks, no forwards), so peers that
     /// depend on it degrade through their own deadlines rather than
     /// acting on its abandoned state.
-    fn degrade(&mut self) {
+    fn degrade(&mut self, now: f64) {
         if self.done {
             return;
         }
+        self.rec.instant(
+            self.me.as_u32(),
+            now,
+            EventKind::Degraded {
+                stage: stage_label(self.stage),
+            },
+        );
         self.degraded = true;
         self.done = true;
         if !matches!(self.stage, Stage::Commit | Stage::Done) {
             self.current = self.original.clone();
         }
         self.stage = Stage::Done;
+        self.span_close(now);
+        self.flush_metrics();
     }
 
     // ---- collectives -----------------------------------------------------
@@ -524,6 +615,14 @@ impl LbRank {
     fn enter_gossip_round(&mut self, ctx: &mut Ctx<'_, LbWire>, round: u32) {
         self.stage = Stage::Gossip;
         self.gossip_round = round;
+        self.span_open(
+            ctx.now(),
+            EventKind::GossipRound {
+                trial: self.trial as u32,
+                iter: self.iter as u32,
+                round,
+            },
+        );
         let epoch = self.gossip_round_epoch(round);
         self.det.start_epoch(epoch);
 
@@ -585,6 +684,11 @@ impl LbRank {
     }
 
     fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, LbWire>, epoch: u64, sent: u64) {
+        self.rec.instant(
+            self.me.as_u32(),
+            ctx.now(),
+            EventKind::EpochTerminated { epoch, sent },
+        );
         match self.stage {
             Stage::Gossip => {
                 debug_assert_eq!(epoch, self.gossip_round_epoch(self.gossip_round));
@@ -606,6 +710,8 @@ impl LbRank {
                 debug_assert_eq!(epoch, self.commit_epoch());
                 self.stage = Stage::Done;
                 self.done = true;
+                self.span_close(ctx.now());
+                self.flush_metrics();
             }
             s => panic!("unexpected epoch {epoch} termination in stage {s:?}"),
         }
@@ -613,6 +719,14 @@ impl LbRank {
 
     fn run_transfer(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.stage = Stage::Proposals;
+        self.span_open(
+            ctx.now(),
+            EventKind::LbStage {
+                stage: "proposals",
+                trial: self.trial as u32,
+                iter: self.iter as u32,
+            },
+        );
         let epoch = self.proposal_epoch();
         self.det.start_epoch(epoch);
         self.canonicalize_current();
@@ -700,6 +814,14 @@ impl LbRank {
 
     fn enter_evaluate(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.stage = Stage::Evaluate;
+        self.span_open(
+            ctx.now(),
+            EventKind::LbStage {
+                stage: "evaluate",
+                trial: self.trial as u32,
+                iter: self.iter as u32,
+            },
+        );
         self.canonicalize_current();
         self.arm_stage_deadline(ctx);
         let slot = self.eval_slot();
@@ -727,6 +849,14 @@ impl LbRank {
 
     fn enter_commit(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         self.stage = Stage::Commit;
+        self.span_open(
+            ctx.now(),
+            EventKind::LbStage {
+                stage: "commit",
+                trial: self.trial as u32,
+                iter: self.iter as u32,
+            },
+        );
         let epoch = self.commit_epoch();
         self.det.start_epoch(epoch);
         // Adopt the best proposal; fetch data for tasks whose home is
@@ -856,6 +986,14 @@ impl Protocol for LbRank {
     type Msg = LbWire;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, LbWire>) {
+        self.span_open(
+            ctx.now(),
+            EventKind::LbStage {
+                stage: "setup",
+                trial: 0,
+                iter: 0,
+            },
+        );
         self.arm_stage_deadline(ctx);
         // Setup allreduce: contribute own load.
         let summary = LoadSummary::of(self.my_load());
@@ -877,11 +1015,20 @@ impl Protocol for LbRank {
                 ctx.send(from, LbWire::Ack { seq }, SEQ_OVERHEAD_BYTES);
                 if self.channel.accept(from, seq) {
                     self.receive_inner(ctx, from, msg);
+                } else {
+                    self.rec.instant(
+                        self.me.as_u32(),
+                        ctx.now(),
+                        EventKind::DuplicateSuppressed {
+                            from: from.as_u32(),
+                            seq,
+                        },
+                    );
                 }
             }
             LbWire::Ack { seq } => self.channel.on_ack(from, seq),
             LbWire::RetryTimer { to, seq } => self.on_retry_timer(ctx, to, seq),
-            LbWire::StageTimer { stage_seq } => self.on_stage_timer(stage_seq),
+            LbWire::StageTimer { stage_seq } => self.on_stage_timer(ctx.now(), stage_seq),
         }
     }
 
@@ -954,7 +1101,7 @@ mod tests {
         let mut r = LbRank::new(RankId::new(0), 4, tasks, cfg, RngFactory::new(1));
         r.stage = Stage::Proposals;
         r.current.clear(); // pretend everything was proposed away
-        r.degrade();
+        r.degrade(0.0);
         assert!(r.degraded);
         assert!(r.is_done());
         assert_eq!(r.final_tasks().len(), 2);
@@ -972,7 +1119,7 @@ mod tests {
             load: 3.0,
             home: RankId::new(2),
         }];
-        r.degrade();
+        r.degrade(0.0);
         assert!(r.degraded);
         assert_eq!(r.final_tasks().len(), 1);
         assert_eq!(r.final_tasks()[0].id, TaskId::new(9));

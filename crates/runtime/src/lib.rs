@@ -42,8 +42,9 @@ pub mod termination;
 
 pub use fault::{FaultPlan, FaultStats};
 pub use lb::{
-    run_distributed_lb, run_distributed_lb_with_faults, DistLbResult, DistributedTemperedLb,
-    LbProtocolConfig,
+    run_distributed_lb, run_distributed_lb_traced, run_distributed_lb_with_faults, DistLbResult,
+    DistributedTemperedLb, LbProtocolConfig,
 };
 pub use reliable::{ReliableStats, RetryConfig};
 pub use sim::{NetworkModel, Protocol, SimReport, Simulator};
+pub use stats::NetworkStats;

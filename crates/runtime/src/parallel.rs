@@ -32,6 +32,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tempered_core::ids::RankId;
+use tempered_obs::{EventKind, Recorder};
 
 /// Wall-clock hold-back per unit of injected latency factor: a message
 /// with fate `delay_factor = f` is held for `(f − 1) ×` this duration.
@@ -85,6 +86,11 @@ pub struct ParallelOptions {
     /// Faults to inject; [`FaultPlan::none`] (the default) injects
     /// nothing and leaves the executor on its unfaulted fast path.
     pub fault_plan: FaultPlan,
+    /// Observability recorder. Events are stamped with monotonic
+    /// wall-clock seconds since executor start, so traces from this
+    /// executor are *not* reproducible across runs (unlike the
+    /// simulator's virtual-time traces). Disabled by default.
+    pub recorder: Recorder,
 }
 
 /// Outcome of a parallel run.
@@ -164,6 +170,7 @@ where
             let rx = receivers[w].clone();
             let done_count = &done_count;
             let injector = plan.clone().map(FaultInjector::new);
+            let recorder = options.recorder.clone();
             handles.push(scope.spawn(move || {
                 let mut worker = Worker {
                     shard,
@@ -172,6 +179,7 @@ where
                     done_flags: Vec::new(),
                     stats: NetworkStats::default(),
                     injector,
+                    recorder,
                     start,
                     held: BinaryHeap::new(),
                     outbox: Vec::new(),
@@ -200,6 +208,17 @@ where
         .into_iter()
         .map(|slot| slot.expect("every rank returned").1)
         .collect();
+    options.recorder.with_metrics(|m| {
+        m.record_network("parallel.net", &network);
+        m.counter_add("fault.faultable", faults.faultable);
+        m.counter_add("fault.dropped", faults.dropped);
+        m.counter_add("fault.duplicated", faults.duplicated);
+        m.counter_add("fault.spiked", faults.spiked);
+        m.counter_add("fault.reordered", faults.reordered);
+        m.counter_add("fault.straggled", faults.straggled);
+        m.counter_add("fault.paused", faults.paused);
+        m.gauge_max("parallel.wall_time_s", start.elapsed().as_secs_f64());
+    });
     ParallelReport {
         ranks,
         network,
@@ -215,6 +234,7 @@ struct Worker<'a, P: Protocol> {
     done_flags: Vec<bool>,
     stats: NetworkStats,
     injector: Option<FaultInjector>,
+    recorder: Recorder,
     start: Instant,
     /// Protocol timers and delay-faulted envelopes awaiting their time.
     held: BinaryHeap<Reverse<Held<P::Msg>>>,
@@ -263,6 +283,22 @@ where
             } else {
                 Fate::clean()
             };
+            if faultable && self.recorder.is_enabled() {
+                let now = self.start.elapsed().as_secs_f64();
+                let fault = |kind| EventKind::Fault {
+                    kind,
+                    to: to.as_u32(),
+                };
+                if fate.copies == 0 {
+                    self.recorder.instant(from.as_u32(), now, fault("drop"));
+                } else if fate.copies > 1 {
+                    self.recorder
+                        .instant(from.as_u32(), now, fault("duplicate"));
+                }
+                if fate.delay_factor > 1.0 {
+                    self.recorder.instant(from.as_u32(), now, fault("delay"));
+                }
+            }
             for copy in 0..fate.copies {
                 let extra = (fate.delay_factor - 1.0).max(0.0) * (copy + 1) as f64;
                 let mut not_before = if extra > 0.0 {
@@ -311,7 +347,11 @@ where
             .expect("routed to owning worker");
         let me = RankId::from(to);
         let mut outbox = std::mem::take(&mut self.outbox);
-        let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
+        // Monotonic seconds since executor start: the threaded analogue
+        // of the simulator's virtual clock, used for timestamps only
+        // (protocols treat `now` as opaque).
+        let now = self.start.elapsed().as_secs_f64();
+        let mut ctx = Ctx::for_executor(me, now, &mut outbox);
         self.shard[slot].1.on_message(&mut ctx, from, msg);
         let timers = ctx.take_timers();
         self.outbox = outbox;
@@ -347,7 +387,8 @@ where
         for slot in 0..self.shard.len() {
             let me = RankId::from(self.shard[slot].0);
             let mut outbox = std::mem::take(&mut self.outbox);
-            let mut ctx = Ctx::for_executor(me, 0.0, &mut outbox);
+            let now = self.start.elapsed().as_secs_f64();
+            let mut ctx = Ctx::for_executor(me, now, &mut outbox);
             self.shard[slot].1.on_start(&mut ctx);
             let timers = ctx.take_timers();
             self.outbox = outbox;
@@ -565,6 +606,7 @@ mod tests {
                     drop: 1.0,
                     ..FaultPlan::none()
                 },
+                ..Default::default()
             },
         );
         assert!(!report.completed);

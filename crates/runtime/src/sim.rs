@@ -30,6 +30,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tempered_core::ids::RankId;
 use tempered_core::rng::RngFactory;
+use tempered_obs::{EventKind, Recorder};
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -246,6 +247,7 @@ pub struct Simulator<P: Protocol> {
     stats: NetworkStats,
     injector: Option<FaultInjector>,
     events_delivered: u64,
+    recorder: Recorder,
     /// Network (non-timer) events currently queued; lets the executor
     /// finish without draining still-armed timers of completed ranks.
     net_in_queue: u64,
@@ -267,6 +269,7 @@ impl<P: Protocol> Simulator<P> {
             stats: NetworkStats::default(),
             injector: None,
             events_delivered: 0,
+            recorder: Recorder::disabled(),
             net_in_queue: 0,
             max_events: 500_000_000,
         }
@@ -283,6 +286,16 @@ impl<P: Protocol> Simulator<P> {
         } else {
             Some(FaultInjector::new(plan))
         };
+    }
+
+    /// Attach an observability recorder. Fault injections and network
+    /// latency draws are recorded against it (stamped with virtual time),
+    /// and the executor's network/fault totals are flushed into its
+    /// metrics registry when [`Simulator::run`] returns. Recording never
+    /// touches the simulator's random stream, so attaching a recorder
+    /// cannot perturb a run.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Number of ranks.
@@ -311,6 +324,10 @@ impl<P: Protocol> Simulator<P> {
             // random stream and stats stay aligned with a fault-free run.
             let latency = self.model.latency(bytes, &mut self.rng);
             self.stats.record(bytes);
+            if self.recorder.is_enabled() {
+                self.recorder
+                    .observe("sim.net.latency_ns", (latency * 1e9) as u64);
+            }
             let Some(inj) = &mut self.injector else {
                 self.seq += 1;
                 self.net_in_queue += 1;
@@ -330,6 +347,23 @@ impl<P: Protocol> Simulator<P> {
             } else {
                 Fate::clean()
             };
+            if faultable && self.recorder.is_enabled() {
+                let fault = |kind| EventKind::Fault {
+                    kind,
+                    to: to.as_u32(),
+                };
+                if fate.copies == 0 {
+                    self.recorder
+                        .instant(from.as_u32(), self.now, fault("drop"));
+                } else if fate.copies > 1 {
+                    self.recorder
+                        .instant(from.as_u32(), self.now, fault("duplicate"));
+                }
+                if fate.delay_factor > 1.0 {
+                    self.recorder
+                        .instant(from.as_u32(), self.now, fault("delay"));
+                }
+            }
             for copy in 0..fate.copies {
                 // A duplicated copy trails the original at double latency,
                 // like a retransmission overlapping the first delivery.
@@ -337,6 +371,14 @@ impl<P: Protocol> Simulator<P> {
                 if faultable {
                     if let Some(until) = inj.deferred_until(to, arrival) {
                         arrival = until;
+                        self.recorder.instant(
+                            from.as_u32(),
+                            self.now,
+                            EventKind::Fault {
+                                kind: "pause",
+                                to: to.as_u32(),
+                            },
+                        );
                     }
                 }
                 self.seq += 1;
@@ -431,11 +473,24 @@ impl<P: Protocol> Simulator<P> {
             }
         }
 
+        let faults = self.injector.as_ref().map(|i| i.stats).unwrap_or_default();
+        self.recorder.with_metrics(|m| {
+            m.record_network("sim.net", &self.stats);
+            m.counter_add("sim.events_delivered", self.events_delivered);
+            m.gauge_max("sim.finish_time_s", self.now);
+            m.counter_add("fault.faultable", faults.faultable);
+            m.counter_add("fault.dropped", faults.dropped);
+            m.counter_add("fault.duplicated", faults.duplicated);
+            m.counter_add("fault.spiked", faults.spiked);
+            m.counter_add("fault.reordered", faults.reordered);
+            m.counter_add("fault.straggled", faults.straggled);
+            m.counter_add("fault.paused", faults.paused);
+        });
         SimReport {
             finish_time: self.now,
             events_delivered: self.events_delivered,
             network: self.stats.clone(),
-            faults: self.injector.as_ref().map(|i| i.stats).unwrap_or_default(),
+            faults,
             completed: self.ranks.iter().all(|r| r.is_done()),
         }
     }

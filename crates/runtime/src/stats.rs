@@ -1,61 +1,8 @@
 //! Network and protocol accounting.
+//!
+//! The counter type itself now lives in the observability crate so it can
+//! be folded into a [`tempered_obs::MetricsRegistry`] alongside every
+//! other metric; this module remains as a compatibility re-export for the
+//! executors and external callers.
 
-use serde::{Deserialize, Serialize};
-
-/// Message/byte counters maintained by the executors.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct NetworkStats {
-    /// Total messages sent.
-    pub messages: u64,
-    /// Total payload bytes sent.
-    pub bytes: u64,
-}
-
-impl NetworkStats {
-    /// Record one message of `bytes` payload.
-    #[inline]
-    pub fn record(&mut self, bytes: usize) {
-        self.messages += 1;
-        self.bytes += bytes as u64;
-    }
-
-    /// Merge counters from another executor (e.g. per-thread stats).
-    pub fn merge(&mut self, other: &NetworkStats) {
-        self.messages += other.messages;
-        self.bytes += other.bytes;
-    }
-
-    /// Mean payload size in bytes; `0.0` when no messages were sent.
-    pub fn mean_message_bytes(&self) -> f64 {
-        if self.messages == 0 {
-            0.0
-        } else {
-            self.bytes as f64 / self.messages as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn record_and_merge() {
-        let mut a = NetworkStats::default();
-        a.record(10);
-        a.record(30);
-        assert_eq!(a.messages, 2);
-        assert_eq!(a.bytes, 40);
-        assert_eq!(a.mean_message_bytes(), 20.0);
-        let mut b = NetworkStats::default();
-        b.record(60);
-        a.merge(&b);
-        assert_eq!(a.messages, 3);
-        assert_eq!(a.bytes, 100);
-    }
-
-    #[test]
-    fn empty_mean_is_zero() {
-        assert_eq!(NetworkStats::default().mean_message_bytes(), 0.0);
-    }
-}
+pub use tempered_obs::NetworkStats;

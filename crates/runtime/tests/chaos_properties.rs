@@ -344,7 +344,10 @@ fn parallel_executor_converges_under_faults() {
         ranks,
         4,
         Duration::from_secs(30),
-        ParallelOptions { fault_plan: plan },
+        ParallelOptions {
+            fault_plan: plan,
+            ..Default::default()
+        },
     );
     assert!(
         report.completed,
