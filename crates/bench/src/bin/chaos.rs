@@ -4,12 +4,16 @@
 //! fault-free: whenever no rank degrades, the final assignment must be
 //! identical to the fault-free run of the same configuration and seed.
 //!
+//! Both balancers run through the same engine/transport/driver stack:
+//! the TemperedLB configuration and the original single-trial
+//! GrapevineLB each get a grid.
+//!
 //! Per cell it records the repair work the reliability layer performed
 //! (retransmissions, suppressed duplicates, give-ups), degradation
 //! counts, and the modeled makespan — the cost of chaos in one table.
 //!
 //! Run with: `cargo run --release -p tempered-bench --bin chaos`
-//! Writes `results/chaos.csv`.
+//! Writes `results/chaos.csv` and `results/chaos_grapevine.csv`.
 
 use lbaf::Table;
 use tempered_bench::{counter_cells, lb_run_metrics, write_results};
@@ -47,40 +51,23 @@ fn assignment(d: &Distribution) -> Vec<Vec<TaskId>> {
         .collect()
 }
 
-fn main() {
-    let quick = tempered_bench::quick_mode();
-    let (num_ranks, hot, tasks) = if quick { (16, 2, 25) } else { (32, 3, 40) };
-    let dist = concentrated(num_ranks, hot, tasks);
-    let seed = 4242;
-
-    let cfg = LbProtocolConfig {
-        trials: 2,
-        iters: 3,
-        fanout: 4,
-        rounds: 5,
-        ..Default::default()
-    }
-    .hardened(RetryConfig {
-        timeout: 200e-6,
-        backoff: 1.5,
-        max_retries: 30,
-        stage_deadline: 30.0,
-    });
-
-    eprintln!(
-        "chaos sweep: {num_ranks} ranks, {} tasks, drop × straggler grid",
-        dist.num_tasks()
-    );
-
+/// Sweep one balancer configuration over the chaos grid. Returns the
+/// rendered table and the number of non-degraded runs that diverged
+/// from the fault-free reference (must be zero).
+fn sweep(
+    name: &str,
+    cfg: LbProtocolConfig,
+    dist: &Distribution,
+    seed: u64,
+    drops: &[f64],
+    stragglers: &[f64],
+) -> (Table, usize) {
     // Reference outcome: same config and seed, no faults.
-    let clean = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(seed));
+    let clean = run_distributed_lb(dist, cfg, NetworkModel::default(), &RngFactory::new(seed));
     let reference = assignment(&clean.distribution);
 
-    let drops = [0.0, 0.05, 0.1, 0.2];
-    let stragglers = [1.0, 4.0, 16.0];
-
     let mut table = Table::new(
-        "Hardened protocol under chaos (duplicate=0.1, spike=0.05 everywhere)",
+        format!("{name} under chaos (duplicate=0.1, spike=0.05 everywhere)"),
         &[
             "drop",
             "straggler",
@@ -97,8 +84,8 @@ fn main() {
     );
 
     let mut mismatches = 0usize;
-    for &drop in &drops {
-        for &straggler in &stragglers {
+    for &drop in drops {
+        for &straggler in stragglers {
             let plan = FaultPlan {
                 seed: 0xC4A05 ^ ((drop * 1e3) as u64) ^ (((straggler * 1e3) as u64) << 16),
                 drop,
@@ -113,7 +100,7 @@ fn main() {
                 ..FaultPlan::none()
             };
             let out = run_distributed_lb_with_faults(
-                &dist,
+                dist,
                 cfg,
                 NetworkModel::default(),
                 &RngFactory::new(seed),
@@ -149,14 +136,65 @@ fn main() {
 
     println!("{}", table.render());
     println!(
-        "fault-free reference: imbalance {:.3} -> {:.3}, {} migrations",
+        "{name} fault-free reference: imbalance {:.3} -> {:.3}, {} migrations",
         clean.initial_imbalance, clean.final_imbalance, clean.tasks_migrated
     );
+    (table, mismatches)
+}
 
-    write_results("chaos.csv", &table.to_csv());
+fn main() {
+    let quick = tempered_bench::quick_mode();
+    let (num_ranks, hot, tasks) = if quick { (16, 2, 25) } else { (32, 3, 40) };
+    let dist = concentrated(num_ranks, hot, tasks);
+    let seed = 4242;
+
+    let retry = RetryConfig {
+        timeout: 200e-6,
+        backoff: 1.5,
+        max_retries: 30,
+        stage_deadline: 30.0,
+    };
+    let tempered = LbProtocolConfig {
+        trials: 2,
+        iters: 3,
+        fanout: 4,
+        rounds: 5,
+        ..Default::default()
+    }
+    .hardened(retry);
+    let grapevine = LbProtocolConfig::grapevine().hardened(retry);
+
+    eprintln!(
+        "chaos sweep: {num_ranks} ranks, {} tasks, drop × straggler grid",
+        dist.num_tasks()
+    );
+
+    let drops = [0.0, 0.05, 0.1, 0.2];
+    let stragglers = [1.0, 4.0, 16.0];
+
+    let (t_table, t_miss) = sweep(
+        "Hardened TemperedLB",
+        tempered,
+        &dist,
+        seed,
+        &drops,
+        &stragglers,
+    );
+    write_results("chaos.csv", &t_table.to_csv());
+
+    let (g_table, g_miss) = sweep(
+        "Hardened GrapevineLB",
+        grapevine,
+        &dist,
+        seed,
+        &drops,
+        &stragglers,
+    );
+    write_results("chaos_grapevine.csv", &g_table.to_csv());
 
     assert_eq!(
-        mismatches, 0,
+        t_miss + g_miss,
+        0,
         "a non-degraded chaotic run diverged from the fault-free assignment"
     );
 }

@@ -28,7 +28,10 @@ impl GrapevineLb {
         GrapevineLb { gossip }
     }
 
-    fn refine_config(&self) -> RefineConfig {
+    /// The analysis-mode refinement configuration of the original
+    /// algorithm; also what the distributed GrapevineLB protocol
+    /// configuration derives from (`tempered_runtime::LbProtocolConfig`).
+    pub fn refine_config(&self) -> RefineConfig {
         RefineConfig {
             trials: 1,
             iters: 1,

@@ -71,7 +71,13 @@ impl TemperedLb {
         }
     }
 
-    fn refine_config(&self) -> RefineConfig {
+    /// The analysis-mode refinement configuration these knobs denote.
+    ///
+    /// This is the single source of truth for TemperedLB's parameters:
+    /// the asynchronous protocol configuration derives from the same
+    /// [`RefineConfig`] (via `tempered_runtime::LbProtocolConfig::from`),
+    /// so the two execution modes cannot drift apart.
+    pub fn refine_config(&self) -> RefineConfig {
         RefineConfig {
             trials: self.config.trials,
             iters: self.config.iters,

@@ -203,6 +203,76 @@ pub fn sample_target(
     }
 }
 
+/// Membership view of a rank's knowledge for fanout target sampling.
+///
+/// The sampling kernel only needs `|S^p|` and membership tests, so the
+/// flat bitset representation used by the analysis-mode engine and the
+/// [`Knowledge`] map used by the asynchronous runtime protocol share one
+/// implementation — and therefore draw *identical* random sequences,
+/// which the sync↔async equivalence guarantee depends on.
+pub trait TargetExclusions {
+    /// Number of known underloaded ranks, `|S^p|`.
+    fn known(&self) -> usize;
+    /// Whether `rank ∈ S^p`.
+    fn knows(&self, rank: RankId) -> bool;
+}
+
+impl TargetExclusions for Knowledge {
+    fn known(&self) -> usize {
+        self.len()
+    }
+    fn knows(&self, rank: RankId) -> bool {
+        self.contains(rank)
+    }
+}
+
+/// Draw `fanout` targets (with replacement, as Algorithm 1 does) from
+/// `P \ (S^p ∪ {self})` (Algorithm 1 lines 20–21).
+///
+/// Rejection-samples while the complement is large; when knowledge covers
+/// most of `P` — the common state for underloaded ranks late in gossip —
+/// the complement is enumerated *once* and all `fanout` draws share it,
+/// which is the difference between `O(P)` and `O(P·f)` per sender per
+/// round at §V-B scale. A rejection burst that misses 64 times simply
+/// yields fewer targets for this send; there is deliberately no dense
+/// fallback inside the burst, so the draw sequence is identical for
+/// every [`TargetExclusions`] implementation.
+pub fn sample_fanout_targets<K: TargetExclusions>(
+    rng: &mut SmallRng,
+    num_ranks: usize,
+    me: RankId,
+    knowledge: &K,
+    fanout: usize,
+    out: &mut Vec<RankId>,
+) {
+    out.clear();
+    let excluded = knowledge.known() + if knowledge.knows(me) { 0 } else { 1 };
+    if excluded >= num_ranks {
+        return;
+    }
+    if excluded * 4 <= num_ranks * 3 {
+        // Large complement: expected < 4 draws per target.
+        for _ in 0..fanout {
+            for _ in 0..64 {
+                let cand = RankId::new(rng.gen_range(0..num_ranks as u32));
+                if cand != me && !knowledge.knows(cand) {
+                    out.push(cand);
+                    break;
+                }
+            }
+        }
+        return;
+    }
+    // Dense knowledge: enumerate the complement once for all draws.
+    let complement: Vec<RankId> = (0..num_ranks as u32)
+        .map(RankId::new)
+        .filter(|&r| r != me && !knowledge.knows(r))
+        .collect();
+    for _ in 0..fanout {
+        out.push(complement[rng.gen_range(0..complement.len())]);
+    }
+}
+
 fn seeds(loads: &[Load], l_ave: Load) -> Vec<Knowledge> {
     loads
         .iter()
@@ -275,6 +345,15 @@ impl FlatKnowledge {
     }
 }
 
+impl TargetExclusions for FlatKnowledge {
+    fn known(&self) -> usize {
+        self.len()
+    }
+    fn knows(&self, rank: RankId) -> bool {
+        self.contains(rank)
+    }
+}
+
 fn run_round_based(
     loads: &[Load],
     l_ave: Load,
@@ -324,7 +403,7 @@ fn run_round_based(
                 continue;
             }
             let me = RankId::from(p);
-            sample_targets_flat(
+            sample_fanout_targets(
                 &mut rngs[p],
                 num_ranks,
                 me,
@@ -341,7 +420,7 @@ fn run_round_based(
         for &(sender, prefix, target) in &msgs {
             pairs_sent += prefix as u64;
             let (s, t) = (sender as usize, target as usize);
-            debug_assert_ne!(s, t, "self-sends are excluded by sample_target");
+            debug_assert_ne!(s, t, "self-sends are excluded by target sampling");
             // Fast path: receiver already knows every underloaded rank.
             if knowledge[t].len() >= num_underloaded {
                 continue;
@@ -370,50 +449,6 @@ fn run_round_based(
         pairs_sent,
         rounds_executed,
         truncated: false,
-    }
-}
-
-/// Draw `fanout` targets (with replacement, as Algorithm 1 does) from
-/// `P \ (S^p ∪ {self})` against the flat bitset representation.
-///
-/// Rejection-samples while the complement is large; when knowledge covers
-/// most of `P` — the common state for underloaded ranks late in gossip —
-/// the complement is enumerated *once* and all `fanout` draws share it,
-/// which is the difference between `O(P)` and `O(P·f)` per sender per
-/// round at §V-B scale.
-fn sample_targets_flat(
-    rng: &mut SmallRng,
-    num_ranks: usize,
-    me: RankId,
-    knowledge: &FlatKnowledge,
-    fanout: usize,
-    out: &mut Vec<RankId>,
-) {
-    out.clear();
-    let excluded = knowledge.len() + if knowledge.contains(me) { 0 } else { 1 };
-    if excluded >= num_ranks {
-        return;
-    }
-    if excluded * 4 <= num_ranks * 3 {
-        // Large complement: expected < 4 draws per target.
-        for _ in 0..fanout {
-            for _ in 0..64 {
-                let cand = RankId::new(rng.gen_range(0..num_ranks as u32));
-                if cand != me && !knowledge.contains(cand) {
-                    out.push(cand);
-                    break;
-                }
-            }
-        }
-        return;
-    }
-    // Dense knowledge: enumerate the complement once for all draws.
-    let complement: Vec<RankId> = (0..num_ranks as u32)
-        .map(RankId::new)
-        .filter(|&r| r != me && !knowledge.contains(r))
-        .collect();
-    for _ in 0..fanout {
-        out.push(complement[rng.gen_range(0..complement.len())]);
     }
 }
 
@@ -710,6 +745,30 @@ mod tests {
             }
             // The overloaded rank still learns *some* targets.
             assert!(!r.knowledge[0].is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fanout_sampling_is_representation_independent() {
+        // The flat bitset view and the Knowledge map must consume the
+        // random stream identically — the async runtime relies on it.
+        let num_ranks = 48;
+        let known: Vec<u32> = vec![3, 7, 11, 30];
+        let mut flat = FlatKnowledge::new(num_ranks, usize::MAX);
+        let mut map = Knowledge::new();
+        for &r in &known {
+            flat.insert(RankId::new(r), Load::new(0.5));
+            map.insert(RankId::new(r), Load::new(0.5));
+        }
+        let me = RankId::new(7);
+        for round in 0..4u64 {
+            let mut rng_a = RngFactory::new(9).rank_stream(b"t", 0, round);
+            let mut rng_b = RngFactory::new(9).rank_stream(b"t", 0, round);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            sample_fanout_targets(&mut rng_a, num_ranks, me, &flat, 6, &mut a);
+            sample_fanout_targets(&mut rng_b, num_ranks, me, &map, 6, &mut b);
+            assert_eq!(a, b);
+            assert!(a.iter().all(|&t| t != me && !map.contains(t)));
         }
     }
 

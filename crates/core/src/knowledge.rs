@@ -131,6 +131,25 @@ impl Knowledge {
         self.entries().collect()
     }
 
+    /// Re-order entries into ascending rank order (load estimates are
+    /// preserved) and rebuild the index.
+    ///
+    /// Gossip accumulates entries in arrival order, which differs between
+    /// the analysis-mode driver and the asynchronous runtime (and, there,
+    /// between message interleavings). Since CMF construction iterates
+    /// entries in order, both execution modes canonicalize to rank order
+    /// before the transfer stage so that sampled transfer targets are a
+    /// pure function of the knowledge *set*, not of message timing.
+    pub fn canonicalize(&mut self) {
+        let mut pairs: Vec<(RankId, Load)> = self.entries().collect();
+        pairs.sort_unstable_by_key(|&(r, _)| r);
+        for (i, (r, l)) in pairs.into_iter().enumerate() {
+            self.ranks[i] = r;
+            self.loads[i] = l;
+            self.index.insert(r, i);
+        }
+    }
+
     /// Rebuild the side index (needed after deserialization, where the
     /// index is skipped).
     pub fn rebuild_index(&mut self) {
@@ -226,6 +245,20 @@ mod tests {
         let mut b = Knowledge::new();
         b.merge_pairs(&a.to_pairs());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonicalize_sorts_by_rank_and_keeps_loads() {
+        let mut a = k(&[(9, 3.0), (1, 2.0), (5, 1.0)]);
+        a.add_to_load(RankId::new(1), Load::new(0.5));
+        a.canonicalize();
+        let order: Vec<_> = a.entries().map(|(r, _)| r.as_u32()).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+        // Index still consistent after re-ordering:
+        assert_eq!(a.load_of(RankId::new(1)), Some(Load::new(2.5)));
+        assert_eq!(a.load_of(RankId::new(9)), Some(Load::new(3.0)));
+        assert!(a.add_to_load(RankId::new(5), Load::new(1.0)));
+        assert_eq!(a.load_of(RankId::new(5)), Some(Load::new(2.0)));
     }
 
     #[test]

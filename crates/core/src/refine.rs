@@ -189,6 +189,11 @@ pub fn refine(
                 if work.rank_load(rank) <= threshold {
                     continue;
                 }
+                // Rank order, not gossip arrival order: CMF construction
+                // iterates knowledge in order, and the asynchronous
+                // runtime canonicalizes the same way — this is what makes
+                // the two execution modes sample identical targets.
+                knowledge[p].canonicalize();
                 let mut rng = factory.rank_stream(b"transfer", p as u64, sub_epoch);
                 let out = transfer_stage(
                     rank,

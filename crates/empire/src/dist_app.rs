@@ -637,7 +637,7 @@ impl PicRank {
             return;
         }
         self.lb_done_handled = true;
-        if self.lb.as_ref().is_some_and(|lb| lb.degraded) {
+        if self.lb.as_ref().is_some_and(|lb| lb.degraded()) {
             // The balancer abandoned this round; the rank keeps its
             // pre-LB colors (LbRank::degrade reverted its task set).
             self.degraded_lb_steps.push(self.step);
@@ -1097,6 +1097,31 @@ mod tests {
         // Color ownership is a partition.
         let owned: usize = report.ranks.iter().map(|r| r.owned_colors().len()).sum();
         assert_eq!(owned, cfg.scenario.mesh.num_colors());
+    }
+
+    /// Any balancer runs distributed: swap the LB slice of the config
+    /// for the original GrapevineLB and the embedded protocol still
+    /// completes, conserves particles, moves work, and replays
+    /// deterministically.
+    #[test]
+    fn grapevine_balancer_runs_embedded() {
+        let steps = 16;
+        let mut cfg = small_cfg(steps, 4);
+        cfg.lb = LbProtocolConfig::grapevine();
+        let out = run_distributed_pic(cfg, NetworkModel::default(), 7);
+        assert_eq!(out.stats.len(), steps);
+        assert!(out.colors_migrated > 0, "grapevine LB should move colors");
+
+        let again = run_distributed_pic(cfg, NetworkModel::default(), 7);
+        assert_eq!(out.final_particles, again.final_particles);
+        assert_eq!(out.report.events_delivered, again.report.events_delivered);
+
+        let mut global = EmpireSim::new(cfg.scenario, cfg.cost, 7);
+        for _ in 0..steps {
+            global.step();
+        }
+        let total: usize = out.final_particles.iter().sum();
+        assert_eq!(total, global.num_particles());
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Configuration of the asynchronous LB protocol, and the one conversion
+//! that keeps it in lock-step with the analysis-mode [`RefineConfig`].
+
+use super::engine::EngineConfig;
+use crate::reliable::RetryConfig;
+use tempered_core::refine::RefineConfig;
+use tempered_core::transfer::TransferConfig;
+
+/// Configuration of the asynchronous protocol.
+///
+/// The algorithmic knobs mirror [`RefineConfig`] exactly — convert with
+/// [`From`] so the two execution modes cannot drift apart; the remaining
+/// fields configure the delivery stack, which has no analysis-mode
+/// counterpart.
+#[derive(Clone, Copy, Debug)]
+pub struct LbProtocolConfig {
+    /// Independent trials (`n_trials`).
+    pub trials: usize,
+    /// Iterations per trial (`n_iters`).
+    pub iters: usize,
+    /// Gossip fanout `f`.
+    pub fanout: usize,
+    /// Gossip round limit `k`.
+    pub rounds: usize,
+    /// Transfer-stage knobs (criterion, CMF, ordering, threshold).
+    pub transfer: TransferConfig,
+    /// Modeled payload bytes per migrated task (commit-stage data volume).
+    pub bytes_per_task: usize,
+    /// Enable Menon et al.'s negative acknowledgements: recipients bounce
+    /// proposed tasks that would push them past `ℓ_ave`. The paper drops
+    /// this mechanism (§V-A); the flag exists to measure that choice.
+    pub use_nacks: bool,
+    /// Delivery hardening. `None` (default) sends best-effort
+    /// [`super::LbWire::Raw`] frames — the historical protocol,
+    /// bit-identical to builds without the fault layer. `Some` enables
+    /// at-least-once delivery with retransmission, dedup, and stage
+    /// deadlines.
+    pub reliability: Option<RetryConfig>,
+}
+
+impl From<RefineConfig> for LbProtocolConfig {
+    /// Derive the protocol configuration that runs the *same algorithm*
+    /// as `refine(cfg, ...)` distributed: every balancer that can state
+    /// its parameters as a [`RefineConfig`] (TemperedLB, GrapevineLB,
+    /// and any §V ablation between them) runs through the async protocol
+    /// with no separate knob set to keep in sync.
+    fn from(cfg: RefineConfig) -> Self {
+        LbProtocolConfig {
+            trials: cfg.trials,
+            iters: cfg.iters,
+            fanout: cfg.gossip.fanout,
+            rounds: cfg.gossip.rounds,
+            transfer: cfg.transfer,
+            bytes_per_task: 65_536,
+            use_nacks: false,
+            reliability: None,
+        }
+    }
+}
+
+impl Default for LbProtocolConfig {
+    fn default() -> Self {
+        RefineConfig::tempered().into()
+    }
+}
+
+impl LbProtocolConfig {
+    /// A GrapevineLB-equivalent configuration: single trial, single
+    /// iteration, original criterion and CMF, arbitrary ordering.
+    pub fn grapevine() -> Self {
+        RefineConfig::grapevine().into()
+    }
+
+    /// The same configuration with delivery hardening enabled under the
+    /// given retry policy.
+    pub fn hardened(self, retry: RetryConfig) -> Self {
+        LbProtocolConfig {
+            reliability: Some(retry),
+            ..self
+        }
+    }
+
+    /// The engine-layer (algorithmic) slice of this configuration.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            trials: self.trials,
+            iters: self.iters,
+            fanout: self.fanout,
+            rounds: self.rounds,
+            transfer: self.transfer,
+            use_nacks: self.use_nacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempered_core::balancer::{GrapevineLb, TemperedLb};
+
+    #[test]
+    fn protocol_config_derives_from_refine_config() {
+        // Satellite check for knob drift: the default protocol knobs ARE
+        // the analysis-mode TemperedLB knobs, via the one conversion.
+        let tempered: LbProtocolConfig = TemperedLb::default().refine_config().into();
+        let d = LbProtocolConfig::default();
+        assert_eq!(tempered.trials, d.trials);
+        assert_eq!(tempered.iters, d.iters);
+        assert_eq!(tempered.fanout, d.fanout);
+        assert_eq!(tempered.rounds, d.rounds);
+
+        let grapevine: LbProtocolConfig = GrapevineLb::default().refine_config().into();
+        let g = LbProtocolConfig::grapevine();
+        assert_eq!(grapevine.trials, g.trials);
+        assert_eq!(grapevine.iters, g.iters);
+        assert_eq!((g.trials, g.iters), (1, 1));
+    }
+
+    #[test]
+    fn engine_slice_carries_the_algorithmic_knobs() {
+        let cfg = LbProtocolConfig {
+            trials: 3,
+            iters: 5,
+            fanout: 2,
+            rounds: 4,
+            use_nacks: true,
+            ..LbProtocolConfig::default()
+        };
+        let e = cfg.engine();
+        assert_eq!(e.trials, 3);
+        assert_eq!(e.iters, 5);
+        assert_eq!(e.fanout, 2);
+        assert_eq!(e.rounds, 4);
+        assert!(e.use_nacks);
+    }
+
+    #[test]
+    fn hardened_preserves_other_knobs() {
+        let cfg = LbProtocolConfig {
+            trials: 4,
+            ..LbProtocolConfig::default()
+        }
+        .hardened(RetryConfig::default());
+        assert!(cfg.reliability.is_some());
+        assert_eq!(cfg.trials, 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Zero-latency in-process driver for [`Protocol`] actors.
+//!
+//! [`LocalRunner`] executes a set of ranks with no modeled network at
+//! all: messages deliver instantly in FIFO order, timers fire only when
+//! the message queue drains. It is the minimal driver of the
+//! engine/transport/driver stack — no latency model, no fault injection,
+//! no network statistics — and exists for two reasons:
+//!
+//! 1. **Equivalence testing.** With delivery trivially reliable and
+//!    ordered, an engine run here must commit the *exact* assignment the
+//!    analysis-mode driver (`tempered_core::refine`) computes; the
+//!    `equivalence` integration test asserts this bit for bit. A second,
+//!    differently-scheduled execution (the discrete-event
+//!    [`crate::sim::Simulator`] with its latency model) agreeing too is
+//!    then strong evidence the protocol is timing-independent.
+//! 2. **Embedding.** Applications that want a distributed balancer's
+//!    exact decisions without simulating an interconnect (e.g. unit
+//!    tests of higher layers) can run one synchronously in-process.
+//!
+//! FIFO order is a *valid* schedule of the asynchronous protocol, not a
+//! cheat: the engine's canonicalization makes any delivery order commit
+//! the same result, and the simulator-based chaos tests exercise the
+//! adversarial orders.
+
+use super::engine::AsyncIterationRecord;
+use super::rank::LbRank;
+use super::LbProtocolConfig;
+use crate::sim::{Ctx, Protocol};
+use std::collections::VecDeque;
+use tempered_core::distribution::Distribution;
+use tempered_core::ids::RankId;
+use tempered_core::rng::RngFactory;
+use tempered_core::task::Task;
+
+/// In-process zero-latency executor.
+pub struct LocalRunner<P: Protocol> {
+    ranks: Vec<P>,
+    /// FIFO of in-flight messages as `(to, from, msg)`.
+    queue: VecDeque<(RankId, RankId, P::Msg)>,
+    /// Pending self-timers as `(fire time, arm order, rank, msg)`.
+    timers: Vec<(f64, u64, RankId, P::Msg)>,
+    timer_seq: u64,
+    now: f64,
+    delivered: u64,
+}
+
+impl<P: Protocol> LocalRunner<P> {
+    /// Create a runner over `ranks` (index = rank id).
+    pub fn new(ranks: Vec<P>) -> Self {
+        LocalRunner {
+            ranks,
+            queue: VecDeque::new(),
+            timers: Vec::new(),
+            timer_seq: 0,
+            now: 0.0,
+            delivered: 0,
+        }
+    }
+
+    /// Run to completion. Returns `true` if every rank reported done;
+    /// `false` if the system stalled (no messages, no timers, ranks
+    /// still waiting — a protocol bug or an unmasked delivery failure).
+    pub fn run(&mut self) -> bool {
+        for i in 0..self.ranks.len() {
+            let me = RankId::from(i);
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::detached(me, self.now, &mut outbox);
+            self.ranks[i].on_start(&mut ctx);
+            let timers = ctx.take_timers();
+            self.absorb(me, outbox, timers);
+        }
+        loop {
+            if let Some((to, from, msg)) = self.queue.pop_front() {
+                self.deliver(to, from, msg);
+                continue;
+            }
+            if self.ranks.iter().all(|r| r.is_done()) {
+                return true;
+            }
+            // Queue drained but ranks still waiting: fire the earliest
+            // timer (virtual time jumps forward; ties break by arm order).
+            let Some(next) = self
+                .timers
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap())
+                .map(|(i, _)| i)
+            else {
+                return false;
+            };
+            let (time, _, me, msg) = self.timers.remove(next);
+            self.now = self.now.max(time);
+            self.deliver(me, me, msg);
+        }
+    }
+
+    /// Messages delivered so far (diagnostics).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Consume the runner, returning the rank actors.
+    pub fn into_ranks(self) -> Vec<P> {
+        self.ranks
+    }
+
+    fn deliver(&mut self, to: RankId, from: RankId, msg: P::Msg) {
+        self.delivered += 1;
+        let idx = to.as_u32() as usize;
+        let mut outbox = Vec::new();
+        let mut ctx = Ctx::detached(to, self.now, &mut outbox);
+        self.ranks[idx].on_message(&mut ctx, from, msg);
+        let timers = ctx.take_timers();
+        self.absorb(to, outbox, timers);
+    }
+
+    fn absorb(
+        &mut self,
+        me: RankId,
+        outbox: Vec<(RankId, P::Msg, usize)>,
+        timers: Vec<(f64, P::Msg)>,
+    ) {
+        for (to, msg, _bytes) in outbox {
+            self.queue.push_back((to, me, msg));
+        }
+        for (delay, msg) in timers {
+            self.timers
+                .push((self.now + delay, self.timer_seq, me, msg));
+            self.timer_seq += 1;
+        }
+    }
+}
+
+/// Result of a zero-latency distributed LB pass.
+#[derive(Clone, Debug)]
+pub struct LocalLbResult {
+    /// The resulting assignment.
+    pub distribution: Distribution,
+    /// Imbalance of the input (as agreed by the setup allreduce).
+    pub initial_imbalance: f64,
+    /// Imbalance of the committed proposal.
+    pub final_imbalance: f64,
+    /// Real task migrations executed at commit.
+    pub tasks_migrated: usize,
+    /// Per-iteration records from rank 0.
+    pub records: Vec<AsyncIterationRecord>,
+    /// Ranks that abandoned the protocol (always 0 here: delivery is
+    /// trivially reliable).
+    pub degraded_ranks: usize,
+}
+
+/// Run the asynchronous protocol over `dist` on the zero-latency
+/// in-process driver. Same protocol, same engine, no modeled network.
+pub fn run_local_lb(
+    dist: &Distribution,
+    cfg: LbProtocolConfig,
+    factory: &RngFactory,
+) -> LocalLbResult {
+    let num_ranks = dist.num_ranks();
+    let ranks: Vec<LbRank> = dist
+        .rank_ids()
+        .map(|r| {
+            let tasks: Vec<_> = dist
+                .tasks_on(r)
+                .iter()
+                .map(|t| (t.id, t.load.get()))
+                .collect();
+            LbRank::new(r, num_ranks, tasks, cfg, *factory)
+        })
+        .collect();
+    let mut runner = LocalRunner::new(ranks);
+    let completed = runner.run();
+    assert!(
+        completed,
+        "the zero-latency driver cannot stall on a fault-free run"
+    );
+    let ranks = runner.into_ranks();
+    let degraded_ranks = ranks.iter().filter(|r| r.degraded()).count();
+    let mut out = Distribution::new(num_ranks);
+    let mut tasks_migrated = 0usize;
+    for (p, r) in ranks.iter().enumerate() {
+        for t in r.final_tasks() {
+            let inserted = out.insert(RankId::from(p), Task::new(t.id, t.load));
+            if degraded_ranks == 0 {
+                inserted.expect("each task has exactly one final owner");
+            }
+        }
+        tasks_migrated += r.migrations_in();
+    }
+    if degraded_ranks == 0 {
+        assert_eq!(
+            out.num_tasks(),
+            dist.num_tasks(),
+            "no task may be lost or duplicated by the protocol"
+        );
+    }
+    LocalLbResult {
+        initial_imbalance: ranks[0].initial_imbalance(),
+        final_imbalance: out.imbalance(),
+        tasks_migrated,
+        records: ranks[0].records().to_vec(),
+        degraded_ranks,
+        distribution: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_runner_balances_and_is_deterministic() {
+        let dist = Distribution::from_loads(vec![
+            vec![1.0; 40],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        let cfg = LbProtocolConfig {
+            trials: 2,
+            iters: 4,
+            fanout: 3,
+            rounds: 5,
+            ..Default::default()
+        };
+        let a = run_local_lb(&dist, cfg, &RngFactory::new(17));
+        let b = run_local_lb(&dist, cfg, &RngFactory::new(17));
+        assert!(a.final_imbalance < a.initial_imbalance);
+        assert_eq!(a.final_imbalance.to_bits(), b.final_imbalance.to_bits());
+        assert_eq!(a.tasks_migrated, b.tasks_migrated);
+        assert_eq!(a.degraded_ranks, 0);
+        a.distribution.check_invariants().unwrap();
+        for r in a.distribution.rank_ids() {
+            assert_eq!(a.distribution.rank_load(r), b.distribution.rank_load(r));
+        }
+    }
+
+    #[test]
+    fn local_runner_handles_single_rank() {
+        let dist = Distribution::from_loads(vec![vec![1.0, 2.0, 3.0]]);
+        let out = run_local_lb(&dist, LbProtocolConfig::grapevine(), &RngFactory::new(1));
+        assert_eq!(out.tasks_migrated, 0);
+        assert_eq!(out.distribution.num_tasks(), 3);
+    }
+
+    #[test]
+    fn local_runner_with_reliability_still_completes() {
+        // Retry timers get armed but the queue never starves them into
+        // firing before completion; leftover timers must not stall exit.
+        let dist = Distribution::from_loads(vec![vec![4.0, 1.0], vec![], vec![], vec![]]);
+        let cfg = LbProtocolConfig {
+            trials: 1,
+            iters: 2,
+            fanout: 2,
+            rounds: 3,
+            ..Default::default()
+        }
+        .hardened(crate::reliable::RetryConfig::default());
+        let out = run_local_lb(&dist, cfg, &RngFactory::new(5));
+        assert_eq!(out.degraded_ranks, 0);
+        assert_eq!(out.distribution.num_tasks(), 2);
+    }
+}

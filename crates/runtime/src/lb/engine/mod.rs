@@ -1,0 +1,714 @@
+//! Sans-I/O engine of the asynchronous LB protocol.
+//!
+//! [`GossipEngine`] is a pure, deterministic state machine: it consumes
+//! protocol messages ([`super::messages::LbMsg`]) and emits a list of
+//! [`Command`]s for the embedding driver to interpret. It knows nothing
+//! about channels, retries, clocks, recorders, or executors — those live
+//! in the [`super::transport`] stack and in the drivers (the
+//! discrete-event [`crate::sim::Simulator`], the threaded
+//! [`crate::parallel`] executor, and the zero-latency
+//! [`super::driver::LocalRunner`]). The stage flow is:
+//!
+//! ```text
+//! Setup      allreduce (Σ load, max load) → every rank knows ℓ_ave, ℓ_max
+//! ┌─ per (trial, iteration) ──────────────────────────────────────────┐
+//! │ Gossip     Algorithm 1, barrier-free; each message round is its    │
+//! │            own TD epoch (round r of iteration j lives in epoch     │
+//! │            1 + j·(k+1) + (r−1)), so a round's sends are a pure     │
+//! │            function of the previous round's *complete* receipts    │
+//! │ Transfer   Algorithm 2 locally; lazy-transfer messages inform      │
+//! │            recipients of their new logical tasks (epoch … + k)     │
+//! │ Evaluate   allreduce of proposed max load → identical I_proposed   │
+//! │            at every rank → symmetric best-tracking, no coordinator │
+//! └────────────────────────────────────────────────────────────────────┘
+//! Commit     revert to best proposal; final owners fetch task data
+//!            from home ranks (lazy migration); last TD epoch
+//! Done
+//! ```
+//!
+//! # Sync ↔ async equivalence by construction
+//!
+//! The engine's algorithmic kernels are the *same functions* the
+//! analysis-mode driver ([`tempered_core::refine::refine`]) calls:
+//! [`tempered_core::gossip::sample_fanout_targets`] for gossip targets
+//! and [`tempered_core::transfer::transfer_stage`] for proposals, seeded
+//! from the same `(label, rank, sub-epoch)` random streams and fed the
+//! same canonicalized state (knowledge sorted by rank, resident tasks
+//! sorted by id). An engine run on a fault-free driver therefore commits
+//! the *exact* distribution `refine` computes — bit for bit — which the
+//! `equivalence` integration test asserts for both TemperedLB and
+//! GrapevineLB configurations.
+//!
+//! # Determinism under reordering
+//!
+//! Stepping gossip by TD epoch (instead of forwarding reactively on
+//! receipt) plus canonicalizing order-sensitive state at every stage
+//! boundary makes the final assignment a pure function of
+//! `(input, config, seed)`, independent of message timing, interleaving,
+//! or executor. This is what lets the chaos harness assert that a faulted
+//! run converges to the *same* assignment as a fault-free one. (The NACK
+//! variant is excluded: which proposals a recipient bounces depends
+//! inherently on arrival order.)
+
+mod stages;
+
+use super::messages::{LbMsg, TaskEntry};
+use crate::collective::{LoadSummary, ReduceSlot, Tree};
+use crate::termination::{TdMsg, TdOutcome, TerminationDetector};
+use stages::StageState;
+use std::collections::HashMap;
+use tempered_core::ids::{RankId, TaskId};
+use tempered_core::refine::RefineConfig;
+use tempered_core::rng::RngFactory;
+use tempered_core::transfer::TransferConfig;
+use tempered_obs::EventKind;
+
+/// An effect requested by the engine.
+///
+/// The engine never performs I/O; each input (start, message) yields a
+/// list of commands that the embedding driver interprets — transmission
+/// through a [`super::transport::Transport`] stack, span/instant
+/// recording, stage-deadline arming.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// Transmit a protocol message to `to`.
+    Send {
+        /// Destination rank.
+        to: RankId,
+        /// The protocol payload.
+        msg: LbMsg,
+    },
+    /// The engine opened termination-detection epoch `epoch` (a gossip
+    /// round, the proposal exchange, or the commit). Informational:
+    /// drivers may use it for diagnostics or epoch-aware scheduling.
+    AdvanceEpoch {
+        /// The epoch just started.
+        epoch: u64,
+    },
+    /// A stage or round boundary was crossed: open an observability span
+    /// (closing any previous one) and re-arm stage liveness deadlines.
+    OpenSpan(EventKind),
+    /// Record an instantaneous observability event.
+    Instant(EventKind),
+    /// The protocol reached `Done` on this rank: close the open span and
+    /// flush end-of-run metrics.
+    Finished,
+}
+
+/// Algorithmic knobs of the protocol engine.
+///
+/// Exactly the parameters of [`RefineConfig`] — the analysis-mode
+/// configuration is the single source of truth, and [`From`] is the only
+/// conversion — plus the NACK switch that only exists in the
+/// message-driven execution. `GossipConfig`'s mode and budget caps have
+/// no async interpretation: the engine always runs round-based gossip,
+/// unbounded.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Independent trials (`n_trials`).
+    pub trials: usize,
+    /// Iterations per trial (`n_iters`).
+    pub iters: usize,
+    /// Gossip fanout `f`.
+    pub fanout: usize,
+    /// Gossip round limit `k`.
+    pub rounds: usize,
+    /// Transfer-stage knobs (criterion, CMF, ordering, threshold).
+    pub transfer: TransferConfig,
+    /// Enable Menon et al.'s negative acknowledgements: recipients bounce
+    /// proposed tasks that would push them past `ℓ_ave`. The paper drops
+    /// this mechanism (§V-A); the flag exists to measure that choice.
+    pub use_nacks: bool,
+}
+
+impl From<RefineConfig> for EngineConfig {
+    fn from(cfg: RefineConfig) -> Self {
+        EngineConfig {
+            trials: cfg.trials,
+            iters: cfg.iters,
+            fanout: cfg.gossip.fanout,
+            rounds: cfg.gossip.rounds,
+            transfer: cfg.transfer,
+            use_nacks: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// TemperedLB as run for the paper's EMPIRE results.
+    pub fn tempered() -> Self {
+        RefineConfig::tempered().into()
+    }
+
+    /// The original GrapevineLB: single trial, single iteration, original
+    /// criterion and CMF, arbitrary ordering.
+    pub fn grapevine() -> Self {
+        RefineConfig::grapevine().into()
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::tempered()
+    }
+}
+
+/// Protocol stage (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Waiting for the initial allreduce.
+    Setup,
+    /// Gossip epoch in progress.
+    Gossip,
+    /// Proposal epoch in progress.
+    Proposals,
+    /// Waiting for the evaluation allreduce.
+    Evaluate,
+    /// Commit epoch (lazy migration) in progress.
+    Commit,
+    /// Finished.
+    Done,
+}
+
+/// Static span label for a stage.
+pub(crate) fn stage_label(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Setup => "setup",
+        Stage::Gossip => "gossip",
+        Stage::Proposals => "proposals",
+        Stage::Evaluate => "evaluate",
+        Stage::Commit => "commit",
+        Stage::Done => "done",
+    }
+}
+
+/// One `(trial, iteration, imbalance)` record, mirroring
+/// `tempered_core::refine::IterationRecord` for the async path.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncIterationRecord {
+    /// Trial index (0-based).
+    pub trial: usize,
+    /// Iteration index (1-based).
+    pub iteration: usize,
+    /// Globally agreed imbalance after this iteration's proposals.
+    pub imbalance: f64,
+    /// Transfers this rank accepted in the iteration.
+    pub local_transfers: usize,
+    /// Candidates this rank rejected in the iteration.
+    pub local_rejected: usize,
+}
+
+/// The per-rank protocol engine: a pure, deterministic state machine.
+#[derive(Debug)]
+pub struct GossipEngine {
+    me: RankId,
+    num_ranks: usize,
+    cfg: EngineConfig,
+    factory: RngFactory,
+    tree: Tree,
+    det: TerminationDetector,
+
+    // Task state.
+    original: Vec<TaskEntry>,
+    current: Vec<TaskEntry>,
+    best: Vec<TaskEntry>,
+
+    // Collective state.
+    slots: HashMap<u32, ReduceSlot>,
+
+    // Globals agreed in Setup.
+    l_ave: f64,
+    initial_imbalance: f64,
+    best_imbalance: f64,
+
+    // Iteration cursor and typed per-stage state.
+    trial: usize,
+    iter: usize, // 0-based internally
+    state: StageState,
+
+    // Epoch-stamped buffering of early messages.
+    buffered: Vec<(RankId, LbMsg)>,
+
+    // Statistics.
+    records: Vec<AsyncIterationRecord>,
+    migrations_in: usize,
+    migrations_out: usize,
+    nacks_received: usize,
+    iter_transfers: usize,
+    iter_rejected: usize,
+
+    done: bool,
+}
+
+impl GossipEngine {
+    /// Create the engine for `me` with its resident tasks.
+    pub fn new(
+        me: RankId,
+        num_ranks: usize,
+        tasks: Vec<(TaskId, f64)>,
+        cfg: EngineConfig,
+        factory: RngFactory,
+    ) -> Self {
+        assert!(cfg.rounds >= 1, "gossip needs at least one round");
+        let original: Vec<TaskEntry> = tasks
+            .into_iter()
+            .map(|(id, load)| TaskEntry { id, load, home: me })
+            .collect();
+        GossipEngine {
+            me,
+            num_ranks,
+            factory,
+            tree: Tree::new(num_ranks, RankId::new(0)),
+            det: TerminationDetector::new(me, num_ranks),
+            current: original.clone(),
+            best: original.clone(),
+            original,
+            slots: HashMap::new(),
+            l_ave: 0.0,
+            initial_imbalance: 0.0,
+            best_imbalance: f64::INFINITY,
+            trial: 0,
+            iter: 0,
+            state: StageState::Setup,
+            cfg,
+            buffered: Vec::new(),
+            records: Vec::new(),
+            migrations_in: 0,
+            migrations_out: 0,
+            nacks_received: 0,
+            iter_transfers: 0,
+            iter_rejected: 0,
+            done: false,
+        }
+    }
+
+    /// Kick off the protocol: contributes to the setup allreduce.
+    pub fn start(&mut self) -> Vec<Command> {
+        let mut out = Vec::new();
+        out.push(Command::OpenSpan(EventKind::LbStage {
+            stage: "setup",
+            trial: 0,
+            iter: 0,
+        }));
+        let summary = LoadSummary::of(self.my_load());
+        self.contribute(&mut out, 0, summary);
+        out
+    }
+
+    /// Feed one delivered protocol message (transport layer already
+    /// stripped) and collect the resulting effects.
+    pub fn on_message(&mut self, from: RankId, msg: LbMsg) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.receive(&mut out, from, msg);
+        out
+    }
+
+    /// Abandon the protocol (driver-detected delivery failure: retry
+    /// budget exhausted or stage deadline missed). Before commit the rank
+    /// reverts to its input tasks — the only assignment it can adopt
+    /// without coordination. At commit the globally-agreed best is kept:
+    /// the logical assignment was already fixed by the evaluation
+    /// allreduce, and reverting unilaterally would desynchronize it.
+    /// Returns the label of the stage that was abandoned.
+    pub fn abort(&mut self) -> &'static str {
+        let label = stage_label(self.stage());
+        if !self.done {
+            if !matches!(self.stage(), Stage::Commit | Stage::Done) {
+                self.current = self.original.clone();
+            }
+            self.state = StageState::Done;
+            self.done = true;
+        }
+        label
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// Current stage.
+    pub fn stage(&self) -> Stage {
+        self.state.stage()
+    }
+
+    /// Whether the protocol has finished on this rank.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// This rank's final task set `(id, load, home)` after the protocol.
+    pub fn final_tasks(&self) -> &[TaskEntry] {
+        &self.current
+    }
+
+    /// Per-iteration records (symmetrically identical across ranks except
+    /// for the local transfer counters).
+    pub fn records(&self) -> &[AsyncIterationRecord] {
+        &self.records
+    }
+
+    /// Initial imbalance (valid after Setup).
+    pub fn initial_imbalance(&self) -> f64 {
+        self.initial_imbalance
+    }
+
+    /// Best imbalance seen (valid after the run).
+    pub fn best_imbalance(&self) -> f64 {
+        self.best_imbalance
+    }
+
+    /// Tasks this rank fetched at commit (real migrations in).
+    pub fn migrations_in(&self) -> usize {
+        self.migrations_in
+    }
+
+    /// Tasks fetched *from* this rank at commit (real migrations out).
+    pub fn migrations_out(&self) -> usize {
+        self.migrations_out
+    }
+
+    /// Proposed tasks bounced back by NACKs across the whole run
+    /// (always 0 unless [`EngineConfig::use_nacks`]).
+    pub fn nacks_received(&self) -> usize {
+        self.nacks_received
+    }
+
+    fn my_load(&self) -> f64 {
+        self.current.iter().map(|t| t.load).sum()
+    }
+
+    // ---- epoch numbering -------------------------------------------------
+    //
+    // Epoch 0 is reserved for setup. Each (trial, iteration) owns a
+    // contiguous block of `rounds + 1` epochs: one per gossip round plus
+    // one for the proposal exchange. Commit takes the single epoch after
+    // the last block. Early-exited gossip rounds leave their epoch
+    // numbers unused — TD epochs need not be consecutive, only unique
+    // and globally ordered.
+
+    fn epoch_stride(&self) -> u64 {
+        self.cfg.rounds as u64 + 1
+    }
+
+    fn iter_base(&self) -> u64 {
+        (self.trial * self.cfg.iters + self.iter) as u64 * self.epoch_stride()
+    }
+
+    fn gossip_round_epoch(&self, round: u32) -> u64 {
+        1 + self.iter_base() + (round as u64 - 1)
+    }
+
+    fn proposal_epoch(&self) -> u64 {
+        1 + self.iter_base() + self.cfg.rounds as u64
+    }
+
+    fn commit_epoch(&self) -> u64 {
+        1 + (self.cfg.trials * self.cfg.iters) as u64 * self.epoch_stride()
+    }
+
+    fn eval_slot(&self) -> u32 {
+        1 + (self.trial * self.cfg.iters + self.iter) as u32
+    }
+
+    /// The random sub-stream namespace for the current `(trial, iter)` —
+    /// the same derivation `tempered_core::refine::refine` uses with
+    /// invocation epoch 0 (callers namespace repeated LB invocations by
+    /// deriving the factory itself), so gossip targets and CMF draws
+    /// match the analysis mode draw for draw.
+    fn sub_epoch(&self) -> u64 {
+        (((self.trial as u64) << 10) | (self.iter as u64 + 1)).wrapping_mul(0x9E37_79B9)
+    }
+
+    // ---- canonicalization ------------------------------------------------
+
+    /// Sort resident tasks by id. Proposals extend `current` in arrival
+    /// order; sorting at stage boundaries makes load sums (FP!) and
+    /// transfer-stage iteration order timing-independent.
+    fn canonicalize_current(&mut self) {
+        self.current.sort_by_key(|t| t.id);
+    }
+
+    // ---- send helpers ----------------------------------------------------
+
+    fn send_basic(&mut self, out: &mut Vec<Command>, to: RankId, msg: LbMsg) {
+        debug_assert!(msg.basic_epoch().is_some(), "basic send of control msg");
+        // Counted once here; transport-layer retransmissions of the same
+        // sequence number are invisible to termination detection.
+        self.det.on_basic_send();
+        out.push(Command::Send { to, msg });
+    }
+
+    fn send_ctrl(&mut self, out: &mut Vec<Command>, to: RankId, msg: LbMsg) {
+        out.push(Command::Send { to, msg });
+    }
+
+    fn emit_td(&mut self, out: &mut Vec<Command>, outcome: TdOutcome) {
+        for s in outcome.sends {
+            self.send_ctrl(out, s.to, LbMsg::Td(s.msg));
+        }
+        if let Some(epoch) = outcome.terminated_epoch {
+            self.on_epoch_terminated(out, epoch, outcome.terminated_sent);
+        }
+    }
+
+    // ---- collectives -----------------------------------------------------
+
+    fn slot_mut(&mut self, slot: u32) -> &mut ReduceSlot {
+        let children = self.tree.children(self.me).len();
+        self.slots
+            .entry(slot)
+            .or_insert_with(|| ReduceSlot::new(children))
+    }
+
+    fn contribute(&mut self, out: &mut Vec<Command>, slot: u32, value: LoadSummary) {
+        if let Some(done) = self.slot_mut(slot).contribute(value) {
+            self.reduce_complete(out, slot, done);
+        }
+    }
+
+    fn reduce_complete(&mut self, out: &mut Vec<Command>, slot: u32, summary: LoadSummary) {
+        match self.tree.parent(self.me) {
+            Some(parent) => {
+                self.send_ctrl(out, parent, LbMsg::ReduceUp { slot, summary });
+            }
+            None => {
+                // Root: broadcast the result and consume it locally.
+                self.broadcast_down(out, slot, summary);
+                self.on_reduce_result(out, slot, summary);
+            }
+        }
+    }
+
+    fn broadcast_down(&mut self, out: &mut Vec<Command>, slot: u32, summary: LoadSummary) {
+        for child in self.tree.children(self.me) {
+            self.send_ctrl(out, child, LbMsg::ReduceDown { slot, summary });
+        }
+    }
+
+    fn on_reduce_result(&mut self, out: &mut Vec<Command>, slot: u32, summary: LoadSummary) {
+        if slot == 0 {
+            // Setup complete: everyone now knows ℓ_ave / ℓ_max.
+            debug_assert_eq!(self.stage(), Stage::Setup);
+            self.l_ave = summary.average();
+            self.initial_imbalance = summary.imbalance();
+            self.best_imbalance = summary.imbalance();
+            self.enter_gossip(out);
+        } else {
+            debug_assert_eq!(self.stage(), Stage::Evaluate);
+            debug_assert_eq!(slot, self.eval_slot());
+            let imbalance = summary.imbalance();
+            self.records.push(AsyncIterationRecord {
+                trial: self.trial,
+                iteration: self.iter + 1,
+                imbalance,
+                local_transfers: self.iter_transfers,
+                local_rejected: self.iter_rejected,
+            });
+            if imbalance < self.best_imbalance {
+                self.best_imbalance = imbalance;
+                self.best = self.current.clone();
+            }
+            self.advance_iteration(out);
+        }
+    }
+
+    // ---- buffering ---------------------------------------------------------
+
+    fn should_buffer(&self, msg: &LbMsg) -> bool {
+        match msg {
+            LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch, .. }) => {
+                *epoch > self.det.epoch()
+            }
+            other => match other.basic_epoch() {
+                Some(e) => e > self.det.epoch(),
+                None => false,
+            },
+        }
+    }
+
+    fn replay_buffered(&mut self, out: &mut Vec<Command>) {
+        // Messages for the (new) current epoch become deliverable; later
+        // ones stay. Replay preserves arrival order.
+        let mut deliverable = Vec::new();
+        let mut keep = Vec::new();
+        for (from, msg) in std::mem::take(&mut self.buffered) {
+            if self.should_buffer(&msg) {
+                keep.push((from, msg));
+            } else {
+                deliverable.push((from, msg));
+            }
+        }
+        self.buffered = keep;
+        for (from, msg) in deliverable {
+            self.dispatch(out, from, msg);
+        }
+    }
+
+    /// Deliver a protocol message that passed the transport layer (dedup
+    /// already done); buffer it if it belongs to a future epoch.
+    fn receive(&mut self, out: &mut Vec<Command>, from: RankId, msg: LbMsg) {
+        if self.should_buffer(&msg) {
+            self.buffered.push((from, msg));
+            return;
+        }
+        self.dispatch(out, from, msg);
+    }
+
+    fn dispatch(&mut self, out: &mut Vec<Command>, from: RankId, msg: LbMsg) {
+        match msg {
+            LbMsg::ReduceUp { slot, summary } => {
+                if let Some(done) = self.slot_mut(slot).on_child(from, summary) {
+                    self.reduce_complete(out, slot, done);
+                }
+            }
+            LbMsg::ReduceDown { slot, summary } => {
+                self.broadcast_down(out, slot, summary);
+                self.on_reduce_result(out, slot, summary);
+            }
+            LbMsg::Gossip {
+                epoch,
+                round,
+                pairs,
+            } => {
+                debug_assert_eq!(epoch, self.det.epoch(), "buffering must align epochs");
+                self.on_gossip(round, pairs);
+            }
+            LbMsg::Propose { epoch, tasks } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_propose(out, from, tasks);
+            }
+            LbMsg::ProposeReply { epoch, rejected } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_propose_reply(rejected);
+            }
+            LbMsg::Fetch { epoch, tasks } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_fetch(out, from, tasks);
+            }
+            LbMsg::TaskData { epoch, tasks } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.on_task_data(tasks);
+            }
+            LbMsg::Td(td) => {
+                let outcome = self.det.handle(td);
+                self.emit_td(out, outcome);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(cfg: EngineConfig, tasks: Vec<(TaskId, f64)>, num_ranks: usize) -> GossipEngine {
+        GossipEngine::new(RankId::new(0), num_ranks, tasks, cfg, RngFactory::new(1))
+    }
+
+    #[test]
+    fn epoch_numbering_is_disjoint_and_ordered() {
+        let cfg = EngineConfig {
+            trials: 3,
+            iters: 4,
+            rounds: 5,
+            ..EngineConfig::tempered()
+        };
+        let mut e = engine(cfg, vec![], 2);
+        let mut seen = Vec::new();
+        for trial in 0..3 {
+            for iter in 0..4 {
+                e.trial = trial;
+                e.iter = iter;
+                for round in 1..=5u32 {
+                    seen.push(e.gossip_round_epoch(round));
+                }
+                seen.push(e.proposal_epoch());
+            }
+        }
+        seen.push(e.commit_epoch());
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "epochs must be unique");
+        assert_eq!(*seen.first().unwrap(), 1, "epoch 0 is reserved for setup");
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "epochs must ascend");
+        assert_eq!(*seen.last().unwrap(), e.commit_epoch());
+    }
+
+    #[test]
+    fn eval_slots_are_unique_per_iteration() {
+        let cfg = EngineConfig {
+            trials: 2,
+            iters: 3,
+            ..EngineConfig::tempered()
+        };
+        let mut e = engine(cfg, vec![], 2);
+        let mut slots = Vec::new();
+        for trial in 0..2 {
+            for iter in 0..3 {
+                e.trial = trial;
+                e.iter = iter;
+                slots.push(e.eval_slot());
+            }
+        }
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(!slots.contains(&0), "slot 0 is the setup allreduce");
+    }
+
+    #[test]
+    fn sub_epoch_matches_the_analysis_mode_derivation() {
+        // refine() namespaces (trial, 1-based iter) the same way with
+        // invocation epoch 0; the two derivations must never drift.
+        let mut e = engine(EngineConfig::tempered(), vec![], 2);
+        for (trial, iter) in [(0usize, 0usize), (0, 7), (3, 2)] {
+            e.trial = trial;
+            e.iter = iter;
+            let refine_style =
+                (((trial as u64) << 10) | (iter as u64 + 1)).wrapping_mul(0x9E37_79B9);
+            assert_eq!(e.sub_epoch(), refine_style);
+        }
+    }
+
+    #[test]
+    fn abort_before_commit_reverts_to_input() {
+        let tasks = vec![(TaskId::new(1), 1.0), (TaskId::new(2), 2.0)];
+        let mut e = engine(EngineConfig::tempered(), tasks, 4);
+        e.state = StageState::Transfer;
+        e.current.clear(); // pretend everything was proposed away
+        let label = e.abort();
+        assert_eq!(label, "proposals");
+        assert!(e.is_done());
+        assert_eq!(e.final_tasks().len(), 2);
+        assert_eq!(e.stage(), Stage::Done);
+    }
+
+    #[test]
+    fn abort_at_commit_keeps_the_agreed_best() {
+        let tasks = vec![(TaskId::new(1), 1.0)];
+        let mut e = engine(EngineConfig::tempered(), tasks, 4);
+        e.state = StageState::Commit;
+        e.current = vec![TaskEntry {
+            id: TaskId::new(9),
+            load: 3.0,
+            home: RankId::new(2),
+        }];
+        let label = e.abort();
+        assert_eq!(label, "commit");
+        assert_eq!(e.final_tasks().len(), 1);
+        assert_eq!(e.final_tasks()[0].id, TaskId::new(9));
+    }
+
+    #[test]
+    fn engine_config_derives_from_refine_config() {
+        let t = EngineConfig::tempered();
+        let r = RefineConfig::tempered();
+        assert_eq!(t.trials, r.trials);
+        assert_eq!(t.iters, r.iters);
+        assert_eq!(t.fanout, r.gossip.fanout);
+        assert_eq!(t.rounds, r.gossip.rounds);
+        assert!(!t.use_nacks);
+        let g = EngineConfig::grapevine();
+        assert_eq!((g.trials, g.iters), (1, 1));
+    }
+}

@@ -180,6 +180,18 @@ impl LbMsg {
     }
 }
 
+/// Full modeled cost of a protocol message: wire framing plus the
+/// commit-stage task-data payload (`bytes_per_task` per shipped task).
+/// Transports use this so retransmissions recompute the same cost as the
+/// original transmission.
+pub fn payload_bytes(msg: &LbMsg, bytes_per_task: usize) -> usize {
+    let extra = match msg {
+        LbMsg::TaskData { tasks, .. } => bytes_per_task * tasks.len(),
+        _ => 0,
+    };
+    msg.wire_bytes() + extra
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,17 +1,36 @@
 //! The asynchronous, message-driven load balancing protocol.
 //!
 //! This module is the distributed counterpart of
-//! `tempered_core::refine`: the same inform/transfer/refine algorithms,
-//! but executed as an actual barrier-free message protocol over the
-//! runtime substrate — collectives, epidemic gossip, lazy transfer
-//! notification, symmetric best-proposal agreement, wave-based
-//! termination detection, and lazy migration at commit.
+//! `tempered_core::refine`: the same inform/transfer/refine algorithms —
+//! literally the same kernel functions — but executed as an actual
+//! barrier-free message protocol over the runtime substrate.
+//!
+//! It is layered sans-I/O style (see `DESIGN.md` §9):
+//!
+//! - [`engine`] — the pure protocol state machine ([`GossipEngine`]):
+//!   stages, epochs, collectives, gossip, transfer, commit. No I/O, no
+//!   clocks, no retries.
+//! - [`transport`] — composable delivery layers ([`transport::Raw`],
+//!   [`transport::Reliable`], [`transport::Faulty`]) turning protocol
+//!   messages into wire frames and back.
+//! - [`rank`] — the thin actor ([`LbRank`]) binding engine + transport
+//!   to an executor via the [`crate::sim::Protocol`] trait.
+//! - drivers — the deterministic discrete-event [`crate::sim::Simulator`],
+//!   the threaded `parallel` executor, and the zero-latency in-process
+//!   [`LocalRunner`].
 
+mod config;
+pub mod driver;
+pub mod engine;
 mod messages;
 mod rank;
+pub mod transport;
 
+pub use config::LbProtocolConfig;
+pub use driver::{run_local_lb, LocalLbResult, LocalRunner};
+pub use engine::{AsyncIterationRecord, Command, EngineConfig, GossipEngine, Stage};
 pub use messages::{LbMsg, LbWire, TaskEntry};
-pub use rank::{AsyncIterationRecord, LbProtocolConfig, LbRank, Stage};
+pub use rank::LbRank;
 
 use crate::fault::FaultPlan;
 use crate::reliable::ReliableStats;
@@ -116,7 +135,7 @@ pub fn run_distributed_lb_traced(
     );
 
     let ranks = sim.into_ranks();
-    let degraded_ranks = ranks.iter().filter(|r| r.degraded).count();
+    let degraded_ranks = ranks.iter().filter(|r| r.degraded()).count();
     let mut reliable = ReliableStats::default();
     let mut out = Distribution::new(num_ranks);
     let mut tasks_migrated = 0usize;
@@ -130,7 +149,7 @@ pub fn run_distributed_lb_traced(
             // With degraded ranks a unilaterally reverted task may be
             // claimed twice; keep the first claim for reporting purposes.
         }
-        tasks_migrated += r.migrations_in;
+        tasks_migrated += r.migrations_in();
     }
     if degraded_ranks == 0 {
         assert_eq!(
@@ -141,10 +160,10 @@ pub fn run_distributed_lb_traced(
     }
 
     DistLbResult {
-        initial_imbalance: ranks[0].initial_imbalance,
+        initial_imbalance: ranks[0].initial_imbalance(),
         final_imbalance: out.imbalance(),
         tasks_migrated,
-        records: ranks[0].records.clone(),
+        records: ranks[0].records().to_vec(),
         degraded_ranks,
         reliable,
         distribution: out,
@@ -162,6 +181,32 @@ pub struct DistributedTemperedLb {
     pub model: NetworkModel,
 }
 
+/// Shared rebalance path of the distributed [`LoadBalancer`] adapters:
+/// namespace the protocol's randomness by invocation epoch, run the full
+/// async protocol on the discrete-event executor, and report net
+/// migrations against the input.
+fn rebalance_distributed(
+    dist: &Distribution,
+    cfg: LbProtocolConfig,
+    model: NetworkModel,
+    factory: &RngFactory,
+    epoch: u64,
+) -> RebalanceResult {
+    let sub = RngFactory::new(tempered_core::rng::derive_seed(
+        factory.master(),
+        &[0x0A57_C0DE, epoch],
+    ));
+    let out = run_distributed_lb(dist, cfg, model, &sub);
+    let migrations = net_migrations(dist, &out.distribution);
+    RebalanceResult {
+        initial_imbalance: out.initial_imbalance,
+        final_imbalance: out.final_imbalance,
+        messages_sent: out.report.network.messages,
+        migrations,
+        distribution: out.distribution,
+    }
+}
+
 impl LoadBalancer for DistributedTemperedLb {
     fn name(&self) -> &'static str {
         "DistTemperedLB"
@@ -173,20 +218,44 @@ impl LoadBalancer for DistributedTemperedLb {
         factory: &RngFactory,
         epoch: u64,
     ) -> RebalanceResult {
-        // Namespace the protocol's randomness by invocation epoch.
-        let sub = RngFactory::new(tempered_core::rng::derive_seed(
-            factory.master(),
-            &[0x0A57_C0DE, epoch],
-        ));
-        let out = run_distributed_lb(dist, self.config, self.model, &sub);
-        let migrations = net_migrations(dist, &out.distribution);
-        RebalanceResult {
-            initial_imbalance: out.initial_imbalance,
-            final_imbalance: out.final_imbalance,
-            messages_sent: out.report.network.messages,
-            migrations,
-            distribution: out.distribution,
+        rebalance_distributed(dist, self.config, self.model, factory, epoch)
+    }
+}
+
+/// [`LoadBalancer`] adapter: the original GrapevineLB (single trial,
+/// single iteration, strict criterion, original CMF) executed through
+/// the full asynchronous protocol. Every balancer expressible as a
+/// `RefineConfig` runs distributed this way — the engine is generic over
+/// the configuration, not specialized to TemperedLB.
+#[derive(Clone, Copy, Debug)]
+pub struct DistributedGrapevineLb {
+    /// Protocol knobs (defaults to [`LbProtocolConfig::grapevine`]).
+    pub config: LbProtocolConfig,
+    /// Network latency model for the simulated interconnect.
+    pub model: NetworkModel,
+}
+
+impl Default for DistributedGrapevineLb {
+    fn default() -> Self {
+        DistributedGrapevineLb {
+            config: LbProtocolConfig::grapevine(),
+            model: NetworkModel::default(),
         }
+    }
+}
+
+impl LoadBalancer for DistributedGrapevineLb {
+    fn name(&self) -> &'static str {
+        "DistGrapevineLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        factory: &RngFactory,
+        epoch: u64,
+    ) -> RebalanceResult {
+        rebalance_distributed(dist, self.config, self.model, factory, epoch)
     }
 }
 
@@ -374,7 +443,7 @@ mod tests {
         let mut sim = Simulator::new(ranks, NetworkModel::default(), &factory);
         let report = sim.run();
         assert!(report.completed);
-        let total_nacks: usize = sim.into_ranks().iter().map(|r| r.nacks_received).sum();
+        let total_nacks: usize = sim.into_ranks().iter().map(|r| r.nacks_received()).sum();
         assert!(
             total_nacks > 0,
             "the collision-heavy scenario should trigger at least one NACK"

@@ -1,249 +1,54 @@
-//! Per-rank state machine of the asynchronous TemperedLB protocol.
+//! Per-rank actor of the asynchronous LB protocol: the thin glue that
+//! binds the pure [`GossipEngine`] to a [`Transport`] stack and an
+//! executor.
 //!
-//! The protocol mirrors the paper's vt implementation structure:
+//! The layering (see `DESIGN.md` §9):
 //!
 //! ```text
-//! Setup      allreduce (Σ load, max load) → every rank knows ℓ_ave, ℓ_max
-//! ┌─ per (trial, iteration) ──────────────────────────────────────────┐
-//! │ Gossip     Algorithm 1, barrier-free; each message round is its    │
-//! │            own TD epoch (round r of iteration j lives in epoch     │
-//! │            1 + j·(k+1) + (r−1)), so a round's sends are a pure     │
-//! │            function of the previous round's *complete* receipts    │
-//! │ Proposals  Algorithm 2 locally; lazy-transfer messages inform      │
-//! │            recipients of their new logical tasks (epoch … + k)     │
-//! │ Evaluate   allreduce of proposed max load → identical I_proposed   │
-//! │            at every rank → symmetric best-tracking, no coordinator │
-//! └────────────────────────────────────────────────────────────────────┘
-//! Commit     revert to best proposal; final owners fetch task data
-//!            from home ranks (lazy migration); last TD epoch
-//! Done
+//! GossipEngine   pure state machine: (epoch, LbMsg) → Vec<Command>
+//! Transport      Raw | Reliable(RetryConfig) | Faulty(plan, ·)
+//! LbRank         this file: interprets Commands, applies TxActions to a
+//!                driver Ctx, records spans/instants, arms deadlines
+//! driver         Simulator (discrete-event), parallel executor, or the
+//!                zero-latency in-process LocalRunner
 //! ```
 //!
-//! Every rank advances through stages *locally*, driven only by received
-//! messages; out-of-order messages from ranks that advanced earlier are
-//! buffered by epoch and replayed (see [`super::messages::LbMsg`]).
-//!
-//! # Determinism
-//!
-//! Stepping gossip by TD epoch (instead of forwarding reactively on
-//! receipt) plus canonicalizing order-sensitive state — knowledge sorted
-//! by rank at every epoch start, the resident task vector sorted by task
-//! id at every stage boundary — makes the final assignment a pure
-//! function of `(input, config, seed)`, independent of message timing,
-//! interleaving, or executor. This is what lets the chaos harness assert
-//! that a faulted run converges to the *same* assignment as a fault-free
-//! one. (The NACK variant is excluded: which proposals a recipient
-//! bounces depends inherently on arrival order.)
-//!
-//! # Hardening
-//!
-//! With [`LbProtocolConfig::reliability`] set, every protocol message —
-//! gossip, proposals, migrations, collectives, *and* termination tokens —
-//! travels through a [`ReliableChannel`]: sequence-numbered
-//! [`LbWire::Data`] frames, acked on arrival, retransmitted with
-//! exponential backoff, deduplicated at the receiver. Epoch buffering
-//! sits *behind* the dedup layer, so a retransmitted duplicate can never
-//! be double-processed even across epoch transitions. A rank whose
-//! retry budget runs out or whose stage makes no progress for a full
-//! [`RetryConfig::stage_deadline`] *degrades*: it abandons the protocol,
-//! reverts to its input tasks (unless already committing, where the
-//! globally-agreed best is kept), and goes silent so that peers degrade
-//! via their own deadlines instead of acting on its partial state.
-//! With `reliability` unset every message travels as [`LbWire::Raw`]
-//! with zero overhead — the historical best-effort protocol.
+//! All protocol logic — stages, epochs, collectives, gossip, transfer,
+//! commit — lives in [`super::engine`]; all delivery mechanics — sequence
+//! numbers, acks, retransmission, dedup — live in [`super::transport`].
+//! What remains here is strictly the impedance match: commands to
+//! context calls, wire frames to transport calls, plus the two pieces of
+//! driver-side policy the engine must not know about (the stage-deadline
+//! watchdog and the degrade decision when delivery fails for good).
 
-use super::messages::{LbMsg, LbWire, TaskEntry, SEQ_OVERHEAD_BYTES};
-use crate::collective::{LoadSummary, ReduceSlot, Tree};
-use crate::reliable::{ReliableChannel, ReliableStats, RetryAction, RetryConfig};
+use super::config::LbProtocolConfig;
+use super::engine::{Command, GossipEngine, Stage};
+use super::messages::{LbWire, TaskEntry};
+use super::transport::{transport_for, RxEvent, Transport, TxAction};
+use crate::reliable::ReliableStats;
 use crate::sim::{Ctx, Protocol};
-use crate::termination::{TdMsg, TerminationDetector};
-use std::collections::HashMap;
-use tempered_core::gossip::sample_target;
 use tempered_core::ids::{RankId, TaskId};
-use tempered_core::knowledge::Knowledge;
-use tempered_core::load::Load;
 use tempered_core::rng::RngFactory;
-use tempered_core::task::Task;
-use tempered_core::transfer::{transfer_stage, TransferConfig};
 use tempered_obs::{EventKind, Recorder};
 
-/// Configuration of the asynchronous protocol.
-#[derive(Clone, Copy, Debug)]
-pub struct LbProtocolConfig {
-    /// Independent trials (`n_trials`).
-    pub trials: usize,
-    /// Iterations per trial (`n_iters`).
-    pub iters: usize,
-    /// Gossip fanout `f`.
-    pub fanout: usize,
-    /// Gossip round limit `k`.
-    pub rounds: usize,
-    /// Transfer-stage knobs (criterion, CMF, ordering, threshold).
-    pub transfer: TransferConfig,
-    /// Modeled payload bytes per migrated task (commit-stage data volume).
-    pub bytes_per_task: usize,
-    /// Enable Menon et al.'s negative acknowledgements: recipients bounce
-    /// proposed tasks that would push them past `ℓ_ave`. The paper drops
-    /// this mechanism (§V-A); the flag exists to measure that choice.
-    pub use_nacks: bool,
-    /// Delivery hardening. `None` (default) sends best-effort
-    /// [`LbWire::Raw`] frames — the historical protocol, bit-identical
-    /// to builds without the fault layer. `Some` enables at-least-once
-    /// delivery with retransmission, dedup, and stage deadlines.
-    pub reliability: Option<RetryConfig>,
-}
-
-impl Default for LbProtocolConfig {
-    fn default() -> Self {
-        LbProtocolConfig {
-            trials: 10,
-            iters: 8,
-            fanout: 6,
-            rounds: 10,
-            transfer: TransferConfig::tempered(),
-            bytes_per_task: 65_536,
-            use_nacks: false,
-            reliability: None,
-        }
-    }
-}
-
-impl LbProtocolConfig {
-    /// A GrapevineLB-equivalent configuration: single trial, single
-    /// iteration, original criterion and CMF, arbitrary ordering.
-    pub fn grapevine() -> Self {
-        LbProtocolConfig {
-            trials: 1,
-            iters: 1,
-            transfer: TransferConfig::grapevine(),
-            ..Default::default()
-        }
-    }
-
-    /// The same configuration with delivery hardening enabled under the
-    /// given retry policy.
-    pub fn hardened(self, retry: RetryConfig) -> Self {
-        LbProtocolConfig {
-            reliability: Some(retry),
-            ..self
-        }
-    }
-}
-
-/// Protocol stage (see module docs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Stage {
-    /// Waiting for the initial allreduce.
-    Setup,
-    /// Gossip epoch in progress.
-    Gossip,
-    /// Proposal epoch in progress.
-    Proposals,
-    /// Waiting for the evaluation allreduce.
-    Evaluate,
-    /// Commit epoch (lazy migration) in progress.
-    Commit,
-    /// Finished.
-    Done,
-}
-
-/// One `(trial, iteration, imbalance)` record, mirroring
-/// `tempered_core::refine::IterationRecord` for the async path.
-#[derive(Clone, Copy, Debug)]
-pub struct AsyncIterationRecord {
-    /// Trial index (0-based).
-    pub trial: usize,
-    /// Iteration index (1-based).
-    pub iteration: usize,
-    /// Globally agreed imbalance after this iteration's proposals.
-    pub imbalance: f64,
-    /// Transfers this rank accepted in the iteration.
-    pub local_transfers: usize,
-    /// Candidates this rank rejected in the iteration.
-    pub local_rejected: usize,
-}
-
-/// The per-rank protocol actor.
+/// The per-rank protocol actor: engine + transport + driver glue.
 #[derive(Debug)]
 pub struct LbRank {
     me: RankId,
-    num_ranks: usize,
     cfg: LbProtocolConfig,
-    factory: RngFactory,
-    tree: Tree,
-    det: TerminationDetector,
+    engine: GossipEngine,
+    transport: Box<dyn Transport>,
 
-    // Task state.
-    original: Vec<TaskEntry>,
-    current: Vec<TaskEntry>,
-    best: Vec<TaskEntry>,
-
-    // Collective state.
-    slots: HashMap<u32, ReduceSlot>,
-
-    // Globals agreed in Setup.
-    l_ave: f64,
-    /// Initial imbalance (valid after Setup).
-    pub initial_imbalance: f64,
-    /// Best imbalance seen (valid after the run).
-    pub best_imbalance: f64,
-
-    // Iteration cursor.
-    trial: usize,
-    iter: usize, // 0-based internally
-    stage: Stage,
-
-    // Gossip state for the current iteration.
-    knowledge: Knowledge,
-    gossip_round: u32,
-    /// Whether any message in the current gossip round taught us a new
-    /// underloaded rank (Algorithm 1's forwarding condition, evaluated
-    /// per round instead of per message).
-    grew: bool,
-
-    // Delivery hardening.
-    channel: ReliableChannel<LbMsg>,
+    // Stage-liveness watchdog (driver-side policy).
     stage_seq: u64,
-    /// Whether this rank abandoned the protocol (retry budget exhausted
-    /// or stage deadline missed) and reverted to a safe assignment.
-    pub degraded: bool,
-
-    // Epoch-stamped buffering of early messages.
-    buffered: Vec<(RankId, LbMsg)>,
-
-    // Statistics.
-    /// Per-iteration records (symmetrically identical across ranks except
-    /// for the local transfer counters).
-    pub records: Vec<AsyncIterationRecord>,
-    /// Tasks this rank fetched at commit (real migrations in).
-    pub migrations_in: usize,
-    /// Tasks fetched *from* this rank at commit (real migrations out).
-    pub migrations_out: usize,
-    /// Proposed tasks bounced back by NACKs across the whole run
-    /// (always 0 unless [`LbProtocolConfig::use_nacks`]).
-    pub nacks_received: usize,
-    iter_transfers: usize,
-    iter_rejected: usize,
+    degraded: bool,
+    done: bool,
 
     // Observability.
     rec: Recorder,
     /// Currently open stage/round span: `(start ts, kind)`. Closed (and
     /// emitted) by the next stage transition or at protocol end.
     open_span: Option<(f64, EventKind)>,
-
-    done: bool,
-}
-
-/// Static span label for a stage.
-fn stage_label(stage: Stage) -> &'static str {
-    match stage {
-        Stage::Setup => "setup",
-        Stage::Gossip => "gossip",
-        Stage::Proposals => "proposals",
-        Stage::Evaluate => "evaluate",
-        Stage::Commit => "commit",
-        Stage::Done => "done",
-    }
 }
 
 impl LbRank {
@@ -255,44 +60,16 @@ impl LbRank {
         cfg: LbProtocolConfig,
         factory: RngFactory,
     ) -> Self {
-        assert!(cfg.rounds >= 1, "gossip needs at least one round");
-        let original: Vec<TaskEntry> = tasks
-            .into_iter()
-            .map(|(id, load)| TaskEntry { id, load, home: me })
-            .collect();
         LbRank {
             me,
-            num_ranks,
-            factory,
-            tree: Tree::new(num_ranks, RankId::new(0)),
-            det: TerminationDetector::new(me, num_ranks),
-            current: original.clone(),
-            best: original.clone(),
-            original,
-            slots: HashMap::new(),
-            l_ave: 0.0,
-            initial_imbalance: 0.0,
-            best_imbalance: f64::INFINITY,
-            trial: 0,
-            iter: 0,
-            stage: Stage::Setup,
-            knowledge: Knowledge::new(),
-            gossip_round: 0,
-            grew: false,
-            channel: ReliableChannel::new(cfg.reliability.unwrap_or_default()),
+            engine: GossipEngine::new(me, num_ranks, tasks, cfg.engine(), factory),
+            transport: transport_for(&cfg),
+            cfg,
             stage_seq: 0,
             degraded: false,
-            cfg,
-            buffered: Vec::new(),
-            records: Vec::new(),
-            migrations_in: 0,
-            migrations_out: 0,
-            nacks_received: 0,
-            iter_transfers: 0,
-            iter_rejected: 0,
+            done: false,
             rec: Recorder::disabled(),
             open_span: None,
-            done: false,
         }
     }
 
@@ -304,6 +81,62 @@ impl LbRank {
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.rec = rec;
     }
+
+    // ---- accessors (delegated to the engine / transport) -----------------
+
+    /// This rank's final task set `(id, load, home)` after the protocol.
+    pub fn final_tasks(&self) -> &[TaskEntry] {
+        self.engine.final_tasks()
+    }
+
+    /// Current stage.
+    pub fn stage(&self) -> Stage {
+        self.engine.stage()
+    }
+
+    /// Whether this rank abandoned the protocol (retry budget exhausted
+    /// or stage deadline missed) and reverted to a safe assignment.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Per-iteration records (symmetrically identical across ranks except
+    /// for the local transfer counters).
+    pub fn records(&self) -> &[super::engine::AsyncIterationRecord] {
+        self.engine.records()
+    }
+
+    /// Initial imbalance (valid after Setup).
+    pub fn initial_imbalance(&self) -> f64 {
+        self.engine.initial_imbalance()
+    }
+
+    /// Best imbalance seen (valid after the run).
+    pub fn best_imbalance(&self) -> f64 {
+        self.engine.best_imbalance()
+    }
+
+    /// Tasks this rank fetched at commit (real migrations in).
+    pub fn migrations_in(&self) -> usize {
+        self.engine.migrations_in()
+    }
+
+    /// Tasks fetched *from* this rank at commit (real migrations out).
+    pub fn migrations_out(&self) -> usize {
+        self.engine.migrations_out()
+    }
+
+    /// Proposed tasks bounced back by NACKs across the whole run.
+    pub fn nacks_received(&self) -> usize {
+        self.engine.nacks_received()
+    }
+
+    /// Delivery-layer counters (all zero in best-effort mode).
+    pub fn reliable_stats(&self) -> ReliableStats {
+        self.transport.stats()
+    }
+
+    // ---- observability ---------------------------------------------------
 
     /// Close the open span (if any) at `now` and open a new one.
     fn span_open(&mut self, now: f64, kind: EventKind) {
@@ -325,140 +158,24 @@ impl LbRank {
     /// once per rank, on normal completion or degradation.
     fn flush_metrics(&self) {
         self.rec.with_metrics(|m| {
-            let s = self.channel.stats;
+            let s = self.transport.stats();
             m.counter_add("lb.reliable.sent", s.sent);
             m.counter_add("lb.reliable.retransmitted", s.retransmitted);
             m.counter_add("lb.reliable.acked", s.acked);
             m.counter_add("lb.reliable.duplicates_suppressed", s.duplicates_suppressed);
             m.counter_add("lb.reliable.gave_up", s.gave_up);
-            m.counter_add("lb.migrations_in", self.migrations_in as u64);
-            m.counter_add("lb.migrations_out", self.migrations_out as u64);
-            m.counter_add("lb.nacks_received", self.nacks_received as u64);
+            m.counter_add("lb.migrations_in", self.engine.migrations_in() as u64);
+            m.counter_add("lb.migrations_out", self.engine.migrations_out() as u64);
+            m.counter_add("lb.nacks_received", self.engine.nacks_received() as u64);
             m.counter_add("lb.degraded_ranks", self.degraded as u64);
-            m.gauge_max("lb.initial_imbalance", self.initial_imbalance);
-            if self.best_imbalance.is_finite() {
-                m.gauge_max("lb.best_imbalance", self.best_imbalance);
+            m.gauge_max("lb.initial_imbalance", self.engine.initial_imbalance());
+            if self.engine.best_imbalance().is_finite() {
+                m.gauge_max("lb.best_imbalance", self.engine.best_imbalance());
             }
         });
     }
 
-    /// This rank's final task set `(id, load, home)` after the protocol.
-    pub fn final_tasks(&self) -> &[TaskEntry] {
-        &self.current
-    }
-
-    /// Current stage.
-    pub fn stage(&self) -> Stage {
-        self.stage
-    }
-
-    /// Delivery-layer counters (all zero in best-effort mode).
-    pub fn reliable_stats(&self) -> ReliableStats {
-        self.channel.stats
-    }
-
-    fn my_load(&self) -> f64 {
-        self.current.iter().map(|t| t.load).sum()
-    }
-
-    // ---- epoch numbering -------------------------------------------------
-    //
-    // Epoch 0 is reserved for setup. Each (trial, iteration) owns a
-    // contiguous block of `rounds + 1` epochs: one per gossip round plus
-    // one for the proposal exchange. Commit takes the single epoch after
-    // the last block. Early-exited gossip rounds leave their epoch
-    // numbers unused — TD epochs need not be consecutive, only unique
-    // and globally ordered.
-
-    fn epoch_stride(&self) -> u64 {
-        self.cfg.rounds as u64 + 1
-    }
-
-    fn iter_base(&self) -> u64 {
-        (self.trial * self.cfg.iters + self.iter) as u64 * self.epoch_stride()
-    }
-
-    fn gossip_round_epoch(&self, round: u32) -> u64 {
-        1 + self.iter_base() + (round as u64 - 1)
-    }
-
-    fn proposal_epoch(&self) -> u64 {
-        1 + self.iter_base() + self.cfg.rounds as u64
-    }
-
-    fn commit_epoch(&self) -> u64 {
-        1 + (self.cfg.trials * self.cfg.iters) as u64 * self.epoch_stride()
-    }
-
-    fn eval_slot(&self) -> u32 {
-        1 + (self.trial * self.cfg.iters + self.iter) as u32
-    }
-
-    // ---- canonicalization ------------------------------------------------
-
-    /// Sort knowledge by rank id. Gossip merges append in arrival order;
-    /// sorting at every epoch boundary makes CMF construction and target
-    /// sampling independent of message timing.
-    fn canonicalize_knowledge(&mut self) {
-        let mut entries = self.knowledge.to_pairs();
-        entries.sort_by_key(|&(r, _)| r);
-        self.knowledge = entries.into_iter().collect();
-    }
-
-    /// Sort resident tasks by id. Proposals extend `current` in arrival
-    /// order; sorting at stage boundaries makes load sums (FP!) and
-    /// transfer-stage iteration order timing-independent.
-    fn canonicalize_current(&mut self) {
-        self.current.sort_by_key(|t| t.id);
-    }
-
-    // ---- send helpers ----------------------------------------------------
-
-    /// Full modeled cost of a protocol message, including commit-stage
-    /// task payloads.
-    fn payload_bytes(&self, msg: &LbMsg) -> usize {
-        let extra = match msg {
-            LbMsg::TaskData { tasks, .. } => self.cfg.bytes_per_task * tasks.len(),
-            _ => 0,
-        };
-        msg.wire_bytes() + extra
-    }
-
-    /// Hand a protocol message to the delivery layer: raw in best-effort
-    /// mode, sequenced + retry-timed in hardened mode.
-    fn transmit(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, msg: LbMsg) {
-        let bytes = self.payload_bytes(&msg);
-        if self.cfg.reliability.is_some() {
-            let (seq, delay) = self.channel.send(to, msg.clone());
-            ctx.send(to, LbWire::Data { seq, msg }, bytes + SEQ_OVERHEAD_BYTES);
-            ctx.schedule(delay, LbWire::RetryTimer { to, seq });
-        } else {
-            ctx.send(to, LbWire::Raw(msg), bytes);
-        }
-    }
-
-    fn send_basic(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, msg: LbMsg) {
-        debug_assert!(msg.basic_epoch().is_some(), "basic send of control msg");
-        // Counted once here; retransmissions of the same sequence number
-        // are invisible to termination detection.
-        self.det.on_basic_send();
-        self.transmit(ctx, to, msg);
-    }
-
-    fn send_ctrl(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, msg: LbMsg) {
-        self.transmit(ctx, to, msg);
-    }
-
-    fn emit_td(&mut self, ctx: &mut Ctx<'_, LbWire>, outcome: crate::termination::TdOutcome) {
-        for s in outcome.sends {
-            self.send_ctrl(ctx, s.to, LbMsg::Td(s.msg));
-        }
-        if let Some(epoch) = outcome.terminated_epoch {
-            self.on_epoch_terminated(ctx, epoch, outcome.terminated_sent);
-        }
-    }
-
-    // ---- delivery hardening ----------------------------------------------
+    // ---- driver-side policy ----------------------------------------------
 
     fn arm_stage_deadline(&mut self, ctx: &mut Ctx<'_, LbWire>) {
         if let Some(retry) = self.cfg.reliability {
@@ -472,532 +189,70 @@ impl LbRank {
         }
     }
 
-    fn on_stage_timer(&mut self, now: f64, stage_seq: u64) {
-        // A stale counter means the stage advanced since this timer was
-        // armed; only a live counter indicates a stall.
-        if !self.done && stage_seq == self.stage_seq {
-            self.degrade(now);
-        }
-    }
-
-    fn on_retry_timer(&mut self, ctx: &mut Ctx<'_, LbWire>, to: RankId, seq: u64) {
-        match self.channel.on_retry_timer(to, seq) {
-            RetryAction::Resend {
-                to,
-                seq,
-                msg,
-                next_delay,
-            } => {
-                self.rec.instant(
-                    self.me.as_u32(),
-                    ctx.now(),
-                    EventKind::Retransmit {
-                        to: to.as_u32(),
-                        seq,
-                    },
-                );
-                let bytes = self.payload_bytes(&msg) + SEQ_OVERHEAD_BYTES;
-                ctx.send(to, LbWire::Data { seq, msg }, bytes);
-                ctx.schedule(next_delay, LbWire::RetryTimer { to, seq });
-            }
-            RetryAction::GaveUp { to, .. } => {
-                self.rec.instant(
-                    self.me.as_u32(),
-                    ctx.now(),
-                    EventKind::GaveUp { to: to.as_u32() },
-                );
-                self.degrade(ctx.now());
-            }
-            RetryAction::Settled => {}
-        }
-    }
-
-    /// Abandon the protocol after a delivery failure. Before commit the
-    /// rank reverts to its input tasks — the only assignment it can
-    /// adopt without coordination. At commit the globally-agreed best is
-    /// kept: the logical assignment was already fixed by the evaluation
-    /// allreduce, and reverting unilaterally would desynchronize it.
-    /// The rank then goes silent (no acks, no forwards), so peers that
-    /// depend on it degrade through their own deadlines rather than
-    /// acting on its abandoned state.
+    /// Abandon the protocol after a delivery failure (see
+    /// [`GossipEngine::abort`] for the revert policy). The rank then goes
+    /// silent (no acks, no forwards), so peers that depend on it degrade
+    /// through their own deadlines rather than acting on its abandoned
+    /// state.
     fn degrade(&mut self, now: f64) {
         if self.done {
             return;
         }
-        self.rec.instant(
-            self.me.as_u32(),
-            now,
-            EventKind::Degraded {
-                stage: stage_label(self.stage),
-            },
-        );
+        let stage = self.engine.abort();
+        self.rec
+            .instant(self.me.as_u32(), now, EventKind::Degraded { stage });
         self.degraded = true;
         self.done = true;
-        if !matches!(self.stage, Stage::Commit | Stage::Done) {
-            self.current = self.original.clone();
-        }
-        self.stage = Stage::Done;
         self.span_close(now);
         self.flush_metrics();
     }
 
-    // ---- collectives -----------------------------------------------------
+    // ---- command / action interpreters -----------------------------------
 
-    fn slot_mut(&mut self, slot: u32) -> &mut ReduceSlot {
-        let children = self.tree.children(self.me).len();
-        self.slots
-            .entry(slot)
-            .or_insert_with(|| ReduceSlot::new(children))
-    }
-
-    fn contribute(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, value: LoadSummary) {
-        if let Some(done) = self.slot_mut(slot).contribute(value) {
-            self.reduce_complete(ctx, slot, done);
-        }
-    }
-
-    fn reduce_complete(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, summary: LoadSummary) {
-        match self.tree.parent(self.me) {
-            Some(parent) => {
-                self.send_ctrl(ctx, parent, LbMsg::ReduceUp { slot, summary });
-            }
-            None => {
-                // Root: broadcast the result and consume it locally.
-                self.broadcast_down(ctx, slot, summary);
-                self.on_reduce_result(ctx, slot, summary);
+    fn apply_actions(&mut self, ctx: &mut Ctx<'_, LbWire>, actions: Vec<TxAction>) {
+        for action in actions {
+            match action {
+                TxAction::Wire { to, wire, bytes } => ctx.send(to, wire, bytes),
+                TxAction::Timer { delay, wire } => ctx.schedule(delay, wire),
             }
         }
     }
 
-    fn broadcast_down(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, summary: LoadSummary) {
-        for child in self.tree.children(self.me) {
-            self.send_ctrl(ctx, child, LbMsg::ReduceDown { slot, summary });
-        }
-    }
-
-    fn on_reduce_result(&mut self, ctx: &mut Ctx<'_, LbWire>, slot: u32, summary: LoadSummary) {
-        if slot == 0 {
-            // Setup complete: everyone now knows ℓ_ave / ℓ_max.
-            debug_assert_eq!(self.stage, Stage::Setup);
-            self.l_ave = summary.average();
-            self.initial_imbalance = summary.imbalance();
-            self.best_imbalance = summary.imbalance();
-            self.enter_gossip(ctx);
-        } else {
-            debug_assert_eq!(self.stage, Stage::Evaluate);
-            debug_assert_eq!(slot, self.eval_slot());
-            let imbalance = summary.imbalance();
-            self.records.push(AsyncIterationRecord {
-                trial: self.trial,
-                iteration: self.iter + 1,
-                imbalance,
-                local_transfers: self.iter_transfers,
-                local_rejected: self.iter_rejected,
-            });
-            if imbalance < self.best_imbalance {
-                self.best_imbalance = imbalance;
-                self.best = self.current.clone();
-            }
-            self.advance_iteration(ctx);
-        }
-    }
-
-    // ---- stage transitions -------------------------------------------------
-
-    fn enter_gossip(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        self.iter_transfers = 0;
-        self.iter_rejected = 0;
-        self.knowledge = Knowledge::new();
-        self.canonicalize_current();
-        self.enter_gossip_round(ctx, 1);
-    }
-
-    fn enter_gossip_round(&mut self, ctx: &mut Ctx<'_, LbWire>, round: u32) {
-        self.stage = Stage::Gossip;
-        self.gossip_round = round;
-        self.span_open(
-            ctx.now(),
-            EventKind::GossipRound {
-                trial: self.trial as u32,
-                iter: self.iter as u32,
-                round,
-            },
-        );
-        let epoch = self.gossip_round_epoch(round);
-        self.det.start_epoch(epoch);
-
-        // Algorithm 1, stepped: round 1 is seeded by the underloaded
-        // ranks (lines 6–12); round r+1 is sent by exactly the ranks
-        // whose knowledge grew during round r (lines 18–24). All sends
-        // happen at round entry, over the complete, canonicalized union
-        // of the previous round's receipts.
-        let sending = if round == 1 {
-            let my_load = self.my_load();
-            if my_load < self.l_ave {
-                self.knowledge.insert(self.me, Load::new(my_load));
-                true
-            } else {
-                false
-            }
-        } else {
-            self.grew
-        };
-        self.grew = false;
-        self.canonicalize_knowledge();
-
-        if sending {
-            let pairs = pairs_of(&self.knowledge);
-            let mut rng = self
-                .factory
-                .rank_stream(b"agossip", self.me.as_u32() as u64, epoch);
-            for _ in 0..self.cfg.fanout {
-                if let Some(target) =
-                    sample_target(&mut rng, self.num_ranks, self.me, &self.knowledge)
-                {
-                    self.send_basic(
-                        ctx,
-                        target,
-                        LbMsg::Gossip {
-                            epoch,
-                            round,
-                            pairs: pairs.clone(),
-                        },
-                    );
+    fn run_commands(&mut self, ctx: &mut Ctx<'_, LbWire>, commands: Vec<Command>) {
+        for command in commands {
+            match command {
+                Command::Send { to, msg } => {
+                    let mut actions = Vec::new();
+                    self.transport.send(to, msg, &mut actions);
+                    self.apply_actions(ctx, actions);
+                }
+                Command::AdvanceEpoch { .. } => {
+                    // Informational; epoch discipline is internal to the
+                    // engine and the drivers here don't schedule by epoch.
+                }
+                Command::OpenSpan(kind) => {
+                    self.span_open(ctx.now(), kind);
+                    self.arm_stage_deadline(ctx);
+                }
+                Command::Instant(kind) => {
+                    self.rec.instant(self.me.as_u32(), ctx.now(), kind);
+                }
+                Command::Finished => {
+                    self.done = true;
+                    self.span_close(ctx.now());
+                    self.flush_metrics();
                 }
             }
         }
-
-        self.arm_stage_deadline(ctx);
-        // Coordinator launches termination detection for this epoch.
-        let kick = self.det.kick();
-        self.emit_td(ctx, kick);
-        self.replay_buffered(ctx);
     }
-
-    fn on_gossip(&mut self, round: u32, pairs: Vec<(RankId, f64)>) {
-        self.det.on_basic_recv();
-        debug_assert_eq!(round, self.gossip_round);
-        let typed: Vec<(RankId, Load)> = pairs.iter().map(|&(r, l)| (r, Load::new(l))).collect();
-        if self.knowledge.merge_pairs(&typed) > 0 {
-            self.grew = true;
-        }
-    }
-
-    fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, LbWire>, epoch: u64, sent: u64) {
-        self.rec.instant(
-            self.me.as_u32(),
-            ctx.now(),
-            EventKind::EpochTerminated { epoch, sent },
-        );
-        match self.stage {
-            Stage::Gossip => {
-                debug_assert_eq!(epoch, self.gossip_round_epoch(self.gossip_round));
-                // `sent` is carried by the termination broadcast, so all
-                // ranks agree on it: if the round moved no messages the
-                // remaining rounds are provably empty and every rank
-                // skips them in lockstep.
-                if sent == 0 || self.gossip_round as usize >= self.cfg.rounds {
-                    self.run_transfer(ctx);
-                } else {
-                    self.enter_gossip_round(ctx, self.gossip_round + 1);
-                }
-            }
-            Stage::Proposals => {
-                debug_assert_eq!(epoch, self.proposal_epoch());
-                self.enter_evaluate(ctx);
-            }
-            Stage::Commit => {
-                debug_assert_eq!(epoch, self.commit_epoch());
-                self.stage = Stage::Done;
-                self.done = true;
-                self.span_close(ctx.now());
-                self.flush_metrics();
-            }
-            s => panic!("unexpected epoch {epoch} termination in stage {s:?}"),
-        }
-    }
-
-    fn run_transfer(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        self.stage = Stage::Proposals;
-        self.span_open(
-            ctx.now(),
-            EventKind::LbStage {
-                stage: "proposals",
-                trial: self.trial as u32,
-                iter: self.iter as u32,
-            },
-        );
-        let epoch = self.proposal_epoch();
-        self.det.start_epoch(epoch);
-        self.canonicalize_current();
-        self.canonicalize_knowledge();
-
-        // Algorithm 2, locally.
-        let my_load = self.my_load();
-        let threshold = self.l_ave * self.cfg.transfer.threshold_h;
-        if my_load > threshold && !self.knowledge.is_empty() {
-            let tasks: Vec<Task> = self
-                .current
-                .iter()
-                .map(|t| Task::new(t.id, t.load))
-                .collect();
-            let mut rng = self
-                .factory
-                .rank_stream(b"atransfer", self.me.as_u32() as u64, epoch);
-            let out = transfer_stage(
-                self.me,
-                &tasks,
-                &mut self.knowledge,
-                Load::new(self.l_ave),
-                &self.cfg.transfer,
-                &mut rng,
-            );
-            self.iter_transfers = out.accepted;
-            self.iter_rejected = out.rejected;
-
-            // Remove proposed tasks locally and inform each recipient of
-            // its new logical tasks (lazy transfer — no data movement).
-            let mut by_target: HashMap<RankId, Vec<TaskEntry>> = HashMap::new();
-            for m in &out.proposals {
-                let idx = self
-                    .current
-                    .iter()
-                    .position(|t| t.id == m.task)
-                    .expect("proposed task is resident");
-                let entry = self.current.swap_remove(idx);
-                by_target.entry(m.to).or_default().push(entry);
-            }
-            // Deterministic send order regardless of hash state.
-            let mut targets: Vec<(RankId, Vec<TaskEntry>)> = by_target.into_iter().collect();
-            targets.sort_by_key(|(r, _)| *r);
-            for (to, tasks) in targets {
-                self.send_basic(ctx, to, LbMsg::Propose { epoch, tasks });
-            }
-        }
-
-        self.arm_stage_deadline(ctx);
-        let kick = self.det.kick();
-        self.emit_td(ctx, kick);
-        self.replay_buffered(ctx);
-    }
-
-    fn on_propose(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, tasks: Vec<TaskEntry>) {
-        self.det.on_basic_recv();
-        if !self.cfg.use_nacks {
-            self.current.extend(tasks);
-            return;
-        }
-        // Menon-style NACKs: accept while staying under the average;
-        // bounce the rest back to the proposer.
-        let mut load = self.my_load();
-        let mut rejected = Vec::new();
-        for t in tasks {
-            if load + t.load < self.l_ave {
-                load += t.load;
-                self.current.push(t);
-            } else {
-                rejected.push(t);
-            }
-        }
-        if !rejected.is_empty() {
-            let epoch = self.det.epoch();
-            self.send_basic(ctx, from, LbMsg::ProposeReply { epoch, rejected });
-        }
-    }
-
-    fn on_propose_reply(&mut self, rejected: Vec<TaskEntry>) {
-        self.det.on_basic_recv();
-        self.nacks_received += rejected.len();
-        // Bounced tasks revert to this rank for the rest of the iteration.
-        self.current.extend(rejected);
-    }
-
-    fn enter_evaluate(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        self.stage = Stage::Evaluate;
-        self.span_open(
-            ctx.now(),
-            EventKind::LbStage {
-                stage: "evaluate",
-                trial: self.trial as u32,
-                iter: self.iter as u32,
-            },
-        );
-        self.canonicalize_current();
-        self.arm_stage_deadline(ctx);
-        let slot = self.eval_slot();
-        let summary = LoadSummary::of(self.my_load());
-        self.contribute(ctx, slot, summary);
-        // Note: buffered messages for the next gossip epoch stay buffered;
-        // they replay when the epoch starts.
-    }
-
-    fn advance_iteration(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        self.iter += 1;
-        if self.iter >= self.cfg.iters {
-            self.iter = 0;
-            self.trial += 1;
-            if self.trial >= self.cfg.trials {
-                self.enter_commit(ctx);
-                return;
-            }
-            // Algorithm 3 line 3: each trial restarts from the input
-            // assignment.
-            self.current = self.original.clone();
-        }
-        self.enter_gossip(ctx);
-    }
-
-    fn enter_commit(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        self.stage = Stage::Commit;
-        self.span_open(
-            ctx.now(),
-            EventKind::LbStage {
-                stage: "commit",
-                trial: self.trial as u32,
-                iter: self.iter as u32,
-            },
-        );
-        let epoch = self.commit_epoch();
-        self.det.start_epoch(epoch);
-        // Adopt the best proposal; fetch data for tasks whose home is
-        // elsewhere (lazy migration).
-        self.current = self.best.clone();
-        self.canonicalize_current();
-        let mut by_home: HashMap<RankId, Vec<TaskId>> = HashMap::new();
-        for t in &self.current {
-            if t.home != self.me {
-                by_home.entry(t.home).or_default().push(t.id);
-            }
-        }
-        let mut homes: Vec<(RankId, Vec<TaskId>)> = by_home.into_iter().collect();
-        homes.sort_by_key(|(r, _)| *r);
-        for (home, tasks) in homes {
-            self.migrations_in += tasks.len();
-            self.send_basic(ctx, home, LbMsg::Fetch { epoch, tasks });
-        }
-
-        self.arm_stage_deadline(ctx);
-        let kick = self.det.kick();
-        self.emit_td(ctx, kick);
-        self.replay_buffered(ctx);
-    }
-
-    fn on_fetch(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, tasks: Vec<TaskId>) {
-        self.det.on_basic_recv();
-        self.migrations_out += tasks.len();
-        let epoch = self.commit_epoch();
-        self.send_basic(ctx, from, LbMsg::TaskData { epoch, tasks });
-    }
-
-    fn on_task_data(&mut self, _tasks: Vec<TaskId>) {
-        self.det.on_basic_recv();
-    }
-
-    // ---- buffering ---------------------------------------------------------
-
-    fn should_buffer(&self, msg: &LbMsg) -> bool {
-        match msg {
-            LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch, .. }) => {
-                *epoch > self.det.epoch()
-            }
-            other => match other.basic_epoch() {
-                Some(e) => e > self.det.epoch(),
-                None => false,
-            },
-        }
-    }
-
-    fn replay_buffered(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        // Messages for the (new) current epoch become deliverable; later
-        // ones stay. Replay preserves arrival order.
-        let mut deliverable = Vec::new();
-        let mut keep = Vec::new();
-        for (from, msg) in std::mem::take(&mut self.buffered) {
-            if self.should_buffer(&msg) {
-                keep.push((from, msg));
-            } else {
-                deliverable.push((from, msg));
-            }
-        }
-        self.buffered = keep;
-        for (from, msg) in deliverable {
-            self.dispatch(ctx, from, msg);
-        }
-    }
-
-    /// Deliver a protocol message that passed the transport layer
-    /// (dedup already done); buffer it if it belongs to a future epoch.
-    fn receive_inner(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, msg: LbMsg) {
-        if self.should_buffer(&msg) {
-            self.buffered.push((from, msg));
-            return;
-        }
-        self.dispatch(ctx, from, msg);
-    }
-
-    fn dispatch(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, msg: LbMsg) {
-        match msg {
-            LbMsg::ReduceUp { slot, summary } => {
-                if let Some(done) = self.slot_mut(slot).on_child(from, summary) {
-                    self.reduce_complete(ctx, slot, done);
-                }
-            }
-            LbMsg::ReduceDown { slot, summary } => {
-                self.broadcast_down(ctx, slot, summary);
-                self.on_reduce_result(ctx, slot, summary);
-            }
-            LbMsg::Gossip {
-                epoch,
-                round,
-                pairs,
-            } => {
-                debug_assert_eq!(epoch, self.det.epoch(), "buffering must align epochs");
-                self.on_gossip(round, pairs);
-            }
-            LbMsg::Propose { epoch, tasks } => {
-                debug_assert_eq!(epoch, self.det.epoch());
-                self.on_propose(ctx, from, tasks);
-            }
-            LbMsg::ProposeReply { epoch, rejected } => {
-                debug_assert_eq!(epoch, self.det.epoch());
-                self.on_propose_reply(rejected);
-            }
-            LbMsg::Fetch { epoch, tasks } => {
-                debug_assert_eq!(epoch, self.det.epoch());
-                self.on_fetch(ctx, from, tasks);
-            }
-            LbMsg::TaskData { epoch, tasks } => {
-                debug_assert_eq!(epoch, self.det.epoch());
-                self.on_task_data(tasks);
-            }
-            LbMsg::Td(td) => {
-                let out = self.det.handle(td);
-                self.emit_td(ctx, out);
-            }
-        }
-    }
-}
-
-fn pairs_of(k: &Knowledge) -> Vec<(RankId, f64)> {
-    k.entries().map(|(r, l)| (r, l.get())).collect()
 }
 
 impl Protocol for LbRank {
     type Msg = LbWire;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, LbWire>) {
-        self.span_open(
-            ctx.now(),
-            EventKind::LbStage {
-                stage: "setup",
-                trial: 0,
-                iter: 0,
-            },
-        );
-        self.arm_stage_deadline(ctx);
-        // Setup allreduce: contribute own load.
-        let summary = LoadSummary::of(self.my_load());
-        self.contribute(ctx, 0, summary);
+        let commands = self.engine.start();
+        self.run_commands(ctx, commands);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, wire: LbWire) {
@@ -1007,121 +262,57 @@ impl Protocol for LbRank {
         if self.degraded {
             return;
         }
-        match wire {
-            LbWire::Raw(msg) => self.receive_inner(ctx, from, msg),
-            LbWire::Data { seq, msg } => {
-                // Ack every copy — a lost ack must be repaired by the
-                // resend of the data — but process only the first.
-                ctx.send(from, LbWire::Ack { seq }, SEQ_OVERHEAD_BYTES);
-                if self.channel.accept(from, seq) {
-                    self.receive_inner(ctx, from, msg);
-                } else {
-                    self.rec.instant(
-                        self.me.as_u32(),
-                        ctx.now(),
-                        EventKind::DuplicateSuppressed {
-                            from: from.as_u32(),
-                            seq,
-                        },
-                    );
-                }
+        // The stage watchdog is driver-side policy, not delivery
+        // mechanics: a stale counter means the stage advanced since the
+        // timer was armed; only a live counter indicates a stall.
+        if let LbWire::StageTimer { stage_seq } = wire {
+            if !self.done && stage_seq == self.stage_seq {
+                self.degrade(ctx.now());
             }
-            LbWire::Ack { seq } => self.channel.on_ack(from, seq),
-            LbWire::RetryTimer { to, seq } => self.on_retry_timer(ctx, to, seq),
-            LbWire::StageTimer { stage_seq } => self.on_stage_timer(ctx.now(), stage_seq),
+            return;
+        }
+        let mut actions = Vec::new();
+        match self.transport.receive(from, wire, &mut actions) {
+            RxEvent::Deliver(msg) => {
+                self.apply_actions(ctx, actions);
+                let commands = self.engine.on_message(from, msg);
+                self.run_commands(ctx, commands);
+            }
+            RxEvent::Duplicate { from, seq } => {
+                self.apply_actions(ctx, actions);
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::DuplicateSuppressed {
+                        from: from.as_u32(),
+                        seq,
+                    },
+                );
+            }
+            RxEvent::Retransmitted { to, seq } => {
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::Retransmit {
+                        to: to.as_u32(),
+                        seq,
+                    },
+                );
+                self.apply_actions(ctx, actions);
+            }
+            RxEvent::GaveUp { to } => {
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::GaveUp { to: to.as_u32() },
+                );
+                self.degrade(ctx.now());
+            }
+            RxEvent::Nothing => self.apply_actions(ctx, actions),
         }
     }
 
     fn is_done(&self) -> bool {
         self.done
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn epoch_numbering_is_disjoint_and_ordered() {
-        let cfg = LbProtocolConfig {
-            trials: 3,
-            iters: 4,
-            rounds: 5,
-            ..Default::default()
-        };
-        let mut r = LbRank::new(RankId::new(0), 2, vec![], cfg, RngFactory::new(1));
-        let mut seen = Vec::new();
-        for trial in 0..3 {
-            for iter in 0..4 {
-                r.trial = trial;
-                r.iter = iter;
-                for round in 1..=5u32 {
-                    seen.push(r.gossip_round_epoch(round));
-                }
-                seen.push(r.proposal_epoch());
-            }
-        }
-        seen.push(r.commit_epoch());
-        let mut sorted = seen.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), seen.len(), "epochs must be unique");
-        assert_eq!(*seen.first().unwrap(), 1, "epoch 0 is reserved for setup");
-        assert!(seen.windows(2).all(|w| w[0] < w[1]), "epochs must ascend");
-        assert_eq!(*seen.last().unwrap(), r.commit_epoch());
-    }
-
-    #[test]
-    fn eval_slots_are_unique_per_iteration() {
-        let cfg = LbProtocolConfig {
-            trials: 2,
-            iters: 3,
-            ..Default::default()
-        };
-        let mut r = LbRank::new(RankId::new(0), 2, vec![], cfg, RngFactory::new(1));
-        let mut slots = Vec::new();
-        for trial in 0..2 {
-            for iter in 0..3 {
-                r.trial = trial;
-                r.iter = iter;
-                slots.push(r.eval_slot());
-            }
-        }
-        let mut sorted = slots.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), 6);
-        assert!(!slots.contains(&0), "slot 0 is the setup allreduce");
-    }
-
-    #[test]
-    fn degrade_before_commit_reverts_to_input() {
-        let cfg = LbProtocolConfig::default();
-        let tasks = vec![(TaskId::new(1), 1.0), (TaskId::new(2), 2.0)];
-        let mut r = LbRank::new(RankId::new(0), 4, tasks, cfg, RngFactory::new(1));
-        r.stage = Stage::Proposals;
-        r.current.clear(); // pretend everything was proposed away
-        r.degrade(0.0);
-        assert!(r.degraded);
-        assert!(r.is_done());
-        assert_eq!(r.final_tasks().len(), 2);
-        assert_eq!(r.stage(), Stage::Done);
-    }
-
-    #[test]
-    fn degrade_at_commit_keeps_the_agreed_best() {
-        let cfg = LbProtocolConfig::default();
-        let tasks = vec![(TaskId::new(1), 1.0)];
-        let mut r = LbRank::new(RankId::new(0), 4, tasks, cfg, RngFactory::new(1));
-        r.stage = Stage::Commit;
-        r.current = vec![TaskEntry {
-            id: TaskId::new(9),
-            load: 3.0,
-            home: RankId::new(2),
-        }];
-        r.degrade(0.0);
-        assert!(r.degraded);
-        assert_eq!(r.final_tasks().len(), 1);
-        assert_eq!(r.final_tasks()[0].id, TaskId::new(9));
     }
 }

@@ -1,0 +1,474 @@
+//! Stacked delivery layers between the [`super::engine::GossipEngine`]
+//! and a driver.
+//!
+//! A [`Transport`] turns protocol messages ([`LbMsg`]) into wire frames
+//! ([`LbWire`]) on the way out and wire frames back into deliverable
+//! protocol messages on the way in. Implementations are sans-I/O like the
+//! engine itself: they emit [`TxAction`]s (frames to put on the network,
+//! timers to arm) and [`RxEvent`]s (deliver, duplicate, retransmitted,
+//! gave-up) and never touch a socket, channel, or clock. Drivers
+//! interpret the actions; the engine never sees the difference.
+//!
+//! The stack composes by decoration:
+//!
+//! ```text
+//! Raw                      best-effort frames, zero overhead
+//! Reliable(RetryConfig)    at-least-once: seq numbers, acks, retransmit
+//!                          with exponential backoff, receiver dedup
+//! Faulty(FaultPlan, T)     adversarial decorator: drops / duplicates
+//!                          outgoing frames per a deterministic plan
+//! ```
+//!
+//! `Faulty<Reliable>` is the chaos-harness configuration: faults injected
+//! *below* the reliability layer, which must mask them. (The
+//! discrete-event [`crate::sim::Simulator`] also injects faults itself,
+//! network-side, which additionally models delay spikes and reordering —
+//! the transport decorator covers drivers without a modeled network.)
+
+use super::messages::{payload_bytes, LbMsg, LbWire, SEQ_OVERHEAD_BYTES};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
+use crate::reliable::{ReliableChannel, ReliableStats, RetryAction, RetryConfig};
+use tempered_core::ids::RankId;
+
+/// An outgoing effect requested by a transport.
+#[derive(Clone, Debug)]
+pub enum TxAction {
+    /// Put `wire` on the network to `to`, modeled at `bytes`.
+    Wire {
+        /// Destination rank.
+        to: RankId,
+        /// The frame.
+        wire: LbWire,
+        /// Modeled size (framing + task payloads).
+        bytes: usize,
+    },
+    /// Deliver `wire` back to *this* rank after `delay` seconds.
+    Timer {
+        /// Relative delay in seconds.
+        delay: f64,
+        /// The self-message (a retry or stage timer).
+        wire: LbWire,
+    },
+}
+
+/// What an incoming wire frame amounted to.
+#[derive(Clone, Debug)]
+pub enum RxEvent {
+    /// A fresh protocol message for the engine.
+    Deliver(LbMsg),
+    /// A retransmission the dedup layer suppressed.
+    Duplicate {
+        /// Original sender.
+        from: RankId,
+        /// Suppressed sequence number.
+        seq: u64,
+    },
+    /// A retry timer fired and the frame was retransmitted.
+    Retransmitted {
+        /// Destination of the resend.
+        to: RankId,
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// The retry budget for `to` is exhausted; the rank should degrade.
+    GaveUp {
+        /// Unreachable destination.
+        to: RankId,
+    },
+    /// Internal bookkeeping only (e.g. an ack); nothing to deliver.
+    Nothing,
+}
+
+/// A delivery layer: protocol messages down to wire frames and back.
+pub trait Transport: std::fmt::Debug + Send {
+    /// Frame `msg` for transmission to `to`.
+    fn send(&mut self, to: RankId, msg: LbMsg, out: &mut Vec<TxAction>);
+
+    /// Interpret an incoming frame (network or self-timer).
+    fn receive(&mut self, from: RankId, wire: LbWire, out: &mut Vec<TxAction>) -> RxEvent;
+
+    /// Delivery-layer statistics (all zero for best-effort transports).
+    fn stats(&self) -> ReliableStats;
+
+    /// Fault-injection statistics, when a fault decorator is stacked.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// Best-effort transport: frames pass through untouched.
+#[derive(Debug)]
+pub struct Raw {
+    bytes_per_task: usize,
+}
+
+impl Raw {
+    /// Create with the modeled task-data payload size.
+    pub fn new(bytes_per_task: usize) -> Self {
+        Raw { bytes_per_task }
+    }
+}
+
+impl Transport for Raw {
+    fn send(&mut self, to: RankId, msg: LbMsg, out: &mut Vec<TxAction>) {
+        let bytes = payload_bytes(&msg, self.bytes_per_task);
+        out.push(TxAction::Wire {
+            to,
+            wire: LbWire::Raw(msg),
+            bytes,
+        });
+    }
+
+    fn receive(&mut self, _from: RankId, wire: LbWire, _out: &mut Vec<TxAction>) -> RxEvent {
+        match wire {
+            LbWire::Raw(msg) | LbWire::Data { msg, .. } => RxEvent::Deliver(msg),
+            LbWire::Ack { .. } | LbWire::RetryTimer { .. } | LbWire::StageTimer { .. } => {
+                RxEvent::Nothing
+            }
+        }
+    }
+
+    fn stats(&self) -> ReliableStats {
+        ReliableStats::default()
+    }
+}
+
+/// At-least-once delivery with exactly-once processing, stacked over the
+/// raw network: per-link sequence numbers, acks, retransmission with
+/// exponential backoff, and receiver-side dedup.
+#[derive(Debug)]
+pub struct Reliable {
+    channel: ReliableChannel<LbMsg>,
+    bytes_per_task: usize,
+}
+
+impl Reliable {
+    /// Create with a retry policy and the modeled task-data payload size.
+    pub fn new(retry: RetryConfig, bytes_per_task: usize) -> Self {
+        Reliable {
+            channel: ReliableChannel::new(retry),
+            bytes_per_task,
+        }
+    }
+}
+
+impl Transport for Reliable {
+    fn send(&mut self, to: RankId, msg: LbMsg, out: &mut Vec<TxAction>) {
+        let bytes = payload_bytes(&msg, self.bytes_per_task) + SEQ_OVERHEAD_BYTES;
+        let (seq, delay) = self.channel.send(to, msg.clone());
+        out.push(TxAction::Wire {
+            to,
+            wire: LbWire::Data { seq, msg },
+            bytes,
+        });
+        out.push(TxAction::Timer {
+            delay,
+            wire: LbWire::RetryTimer { to, seq },
+        });
+    }
+
+    fn receive(&mut self, from: RankId, wire: LbWire, out: &mut Vec<TxAction>) -> RxEvent {
+        match wire {
+            // Tolerated for mixed stacks; a raw frame has no seq to dedup.
+            LbWire::Raw(msg) => RxEvent::Deliver(msg),
+            LbWire::Data { seq, msg } => {
+                // Always ack, even duplicates: the ack for the original
+                // may have been lost.
+                out.push(TxAction::Wire {
+                    to: from,
+                    wire: LbWire::Ack { seq },
+                    bytes: SEQ_OVERHEAD_BYTES,
+                });
+                if self.channel.accept(from, seq) {
+                    RxEvent::Deliver(msg)
+                } else {
+                    RxEvent::Duplicate { from, seq }
+                }
+            }
+            LbWire::Ack { seq } => {
+                self.channel.on_ack(from, seq);
+                RxEvent::Nothing
+            }
+            LbWire::RetryTimer { to, seq } => match self.channel.on_retry_timer(to, seq) {
+                RetryAction::Resend {
+                    to,
+                    seq,
+                    msg,
+                    next_delay,
+                } => {
+                    let bytes = payload_bytes(&msg, self.bytes_per_task) + SEQ_OVERHEAD_BYTES;
+                    out.push(TxAction::Wire {
+                        to,
+                        wire: LbWire::Data { seq, msg },
+                        bytes,
+                    });
+                    out.push(TxAction::Timer {
+                        delay: next_delay,
+                        wire: LbWire::RetryTimer { to, seq },
+                    });
+                    RxEvent::Retransmitted { to, seq }
+                }
+                RetryAction::GaveUp { to, .. } => RxEvent::GaveUp { to },
+                RetryAction::Settled => RxEvent::Nothing,
+            },
+            LbWire::StageTimer { .. } => RxEvent::Nothing,
+        }
+    }
+
+    fn stats(&self) -> ReliableStats {
+        self.channel.stats
+    }
+}
+
+/// Adversarial decorator: drops or duplicates outgoing wire frames per a
+/// deterministic [`FaultPlan`], *below* the wrapped transport — exactly
+/// where a lossy network sits relative to the reliability layer. Timers
+/// and incoming frames pass through untouched.
+#[derive(Debug)]
+pub struct Faulty<T> {
+    inner: T,
+    injector: FaultInjector,
+    me: RankId,
+}
+
+impl<T: Transport> Faulty<T> {
+    /// Wrap `inner`, injecting faults on frames sent by `me`.
+    pub fn new(inner: T, plan: FaultPlan, me: RankId) -> Self {
+        Faulty {
+            inner,
+            injector: FaultInjector::new(plan),
+            me,
+        }
+    }
+}
+
+impl<T: Transport> Transport for Faulty<T> {
+    fn send(&mut self, to: RankId, msg: LbMsg, out: &mut Vec<TxAction>) {
+        let mut inner_out = Vec::new();
+        self.inner.send(to, msg, &mut inner_out);
+        self.apply_fates(inner_out, out);
+    }
+
+    fn receive(&mut self, from: RankId, wire: LbWire, out: &mut Vec<TxAction>) -> RxEvent {
+        let mut inner_out = Vec::new();
+        let event = self.inner.receive(from, wire, &mut inner_out);
+        self.apply_fates(inner_out, out);
+        event
+    }
+
+    fn stats(&self) -> ReliableStats {
+        self.inner.stats()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.injector.stats
+    }
+}
+
+impl<T: Transport> Faulty<T> {
+    fn apply_fates(&mut self, actions: Vec<TxAction>, out: &mut Vec<TxAction>) {
+        for action in actions {
+            match action {
+                TxAction::Wire { to, wire, bytes } => {
+                    let fate = self.injector.fate(self.me, to);
+                    for _ in 0..fate.copies {
+                        out.push(TxAction::Wire {
+                            to,
+                            wire: wire.clone(),
+                            bytes,
+                        });
+                    }
+                }
+                timer @ TxAction::Timer { .. } => out.push(timer),
+            }
+        }
+    }
+}
+
+/// Build the transport stack an [`super::LbProtocolConfig`] denotes:
+/// [`Raw`] by default, [`Reliable`] when hardened.
+pub fn transport_for(cfg: &super::LbProtocolConfig) -> Box<dyn Transport> {
+    match cfg.reliability {
+        Some(retry) => Box::new(Reliable::new(retry, cfg.bytes_per_task)),
+        None => Box::new(Raw::new(cfg.bytes_per_task)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gossip(epoch: u64) -> LbMsg {
+        LbMsg::Gossip {
+            epoch,
+            round: 1,
+            pairs: vec![],
+        }
+    }
+
+    #[test]
+    fn raw_round_trips_without_overhead() {
+        let mut t = Raw::new(1000);
+        let mut out = Vec::new();
+        t.send(RankId::new(1), gossip(1), &mut out);
+        assert_eq!(out.len(), 1);
+        let TxAction::Wire { to, wire, bytes } = out.pop().unwrap() else {
+            panic!("raw send must produce a wire frame");
+        };
+        assert_eq!(to, RankId::new(1));
+        assert_eq!(bytes, gossip(1).wire_bytes());
+        let mut t2 = Raw::new(1000);
+        assert!(matches!(
+            t2.receive(RankId::new(0), wire, &mut Vec::new()),
+            RxEvent::Deliver(LbMsg::Gossip { epoch: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn raw_charges_task_payloads() {
+        let mut t = Raw::new(1000);
+        let msg = LbMsg::TaskData {
+            epoch: 9,
+            tasks: vec![tempered_core::ids::TaskId::new(1); 3],
+        };
+        let mut out = Vec::new();
+        t.send(RankId::new(1), msg.clone(), &mut out);
+        let TxAction::Wire { bytes, .. } = &out[0] else {
+            panic!("expected wire frame");
+        };
+        assert_eq!(*bytes, msg.wire_bytes() + 3 * 1000);
+    }
+
+    #[test]
+    fn reliable_frames_ack_and_dedup() {
+        let mut sender = Reliable::new(RetryConfig::default(), 0);
+        let mut receiver = Reliable::new(RetryConfig::default(), 0);
+        let mut out = Vec::new();
+        sender.send(RankId::new(1), gossip(1), &mut out);
+        assert_eq!(out.len(), 2, "frame + retry timer");
+        let TxAction::Wire { wire, bytes, .. } = out.remove(0) else {
+            panic!("first action must be the data frame");
+        };
+        assert_eq!(bytes, gossip(1).wire_bytes() + SEQ_OVERHEAD_BYTES);
+        assert!(matches!(out[0], TxAction::Timer { .. }));
+
+        // First delivery: acked and delivered.
+        let mut rx_out = Vec::new();
+        let ev = receiver.receive(RankId::new(0), wire.clone(), &mut rx_out);
+        assert!(matches!(ev, RxEvent::Deliver(_)));
+        assert!(
+            matches!(
+                &rx_out[0],
+                TxAction::Wire {
+                    wire: LbWire::Ack { .. },
+                    ..
+                }
+            ),
+            "data frames are always acked"
+        );
+
+        // Redelivery: still acked, but suppressed.
+        let mut rx_out2 = Vec::new();
+        let ev2 = receiver.receive(RankId::new(0), wire, &mut rx_out2);
+        assert!(matches!(ev2, RxEvent::Duplicate { .. }));
+        assert!(!rx_out2.is_empty(), "duplicates re-ack");
+        assert_eq!(receiver.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn reliable_retry_then_settle() {
+        let mut sender = Reliable::new(RetryConfig::default(), 0);
+        let mut out = Vec::new();
+        sender.send(RankId::new(1), gossip(1), &mut out);
+        let TxAction::Timer { wire: timer, .. } = out.pop().unwrap() else {
+            panic!("second action must be the retry timer");
+        };
+
+        // Unacked: the timer retransmits and re-arms.
+        let mut rt_out = Vec::new();
+        let ev = sender.receive(RankId::new(0), timer.clone(), &mut rt_out);
+        assert!(matches!(ev, RxEvent::Retransmitted { .. }));
+        assert_eq!(rt_out.len(), 2);
+
+        // Acked: the next timer settles silently.
+        let mut ack_out = Vec::new();
+        sender.receive(RankId::new(1), LbWire::Ack { seq: 1 }, &mut ack_out);
+        let ev = sender.receive(RankId::new(0), timer, &mut Vec::new());
+        assert!(matches!(ev, RxEvent::Nothing));
+        assert_eq!(sender.stats().retransmitted, 1);
+        assert_eq!(sender.stats().acked, 1);
+    }
+
+    #[test]
+    fn reliable_gives_up_after_budget() {
+        let retry = RetryConfig {
+            max_retries: 2,
+            ..RetryConfig::default()
+        };
+        let mut sender = Reliable::new(retry, 0);
+        let mut out = Vec::new();
+        sender.send(RankId::new(1), gossip(1), &mut out);
+        let TxAction::Timer { wire: timer, .. } = out.pop().unwrap() else {
+            panic!("expected retry timer");
+        };
+        let mut gave_up = false;
+        for _ in 0..4 {
+            match sender.receive(RankId::new(0), timer.clone(), &mut Vec::new()) {
+                RxEvent::GaveUp { to } => {
+                    assert_eq!(to, RankId::new(1));
+                    gave_up = true;
+                    break;
+                }
+                RxEvent::Retransmitted { .. } => {}
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(gave_up, "retry budget must eventually run out");
+    }
+
+    #[test]
+    fn faulty_decorator_drops_and_duplicates_deterministically() {
+        let plan = FaultPlan {
+            drop: 0.5,
+            ..FaultPlan::none()
+        };
+        let run = || {
+            let mut t = Faulty::new(Raw::new(0), plan.clone(), RankId::new(0));
+            let mut frames = 0;
+            for i in 0..200 {
+                let mut out = Vec::new();
+                t.send(RankId::new(1 + (i % 3)), gossip(1), &mut out);
+                frames += out.len();
+            }
+            (frames, t.fault_stats().dropped)
+        };
+        let (frames_a, dropped_a) = run();
+        let (frames_b, dropped_b) = run();
+        assert_eq!(frames_a, frames_b, "fates are a pure function of the plan");
+        assert_eq!(dropped_a, dropped_b);
+        assert!(
+            dropped_a > 40,
+            "half the frames should drop, saw {dropped_a}"
+        );
+        assert_eq!(frames_a + dropped_a as usize, 200);
+    }
+
+    #[test]
+    fn faulty_passes_timers_through() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut t = Faulty::new(
+            Reliable::new(RetryConfig::default(), 0),
+            plan,
+            RankId::new(0),
+        );
+        let mut out = Vec::new();
+        t.send(RankId::new(1), gossip(1), &mut out);
+        // The data frame always drops under drop=1.0, but the retry timer
+        // must survive — it is what eventually masks or reports the loss.
+        assert!(out.iter().all(|a| matches!(a, TxAction::Timer { .. })));
+        assert_eq!(out.len(), 1);
+    }
+}

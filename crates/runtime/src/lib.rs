@@ -14,9 +14,10 @@
 //!   the mechanism sequencing the barrier-free gossip protocol (§IV-B).
 //! * [`collective`] — binary-tree reduce/broadcast used for the load
 //!   allreduce and per-iteration evaluation.
-//! * [`lb`] — the full asynchronous TemperedLB/GrapevineLB protocol:
-//!   setup allreduce, epidemic gossip, lazy transfer proposals, symmetric
-//!   best tracking, and lazy migration at commit.
+//! * [`lb`] — the full asynchronous TemperedLB/GrapevineLB protocol,
+//!   layered sans-I/O style: a pure protocol engine
+//!   ([`lb::engine::GossipEngine`]), stacked delivery transports
+//!   ([`lb::transport`]), and thin per-executor drivers.
 //! * [`fault`] — seed-deterministic fault injection (drop, duplication,
 //!   delay spikes, stragglers, pauses) shared by both executors.
 //! * [`reliable`] — at-least-once delivery with retransmission, backoff,
@@ -37,14 +38,14 @@ pub mod phase;
 pub mod rdma;
 pub mod reliable;
 pub mod sim;
-pub mod stats;
 pub mod termination;
 
 pub use fault::{FaultPlan, FaultStats};
 pub use lb::{
-    run_distributed_lb, run_distributed_lb_traced, run_distributed_lb_with_faults, DistLbResult,
-    DistributedTemperedLb, LbProtocolConfig,
+    run_distributed_lb, run_distributed_lb_traced, run_distributed_lb_with_faults, run_local_lb,
+    DistLbResult, DistributedGrapevineLb, DistributedTemperedLb, GossipEngine, LbProtocolConfig,
+    LocalLbResult,
 };
 pub use reliable::{ReliableStats, RetryConfig};
 pub use sim::{NetworkModel, Protocol, SimReport, Simulator};
-pub use stats::NetworkStats;
+pub use tempered_obs::NetworkStats;

@@ -25,13 +25,13 @@
 
 use crate::fault::{Fate, FaultInjector, FaultPlan, FaultStats};
 use crate::sim::{Ctx, Protocol};
-use crate::stats::NetworkStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tempered_core::ids::RankId;
+use tempered_obs::NetworkStats;
 use tempered_obs::{EventKind, Recorder};
 
 /// Wall-clock hold-back per unit of injected latency factor: a message

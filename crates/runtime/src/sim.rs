@@ -25,11 +25,11 @@
 //!   truth.
 
 use crate::fault::{Fate, FaultInjector, FaultPlan, FaultStats};
-use crate::stats::NetworkStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tempered_core::ids::RankId;
 use tempered_core::rng::RngFactory;
+use tempered_obs::NetworkStats;
 use tempered_obs::{EventKind, Recorder};
 
 use rand::rngs::SmallRng;

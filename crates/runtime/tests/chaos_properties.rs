@@ -272,6 +272,55 @@ fn hardening_is_transparent_when_fault_free() {
     assert_eq!(hardened.reliable.retransmitted, 0);
 }
 
+/// Distributed GrapevineLB — the original single-trial, single-iteration
+/// protocol — through the same engine/transport/driver stack: fault-free
+/// replay is bit-deterministic, and moderate chaos under the hardened
+/// transport commits the identical assignment.
+#[test]
+fn distributed_grapevine_converges_deterministically_under_chaos() {
+    let dist = concentrated(12, 2, 18);
+    let cfg = LbProtocolConfig::grapevine().hardened(generous_retry());
+    let a = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(7));
+    let b = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(7));
+    assert_eq!(assignment(&a.distribution), assignment(&b.distribution));
+    assert_eq!(a.final_imbalance.to_bits(), b.final_imbalance.to_bits());
+    assert_eq!(
+        a.report.finish_time.to_bits(),
+        b.report.finish_time.to_bits()
+    );
+    assert_eq!(a.degraded_ranks, 0);
+    assert!(
+        a.final_imbalance < a.initial_imbalance,
+        "one grapevine iteration must improve the concentrated imbalance"
+    );
+    assert!(a.tasks_migrated > 0);
+
+    let plan = FaultPlan {
+        seed: 77,
+        drop: 0.15,
+        duplicate: 0.2,
+        delay_spike: 0.1,
+        delay_spike_scale: 8.0,
+        stragglers: vec![(RankId::new(1), 4.0)],
+        ..FaultPlan::none()
+    };
+    let chaos = run_distributed_lb_with_faults(
+        &dist,
+        cfg,
+        NetworkModel::default(),
+        &RngFactory::new(7),
+        plan,
+    );
+    assert_eq!(chaos.degraded_ranks, 0);
+    assert_eq!(
+        assignment(&chaos.distribution),
+        assignment(&a.distribution),
+        "faults may change timing and wire traffic, never the outcome"
+    );
+    assert_eq!(chaos.final_imbalance.to_bits(), a.final_imbalance.to_bits());
+    assert!(chaos.report.faults.dropped > 0);
+}
+
 /// Total blackout: every rank exhausts its budget, degrades, and
 /// reverts to its input tasks — graceful degradation, not a hang and
 /// not a corrupted assignment.
@@ -357,7 +406,7 @@ fn parallel_executor_converges_under_faults() {
         report.faults.dropped > 0,
         "the plan must actually have injected drops"
     );
-    if report.ranks.iter().all(|r| !r.degraded) {
+    if report.ranks.iter().all(|r| !r.degraded()) {
         let total: usize = report.ranks.iter().map(|r| r.final_tasks().len()).sum();
         assert_eq!(total, dist.num_tasks());
         let clean = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(41));

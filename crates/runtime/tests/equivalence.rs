@@ -1,0 +1,139 @@
+//! Sync ↔ async equivalence: the asynchronous protocol engine, driven by
+//! the zero-latency in-process runner, must commit the *exact*
+//! `Distribution` that the synchronous `tempered_core::refine` produces
+//! for the same seed — bit-identical task placement and imbalance.
+//!
+//! This holds by construction: the engine calls the same algorithmic
+//! kernels (`sample_fanout_targets`, `transfer_stage`) with the same
+//! per-`(rank, stage, trial, iter)` RNG streams. Loads are restricted to
+//! multiples of 0.25 so every partial sum the two sides compute in
+//! different orders is exact in f64.
+
+use proptest::prelude::*;
+use tempered_core::distribution::Distribution;
+use tempered_core::gossip::GossipConfig;
+use tempered_core::ids::TaskId;
+use tempered_core::refine::{refine, RefineConfig};
+use tempered_core::rng::RngFactory;
+use tempered_core::transfer::TransferConfig;
+use tempered_runtime::lb::LbProtocolConfig;
+use tempered_runtime::run_local_lb;
+
+/// Canonical view of an assignment: per rank, sorted `(task id, load
+/// bits)` pairs.
+fn assignment(d: &Distribution) -> Vec<Vec<(TaskId, u64)>> {
+    d.rank_ids()
+        .map(|r| {
+            let mut tasks: Vec<(TaskId, u64)> = d
+                .tasks_on(r)
+                .iter()
+                .map(|t| (t.id, t.load.get().to_bits()))
+                .collect();
+            tasks.sort();
+            tasks
+        })
+        .collect()
+}
+
+/// Assert the async engine (zero-latency driver) and the sync `refine`
+/// agree bit-for-bit on the same input and seed.
+fn assert_equivalent(dist: &Distribution, rcfg: &RefineConfig, seed: u64) {
+    let factory = RngFactory::new(seed);
+    let sync = refine(dist, rcfg, &factory, 0);
+    let local = run_local_lb(dist, LbProtocolConfig::from(*rcfg), &factory);
+
+    assert_eq!(local.degraded_ranks, 0);
+    assert_eq!(
+        assignment(&sync.best),
+        assignment(&local.distribution),
+        "engine committed a different assignment than refine (seed {seed})"
+    );
+    assert_eq!(
+        sync.best_imbalance.to_bits(),
+        local.final_imbalance.to_bits(),
+        "agreed imbalance differs from refine's (seed {seed})"
+    );
+    assert_eq!(
+        sync.initial_imbalance.to_bits(),
+        local.initial_imbalance.to_bits()
+    );
+    assert_eq!(sync.migrations.len(), local.tasks_migrated);
+}
+
+/// Small TemperedLB-style configuration: multiple trials and iterations
+/// exercise the trial-reset and best-tracking paths.
+fn small_tempered() -> RefineConfig {
+    RefineConfig {
+        trials: 2,
+        iters: 3,
+        gossip: GossipConfig {
+            fanout: 3,
+            rounds: 4,
+            ..Default::default()
+        },
+        transfer: TransferConfig::tempered(),
+    }
+}
+
+/// Dyadic loads (multiples of 0.25) so float sums are order-independent.
+fn dyadic_distribution() -> impl Strategy<Value = Distribution> {
+    prop::collection::vec(
+        prop::collection::vec((1u8..9).prop_map(|q| f64::from(q) * 0.25), 0..6),
+        2..12,
+    )
+    .prop_filter("need at least one task", |ranks| {
+        ranks.iter().any(|r| !r.is_empty())
+    })
+    .prop_map(Distribution::from_loads)
+}
+
+#[test]
+fn tempered_engine_matches_refine_on_concentrated_load() {
+    let loads: Vec<Vec<f64>> = (0..16)
+        .map(|r| if r < 2 { vec![1.0; 24] } else { vec![1.0] })
+        .collect();
+    let dist = Distribution::from_loads(loads);
+    for seed in 0..4 {
+        assert_equivalent(&dist, &small_tempered(), seed);
+    }
+}
+
+#[test]
+fn grapevine_engine_matches_refine() {
+    let loads: Vec<Vec<f64>> = (0..8)
+        .map(|r| {
+            if r == 0 {
+                vec![0.5; 20]
+            } else {
+                vec![0.5, 0.25]
+            }
+        })
+        .collect();
+    let dist = Distribution::from_loads(loads);
+    for seed in 0..4 {
+        assert_equivalent(&dist, &RefineConfig::grapevine(), seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random dyadic workloads, random seeds, TemperedLB config: the
+    /// async engine's committed distribution is the one refine returns.
+    #[test]
+    fn tempered_equivalence_holds_for_random_workloads(
+        dist in dyadic_distribution(),
+        seed in any::<u64>(),
+    ) {
+        assert_equivalent(&dist, &small_tempered(), seed);
+    }
+
+    /// Same property under the original GrapevineLB configuration.
+    #[test]
+    fn grapevine_equivalence_holds_for_random_workloads(
+        dist in dyadic_distribution(),
+        seed in any::<u64>(),
+    ) {
+        assert_equivalent(&dist, &RefineConfig::grapevine(), seed);
+    }
+}
