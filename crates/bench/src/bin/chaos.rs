@@ -6,16 +6,31 @@
 //!
 //! Both balancers run through the same engine/transport/driver stack:
 //! the TemperedLB configuration and the original single-trial
-//! GrapevineLB each get a grid.
+//! GrapevineLB each get a grid (one shared sweep driver renders both).
+//!
+//! A third grid injects *crash-stop failures*: up to 25% of the ranks
+//! die mid-gossip (fatally, or with a warm restart into a fenced
+//! zombie) and the crash-tolerant stack — heartbeat detection, epoch
+//! fencing, view-change restart — must complete on the survivor set,
+//! reproduce bit-identically under the same seed, and keep the
+//! survivor-set imbalance within 2× of the crash-free reference
+//! restricted to the same survivors.
 //!
 //! Per cell it records the repair work the reliability layer performed
 //! (retransmissions, suppressed duplicates, give-ups), degradation
 //! counts, and the modeled makespan — the cost of chaos in one table.
 //!
 //! Run with: `cargo run --release -p tempered-bench --bin chaos`
-//! Writes `results/chaos.csv` and `results/chaos_grapevine.csv`.
+//! Writes `results/chaos.csv`, `results/chaos_grapevine.csv`, and
+//! `results/chaos_crash.csv`.
+//!
+//! An ad-hoc crash scenario can be injected with repeated
+//! `--crash <rank>@<time>[+<downtime>]` arguments; an invalid plan
+//! (malformed spec, duplicate rank, negative time) is reported as a
+//! clean CLI error instead of a panic.
 
 use lbaf::Table;
+use std::collections::BTreeSet;
 use tempered_bench::{counter_cells, lb_run_metrics, write_results};
 use tempered_core::distribution::Distribution;
 use tempered_core::ids::{RankId, TaskId};
@@ -23,7 +38,8 @@ use tempered_core::rng::RngFactory;
 use tempered_runtime::lb::LbProtocolConfig;
 use tempered_runtime::sim::NetworkModel;
 use tempered_runtime::{
-    run_distributed_lb, run_distributed_lb_with_faults, FaultPlan, RetryConfig,
+    run_distributed_lb, run_distributed_lb_with_faults, CrashEvent, DistLbResult, FaultPlan,
+    HealthConfig, RetryConfig,
 };
 
 /// Hot-spot input: a few overloaded ranks, the rest empty.
@@ -49,6 +65,46 @@ fn assignment(d: &Distribution) -> Vec<Vec<TaskId>> {
             ids
         })
         .collect()
+}
+
+/// `ℓ_max / ℓ_ave` over the ranks *not* in `dead` — the survivor-set
+/// balance quality. Using the raw ratio (≥ 1) instead of the paper's
+/// `I = λ − 1` keeps the "within 2×" comparison meaningful when the
+/// reference is almost perfectly balanced.
+fn survivor_lambda(d: &Distribution, dead: &BTreeSet<RankId>) -> f64 {
+    let loads: Vec<f64> = d
+        .rank_ids()
+        .filter(|r| !dead.contains(r))
+        .map(|r| d.tasks_on(r).iter().map(|t| t.load.0).sum())
+        .collect();
+    let avg = loads.iter().sum::<f64>() / loads.len() as f64;
+    let max = loads.iter().cloned().fold(0.0f64, f64::max);
+    if avg == 0.0 {
+        1.0
+    } else {
+        max / avg
+    }
+}
+
+/// Run one fault plan after validating it; invalid plans are a caller
+/// bug for the built-in grids and a clean CLI error for `--crash`.
+fn run_with_plan(
+    dist: &Distribution,
+    cfg: LbProtocolConfig,
+    seed: u64,
+    plan: FaultPlan,
+) -> DistLbResult {
+    plan.validate().unwrap_or_else(|e| {
+        eprintln!("chaos: invalid fault plan: {e}");
+        std::process::exit(2);
+    });
+    run_distributed_lb_with_faults(
+        dist,
+        cfg,
+        NetworkModel::default(),
+        &RngFactory::new(seed),
+        plan,
+    )
 }
 
 /// Sweep one balancer configuration over the chaos grid. Returns the
@@ -99,13 +155,7 @@ fn sweep(
                 },
                 ..FaultPlan::none()
             };
-            let out = run_distributed_lb_with_faults(
-                dist,
-                cfg,
-                NetworkModel::default(),
-                &RngFactory::new(seed),
-                plan,
-            );
+            let out = run_with_plan(dist, cfg, seed, plan);
             let outcome = if out.degraded_ranks > 0 {
                 "degraded".to_string()
             } else if assignment(&out.distribution) == reference {
@@ -142,6 +192,158 @@ fn sweep(
     (table, mismatches)
 }
 
+/// Sweep crash-stop scenarios: `counts` ranks die mid-gossip starting at
+/// each base time in `times` (staggered 50 µs apart, one of them warm-
+/// restarting into a fenced zombie). Returns the table and the number of
+/// cells that violated an acceptance bound.
+fn crash_sweep(
+    cfg: LbProtocolConfig,
+    dist: &Distribution,
+    seed: u64,
+    counts: &[usize],
+    times: &[f64],
+) -> (Table, usize) {
+    let num_ranks = dist.num_ranks();
+    let clean = run_distributed_lb(dist, cfg, NetworkModel::default(), &RngFactory::new(seed));
+
+    let mut table = Table::new(
+        "Crash-tolerant TemperedLB under crash-stop failures".to_string(),
+        &[
+            "crashed",
+            "t_crash_ms",
+            "degraded",
+            "crash_dropped",
+            "retrans",
+            "events",
+            "finish_ms",
+            "surv_lambda",
+            "clean_lambda",
+            "outcome",
+        ],
+    );
+
+    let mut violations = 0usize;
+    for &count in counts {
+        assert!(
+            count * 4 <= num_ranks,
+            "crash grid stays at or below 25% of ranks"
+        );
+        for &t0 in times {
+            // Spread the victims across the rank space (skipping rank 0
+            // on the first kill so the grid also covers survivor-side
+            // coordination) and stagger the deaths; the last victim
+            // warm-restarts to exercise zombie fencing.
+            let victims: Vec<RankId> = (0..count)
+                .map(|i| RankId::from(1 + i * num_ranks / (count + 1)))
+                .collect();
+            let crashes: Vec<CrashEvent> = victims
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    let at = t0 + i as f64 * 5e-5;
+                    if i + 1 == count && count > 1 {
+                        CrashEvent::with_restart(r, at, 5e-3)
+                    } else {
+                        CrashEvent::fatal(r, at)
+                    }
+                })
+                .collect();
+            let plan = FaultPlan {
+                seed: 0xDEAD ^ (count as u64) ^ (((t0 * 1e6) as u64) << 8),
+                crashes: crashes.clone(),
+                ..FaultPlan::none()
+            };
+            let dead: BTreeSet<RankId> = victims.iter().copied().collect();
+
+            let out = run_with_plan(dist, cfg, seed, plan.clone());
+            let again = run_with_plan(dist, cfg, seed, plan);
+
+            let deterministic = assignment(&out.distribution) == assignment(&again.distribution)
+                && out.report.events_delivered == again.report.events_delivered
+                && out.report.finish_time.to_bits() == again.report.finish_time.to_bits();
+            let lambda = survivor_lambda(&out.distribution, &dead);
+            let clean_lambda = survivor_lambda(&clean.distribution, &dead);
+            let balanced = lambda <= 2.0 * clean_lambda;
+            let outcome = match (deterministic, balanced) {
+                (true, true) => "ok".to_string(),
+                (false, _) => "NONDETERMINISTIC".to_string(),
+                (_, false) => "IMBALANCED".to_string(),
+            };
+            if !(deterministic && balanced) {
+                violations += 1;
+            }
+
+            let reg = lb_run_metrics(&out);
+            let mut row = vec![format!("{count}"), format!("{:.2}", t0 * 1e3)];
+            row.extend(counter_cells(
+                &reg,
+                &[
+                    "lb.degraded_ranks",
+                    "fault.crash_dropped",
+                    "lb.reliable.retransmitted",
+                    "sim.events_delivered",
+                ],
+            ));
+            row.push(format!("{:.2}", out.report.finish_time * 1e3));
+            row.push(format!("{lambda:.3}"));
+            row.push(format!("{clean_lambda:.3}"));
+            row.push(outcome);
+            table.push_row(row);
+        }
+    }
+
+    println!("{}", table.render());
+    (table, violations)
+}
+
+/// Parse a `--crash rank@time[+downtime]` specification.
+fn parse_crash_spec(spec: &str) -> Result<CrashEvent, String> {
+    let (rank, rest) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("expected <rank>@<time>[+<downtime>], got {spec:?}"))?;
+    let rank: usize = rank
+        .parse()
+        .map_err(|_| format!("bad rank in crash spec {spec:?}"))?;
+    let (at, downtime) = match rest.split_once('+') {
+        Some((at, down)) => (at, Some(down)),
+        None => (rest, None),
+    };
+    let at: f64 = at
+        .parse()
+        .map_err(|_| format!("bad crash time in {spec:?}"))?;
+    Ok(match downtime {
+        Some(d) => {
+            let d: f64 = d.parse().map_err(|_| format!("bad downtime in {spec:?}"))?;
+            CrashEvent::with_restart(RankId::new(rank as u32), at, d)
+        }
+        None => CrashEvent::fatal(RankId::new(rank as u32), at),
+    })
+}
+
+/// Collect `--crash` arguments into a custom crash list (empty when the
+/// flag is absent). Errors are reported as clean CLI failures.
+fn custom_crashes() -> Vec<CrashEvent> {
+    let mut crashes = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg != "--crash" {
+            continue;
+        }
+        let spec = args.next().unwrap_or_else(|| {
+            eprintln!("chaos: --crash needs a <rank>@<time>[+<downtime>] argument");
+            std::process::exit(2);
+        });
+        match parse_crash_spec(&spec) {
+            Ok(c) => crashes.push(c),
+            Err(e) => {
+                eprintln!("chaos: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    crashes
+}
+
 fn main() {
     let quick = tempered_bench::quick_mode();
     let (num_ranks, hot, tasks) = if quick { (16, 2, 25) } else { (32, 3, 40) };
@@ -153,6 +355,7 @@ fn main() {
         backoff: 1.5,
         max_retries: 30,
         stage_deadline: 30.0,
+        ..RetryConfig::default()
     };
     let tempered = LbProtocolConfig {
         trials: 2,
@@ -163,6 +366,28 @@ fn main() {
     }
     .hardened(retry);
     let grapevine = LbProtocolConfig::grapevine().hardened(retry);
+    let crash_tolerant = tempered.crash_tolerant(HealthConfig::default());
+
+    // Ad-hoc scenario from the command line: validate, run, report.
+    let custom = custom_crashes();
+    if !custom.is_empty() {
+        let plan = FaultPlan {
+            seed: 0xDEAD,
+            crashes: custom,
+            ..FaultPlan::none()
+        };
+        let out = run_with_plan(&dist, crash_tolerant, seed, plan);
+        println!(
+            "custom crash scenario: imbalance {:.3} -> {:.3}, {} migrations, \
+             {} degraded, finish {:.2} ms",
+            out.initial_imbalance,
+            out.final_imbalance,
+            out.tasks_migrated,
+            out.degraded_ranks,
+            out.report.finish_time * 1e3
+        );
+        return;
+    }
 
     eprintln!(
         "chaos sweep: {num_ranks} ranks, {} tasks, drop × straggler grid",
@@ -172,29 +397,32 @@ fn main() {
     let drops = [0.0, 0.05, 0.1, 0.2];
     let stragglers = [1.0, 4.0, 16.0];
 
-    let (t_table, t_miss) = sweep(
-        "Hardened TemperedLB",
-        tempered,
-        &dist,
-        seed,
-        &drops,
-        &stragglers,
-    );
-    write_results("chaos.csv", &t_table.to_csv());
+    // One shared grid driver for both balancer configurations.
+    let mut mismatches = 0usize;
+    for (name, cfg, csv) in [
+        ("Hardened TemperedLB", tempered, "chaos.csv"),
+        ("Hardened GrapevineLB", grapevine, "chaos_grapevine.csv"),
+    ] {
+        let (table, miss) = sweep(name, cfg, &dist, seed, &drops, &stragglers);
+        write_results(csv, &table.to_csv());
+        mismatches += miss;
+    }
 
-    let (g_table, g_miss) = sweep(
-        "Hardened GrapevineLB",
-        grapevine,
-        &dist,
-        seed,
-        &drops,
-        &stragglers,
-    );
-    write_results("chaos_grapevine.csv", &g_table.to_csv());
+    // Crash-stop grid: up to 25% of the ranks die mid-gossip.
+    let counts: Vec<usize> = [1, num_ranks / 8, num_ranks / 4]
+        .into_iter()
+        .filter(|&c| c > 0)
+        .collect();
+    let times = [1e-4, 3e-4];
+    let (crash_table, crash_violations) = crash_sweep(crash_tolerant, &dist, seed, &counts, &times);
+    write_results("chaos_crash.csv", &crash_table.to_csv());
 
     assert_eq!(
-        t_miss + g_miss,
-        0,
+        mismatches, 0,
         "a non-degraded chaotic run diverged from the fault-free assignment"
+    );
+    assert_eq!(
+        crash_violations, 0,
+        "a crash-stop run was nondeterministic or left the survivors imbalanced"
     );
 }

@@ -95,6 +95,7 @@ pub fn lb_run_metrics(out: &DistLbResult) -> MetricsRegistry {
     m.counter_add("lb.tasks_migrated", out.tasks_migrated as u64);
     m.counter_add("fault.faultable", out.report.faults.faultable);
     m.counter_add("fault.dropped", out.report.faults.dropped);
+    m.counter_add("fault.crash_dropped", out.report.faults.crash_dropped);
     m.counter_add("fault.reordered", out.report.faults.reordered);
     m.counter_add("fault.duplicated", out.report.faults.duplicated);
     m.counter_add("fault.spiked", out.report.faults.spiked);

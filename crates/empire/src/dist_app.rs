@@ -32,14 +32,30 @@
 //!   embedded balancer degrades (see [`LbRank`]) keeps its pre-LB colors
 //!   — the degraded round is effectively aborted — and records the step
 //!   in [`PicRank::degraded_lb_steps`].
+//! * **Checkpoint/recovery for crash-stop failures**: with a non-empty
+//!   [`StepCrash`] plan, every step ends with a TD-fenced *checkpoint
+//!   epoch* in which each rank ships its owned colors and resident
+//!   particles to a buddy chosen by rendezvous hashing over the live
+//!   ranks. A crash is step-aligned: the rank completes step `s−1`
+//!   (including its checkpoint) and is gone at the step-`s` boundary.
+//!   Survivors then run a *recovery epoch* before the exchange: the
+//!   corpse's buddy scatters its checkpointed colors over the survivors
+//!   (rendezvous placement), adopters re-announce ownership, colors
+//!   whose mesh home died are re-homed to a deterministic live
+//!   replacement, and the termination detector and stats tree regenerate
+//!   over the survivor set. Because the checkpoint epoch is a
+//!   termination-detected barrier at exactly the crash boundary, the
+//!   restored state is *exact* and the application finishes with the
+//!   full object set. With an empty crash plan none of this machinery
+//!   runs and the protocol is bit-identical to the crash-free build.
 
-use crate::mesh::ColorId;
+use crate::mesh::{ColorId, Mesh};
 use crate::particles::ParticleBuffer;
 use crate::scenario::{BdotScenario, CostModel};
 use rand::rngs::SmallRng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use tempered_core::ids::{RankId, TaskId};
-use tempered_core::rng::RngFactory;
+use tempered_core::rng::{derive_seed, RngFactory};
 use tempered_obs::{EventKind, Recorder};
 use tempered_runtime::collective::{LoadSummary, ReduceSlot, Tree};
 use tempered_runtime::fault::FaultPlan;
@@ -116,6 +132,31 @@ pub enum PicMsg {
         /// Final summary.
         summary: LoadSummary,
     },
+    /// End-of-step checkpoint: full object state shipped to the sender's
+    /// buddy rank (crash-tolerant runs only).
+    Checkpoint {
+        /// Checkpoint TD epoch.
+        epoch: u64,
+        /// Step the state covers (the step that just completed).
+        step: usize,
+        /// Colors owned at the end of the step (empty colors matter:
+        /// ownership must be restorable even where no particle lives).
+        colors: Vec<ColorId>,
+        /// All resident particles.
+        particles: Vec<WireParticle>,
+    },
+    /// Recovery: one of a crashed rank's checkpointed colors handed to
+    /// its new rendezvous-placed owner.
+    RestoreColor {
+        /// Recovery TD epoch.
+        epoch: u64,
+        /// The crashed rank the state came from.
+        dead: RankId,
+        /// The color being re-owned.
+        color: ColorId,
+        /// The color's checkpointed particles.
+        particles: Vec<WireParticle>,
+    },
     /// PIC-level termination detection control traffic.
     Td(TdMsg),
     /// Embedded LB protocol traffic (delivery frames *and* the LB's
@@ -136,7 +177,9 @@ impl PicMsg {
             PicMsg::Particles { epoch, .. }
             | PicMsg::OwnerUpdate { epoch, .. }
             | PicMsg::RequestParticles { epoch, .. }
-            | PicMsg::MigrateParticles { epoch, .. } => Some(*epoch),
+            | PicMsg::MigrateParticles { epoch, .. }
+            | PicMsg::Checkpoint { epoch, .. }
+            | PicMsg::RestoreColor { epoch, .. } => Some(*epoch),
             _ => None,
         }
     }
@@ -149,6 +192,10 @@ impl PicMsg {
             PicMsg::MigrateParticles { colors, .. } => {
                 16 + colors.iter().map(|(_, p)| 16 + 32 * p.len()).sum::<usize>()
             }
+            PicMsg::Checkpoint {
+                colors, particles, ..
+            } => 32 + 8 * colors.len() + 32 * particles.len(),
+            PicMsg::RestoreColor { particles, .. } => 32 + 32 * particles.len(),
             PicMsg::StatsUp { .. } | PicMsg::StatsDown { .. } => 32,
             PicMsg::Td(_) => tempered_runtime::termination::TD_MSG_BYTES,
             PicMsg::Lb { wire, .. } => wire.wire_bytes(),
@@ -169,12 +216,40 @@ pub struct DistStepStats {
     pub num_particles: usize,
 }
 
+/// A step-aligned crash-stop failure: `rank` completes step `step - 1`
+/// (including its end-of-step checkpoint) and is gone at the `step`
+/// boundary, before doing any work for `step`. A crash at step 0 kills
+/// the rank before it ever runs; its initial (empty) state is restored
+/// from the deterministic initial decomposition instead of a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepCrash {
+    /// The rank that dies.
+    pub rank: RankId,
+    /// The first step it does not participate in.
+    pub step: usize,
+}
+
+impl StepCrash {
+    /// Crash `rank` at the `step` boundary.
+    pub fn new(rank: RankId, step: usize) -> Self {
+        StepCrash { rank, step }
+    }
+}
+
+/// Rendezvous-hash domains (distinct arbitrary constants so the three
+/// placement decisions draw independent score streams).
+const HOME_TAG: u64 = 0x484F_4D45;
+const PLACE_TAG: u64 = 0x504C_4143;
+const BUDDY_TAG: u64 = 0x4255_4444;
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PicStage {
+    Recover,
     Exchange,
     Stats,
     Lb,
     Migration,
+    Checkpoint,
     Done,
 }
 
@@ -182,11 +257,25 @@ enum PicStage {
 #[derive(Debug)]
 pub struct PicRank {
     me: RankId,
-    num_ranks: usize,
     cfg: DistPicConfig,
     factory: RngFactory,
+    /// Collective tree over *live-rank indices*; with no dead ranks,
+    /// index == rank id and this is the original full tree.
     tree: Tree,
     det: TerminationDetector,
+
+    /// Step-aligned crash schedule (global config, identical on every
+    /// rank). Non-empty ⇒ the per-step checkpoint epoch runs.
+    crash_plan: Vec<StepCrash>,
+    /// Ranks that have crashed so far.
+    dead: BTreeSet<RankId>,
+    /// Sorted surviving ranks.
+    live: Vec<RankId>,
+    /// This rank has crashed (it is done but holds no state).
+    crashed: bool,
+    /// Latest checkpoint held *for* each rank that buddies with us:
+    /// `(step it covers, owned colors, resident particles)`.
+    ckpt_store: HashMap<RankId, (usize, Vec<ColorId>, Vec<WireParticle>)>,
 
     /// Particles of owned colors (single buffer; binned on demand).
     particles: ParticleBuffer,
@@ -217,6 +306,8 @@ pub struct PicRank {
     /// Steps whose embedded LB invocation ended degraded on this rank
     /// (the rank then kept its pre-LB colors).
     pub degraded_lb_steps: Vec<usize>,
+    /// Particles this rank adopted from crashed ranks' checkpoints.
+    pub particles_restored: usize,
 
     done: bool,
 
@@ -231,15 +322,20 @@ impl PicRank {
     pub fn new(me: RankId, cfg: DistPicConfig, factory: RngFactory) -> Self {
         let mesh = cfg.scenario.mesh;
         let num_ranks = mesh.num_ranks();
-        let owned: Vec<ColorId> = mesh.colors().filter(|&c| mesh.home_rank(c) == me).collect();
+        let mut owned: Vec<ColorId> = mesh.colors().filter(|&c| mesh.home_rank(c) == me).collect();
+        owned.sort_unstable();
         let owner_table: HashMap<ColorId, RankId> = owned.iter().map(|&c| (c, me)).collect();
         PicRank {
             me,
-            num_ranks,
             cfg,
             factory,
             tree: Tree::new(num_ranks, RankId::new(0)),
             det: TerminationDetector::new(me, num_ranks),
+            crash_plan: Vec::new(),
+            dead: BTreeSet::new(),
+            live: (0..num_ranks).map(RankId::from).collect(),
+            crashed: false,
+            ckpt_store: HashMap::new(),
             particles: ParticleBuffer::default(),
             owned,
             owner_table,
@@ -254,6 +350,7 @@ impl PicRank {
             stats: Vec::new(),
             colors_gained: 0,
             degraded_lb_steps: Vec::new(),
+            particles_restored: 0,
             done: false,
             rec: Recorder::disabled(),
             open_span: None,
@@ -291,7 +388,20 @@ impl PicRank {
             m.counter_add("pic.degraded_lb_steps", self.degraded_lb_steps.len() as u64);
             m.counter_add("pic.final_particles", self.particles.len() as u64);
             m.counter_add("pic.lb_invocations", self.lb_gen);
+            m.counter_add("pic.particles_restored", self.particles_restored as u64);
         });
+    }
+
+    /// Install the step-aligned crash schedule. A non-empty plan turns
+    /// on the per-step checkpoint epoch; an empty plan leaves the
+    /// protocol bit-identical to a build without this machinery.
+    pub fn set_crash_plan(&mut self, crashes: &[StepCrash]) {
+        self.crash_plan = crashes.to_vec();
+    }
+
+    /// Whether this rank crashed during the run.
+    pub fn crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Colors currently owned by this rank.
@@ -304,12 +414,95 @@ impl PicRank {
         self.particles.len()
     }
 
+    fn ckpt_enabled(&self) -> bool {
+        !self.crash_plan.is_empty()
+    }
+
+    // Epoch numbering: without checkpoints each step has the original
+    // two epochs (exchange, migration); with them a step has four slots
+    // (recover, exchange, migration, checkpoint). The enablement flag is
+    // a run-wide constant, so every rank agrees on the numbering.
+
+    fn recover_epoch(&self) -> u64 {
+        debug_assert!(self.ckpt_enabled());
+        4 * self.step as u64 + 1
+    }
+
     fn exchange_epoch(&self) -> u64 {
-        2 * self.step as u64 + 1
+        if self.ckpt_enabled() {
+            4 * self.step as u64 + 2
+        } else {
+            2 * self.step as u64 + 1
+        }
     }
 
     fn migration_epoch(&self) -> u64 {
-        2 * self.step as u64 + 2
+        if self.ckpt_enabled() {
+            4 * self.step as u64 + 3
+        } else {
+            2 * self.step as u64 + 2
+        }
+    }
+
+    fn checkpoint_epoch(&self) -> u64 {
+        debug_assert!(self.ckpt_enabled());
+        4 * self.step as u64 + 4
+    }
+
+    // ---- membership and placement -----------------------------------------
+
+    /// Highest-scoring rank of `live` for `key` in the hash domain `tag`.
+    fn rendezvous_among(tag: u64, key: u64, live: &[RankId]) -> RankId {
+        *live
+            .iter()
+            .max_by_key(|r| derive_seed(tag, &[key, r.as_u32() as u64]))
+            .expect("placement needs at least one live rank")
+    }
+
+    /// The rank acting as `color`'s location manager under the live set
+    /// `live`: its static mesh home while that rank is alive, else a
+    /// deterministic rendezvous-hashed replacement. Stable in the sense
+    /// that it only moves when the current holder dies.
+    fn home_among(mesh: &Mesh, live: &[RankId], color: ColorId) -> RankId {
+        let home = mesh.home_rank(color);
+        if live.contains(&home) {
+            return home;
+        }
+        Self::rendezvous_among(HOME_TAG, color.0, live)
+    }
+
+    fn effective_home(&self, color: ColorId) -> RankId {
+        Self::home_among(&self.cfg.scenario.mesh, &self.live, color)
+    }
+
+    /// `owner`'s checkpoint buddy under the live set `live`.
+    fn buddy_among(live: &[RankId], owner: RankId) -> RankId {
+        let others: Vec<RankId> = live.iter().copied().filter(|&r| r != owner).collect();
+        Self::rendezvous_among(BUDDY_TAG, owner.as_u32() as u64, &others)
+    }
+
+    /// This rank's index in the sorted live set (the collective tree's
+    /// rank domain). Identity when nobody has died.
+    fn live_index(&self) -> RankId {
+        let idx = self
+            .live
+            .binary_search(&self.me)
+            .expect("a crashed rank takes no further part in collectives");
+        RankId::from(idx)
+    }
+
+    fn coll_parent(&self) -> Option<RankId> {
+        self.tree
+            .parent(self.live_index())
+            .map(|p| self.live[p.as_usize()])
+    }
+
+    fn coll_children(&self) -> Vec<RankId> {
+        self.tree
+            .children(self.live_index())
+            .into_iter()
+            .map(|c| self.live[c.as_usize()])
+            .collect()
     }
 
     fn stats_slot(&self) -> u32 {
@@ -358,6 +551,214 @@ impl PicRank {
     // ---- step machinery ------------------------------------------------------
 
     fn begin_step(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
+        let deaths: Vec<RankId> = self
+            .crash_plan
+            .iter()
+            .filter(|c| c.step == self.step)
+            .map(|c| c.rank)
+            .collect();
+        if deaths.is_empty() {
+            self.enter_exchange(ctx);
+            return;
+        }
+        if deaths.contains(&self.me) {
+            self.crash(ctx);
+            return;
+        }
+        // Checkpoint holders were chosen against the live set the
+        // checkpoints were written under — before this step's deaths.
+        let holders: Vec<(RankId, RankId)> = deaths
+            .iter()
+            .map(|&d| (d, Self::buddy_among(&self.live, d)))
+            .collect();
+        let old_live = self.live.clone();
+        for &d in &deaths {
+            let fresh = self.dead.insert(d);
+            debug_assert!(fresh, "a rank can only crash once");
+        }
+        self.live.retain(|r| !self.dead.contains(r));
+        self.tree = Tree::new(self.live.len(), RankId::new(0));
+        self.enter_recover(ctx, &deaths, &holders, &old_live);
+    }
+
+    /// Crash-stop: this rank is gone. It stays `done` so the executor
+    /// can finish, but holds no state and ignores all further traffic.
+    fn crash(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
+        self.span_close(ctx.now());
+        self.crashed = true;
+        self.done = true;
+        self.stage = PicStage::Done;
+        self.particles = ParticleBuffer::default();
+        self.owned.clear();
+        self.owner_table.clear();
+        self.ckpt_store.clear();
+    }
+
+    /// Survivor-side recovery at a crash boundary, run as its own
+    /// TD-fenced epoch so every restore and re-homing message lands
+    /// before the step's exchange starts.
+    fn enter_recover(
+        &mut self,
+        ctx: &mut Ctx<'_, PicMsg>,
+        deaths: &[RankId],
+        holders: &[(RankId, RankId)],
+        old_live: &[RankId],
+    ) {
+        self.stage = PicStage::Recover;
+        let step = self.step as u64;
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                self.me.as_u32(),
+                ctx.now(),
+                EventKind::ViewChange {
+                    generation: self.dead.len() as u32,
+                    dead: self.dead.len() as u32,
+                },
+            );
+        }
+        self.span_open(
+            ctx.now(),
+            EventKind::AppPhase {
+                phase: "recover",
+                step,
+            },
+        );
+        let epoch = self.recover_epoch();
+        self.det.start_epoch(epoch);
+        let mesh = self.cfg.scenario.mesh;
+
+        // Re-announce owned colors whose location manager died: the
+        // replacement home starts with an empty table and must learn the
+        // current owner of every color it now manages.
+        for c in self.owned.clone() {
+            let old_home = Self::home_among(&mesh, old_live, c);
+            let new_home = Self::home_among(&mesh, &self.live, c);
+            if old_home == new_home {
+                continue;
+            }
+            if new_home == self.me {
+                self.owner_table.insert(c, self.me);
+            } else {
+                self.send_basic(
+                    ctx,
+                    new_home,
+                    PicMsg::OwnerUpdate {
+                        epoch,
+                        color: c,
+                        owner: self.me,
+                    },
+                );
+            }
+        }
+
+        // Scatter each corpse's checkpointed state over the survivors.
+        for &(d, holder) in holders {
+            assert!(
+                !deaths.contains(&holder),
+                "rank {d:?} and its checkpoint buddy {holder:?} died at the same step; \
+                 R=1 replication cannot recover the lost objects"
+            );
+            if holder != self.me {
+                continue;
+            }
+            let (colors, particles) = match self.ckpt_store.remove(&d) {
+                Some((ck_step, colors, particles)) => {
+                    debug_assert_eq!(
+                        ck_step + 1,
+                        self.step,
+                        "the buddy must hold the crash-boundary checkpoint"
+                    );
+                    (colors, particles)
+                }
+                None => {
+                    // Dead before its first checkpoint: restore the
+                    // deterministic initial decomposition (no particles
+                    // exist before step 0 runs).
+                    assert_eq!(self.step, 0, "missing checkpoint for rank {d:?}");
+                    let colors = mesh.colors().filter(|&c| mesh.home_rank(c) == d).collect();
+                    (colors, Vec::new())
+                }
+            };
+            let mut by_color: HashMap<ColorId, Vec<WireParticle>> =
+                colors.iter().map(|&c| (c, Vec::new())).collect();
+            for p in particles {
+                by_color
+                    .get_mut(&mesh.color_at(p[0], p[1]))
+                    .expect("checkpointed particles live in checkpointed colors")
+                    .push(p);
+            }
+            let mut batches: Vec<(ColorId, Vec<WireParticle>)> = by_color.into_iter().collect();
+            batches.sort_by_key(|(c, _)| *c);
+            for (color, particles) in batches {
+                let owner = Self::rendezvous_among(PLACE_TAG, color.0, &self.live);
+                if owner == self.me {
+                    self.adopt_color(ctx, d, color, particles);
+                } else {
+                    self.send_basic(
+                        ctx,
+                        owner,
+                        PicMsg::RestoreColor {
+                            epoch,
+                            dead: d,
+                            color,
+                            particles,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Regenerate the termination wave over the survivor set; the new
+        // coordinator re-kicks the epoch we just started.
+        let out = self.det.set_dead(&self.dead);
+        self.emit_td(ctx, out);
+        self.replay_buffered(ctx);
+    }
+
+    /// Take over one of a crashed rank's colors (with its checkpointed
+    /// particles) and tell the color's location manager.
+    fn adopt_color(
+        &mut self,
+        ctx: &mut Ctx<'_, PicMsg>,
+        dead: RankId,
+        color: ColorId,
+        particles: Vec<WireParticle>,
+    ) {
+        debug_assert!(!self.owns(color));
+        self.owned.push(color);
+        self.owned.sort_unstable();
+        self.particles_restored += particles.len();
+        if self.rec.is_enabled() {
+            self.rec.instant(
+                self.me.as_u32(),
+                ctx.now(),
+                EventKind::CheckpointRestored {
+                    from: dead.as_u32(),
+                    objects: particles.len() as u64,
+                },
+            );
+        }
+        for p in particles {
+            self.particles.push(p[0], p[1], p[2], p[3]);
+        }
+        let home = self.effective_home(color);
+        if home == self.me {
+            self.owner_table.insert(color, self.me);
+        } else {
+            let epoch = self.det.epoch();
+            self.send_basic(
+                ctx,
+                home,
+                PicMsg::OwnerUpdate {
+                    epoch,
+                    color,
+                    owner: self.me,
+                },
+            );
+        }
+    }
+
+    fn enter_exchange(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.stage = PicStage::Exchange;
         if self.rec.is_enabled() {
             let step = self.step as u64;
@@ -426,7 +827,7 @@ impl PicRank {
         let mut msgs: Vec<(ColorId, Vec<WireParticle>)> = outgoing.into_iter().collect();
         msgs.sort_by_key(|(c, _)| *c); // deterministic send order
         for (color, particles) in msgs {
-            let home = mesh.home_rank(color);
+            let home = self.effective_home(color);
             let target = if home == self.me {
                 // We are the home: forward straight to the current owner.
                 *self
@@ -466,7 +867,7 @@ impl PicRank {
             return;
         }
         // We must be the color's home, acting as its location manager.
-        debug_assert_eq!(self.cfg.scenario.mesh.home_rank(color), self.me);
+        debug_assert_eq!(self.effective_home(color), self.me);
         let owner = *self
             .owner_table
             .get(&color)
@@ -486,12 +887,20 @@ impl PicRank {
 
     fn on_epoch_terminated(&mut self, ctx: &mut Ctx<'_, PicMsg>, epoch: u64) {
         match self.stage {
+            PicStage::Recover => {
+                debug_assert_eq!(epoch, self.recover_epoch());
+                self.enter_exchange(ctx);
+            }
             PicStage::Exchange => {
                 debug_assert_eq!(epoch, self.exchange_epoch());
                 self.enter_stats(ctx);
             }
             PicStage::Migration => {
                 debug_assert_eq!(epoch, self.migration_epoch());
+                self.finish_step(ctx);
+            }
+            PicStage::Checkpoint => {
+                debug_assert_eq!(epoch, self.checkpoint_epoch());
                 self.advance_step(ctx);
             }
             s => panic!("unexpected epoch {epoch} termination in stage {s:?}"),
@@ -515,14 +924,14 @@ impl PicRank {
     }
 
     fn slot_mut(&mut self, slot: u32) -> &mut ReduceSlot {
-        let children = self.tree.children(self.me).len();
+        let children = self.coll_children().len();
         self.slots
             .entry(slot)
             .or_insert_with(|| ReduceSlot::new(children))
     }
 
     fn stats_complete(&mut self, ctx: &mut Ctx<'_, PicMsg>, slot: u32, summary: LoadSummary) {
-        match self.tree.parent(self.me) {
+        match self.coll_parent() {
             Some(parent) => self.send_ctrl(ctx, parent, PicMsg::StatsUp { slot, summary }),
             None => {
                 self.stats_broadcast(ctx, slot, summary);
@@ -532,7 +941,7 @@ impl PicRank {
     }
 
     fn stats_broadcast(&mut self, ctx: &mut Ctx<'_, PicMsg>, slot: u32, summary: LoadSummary) {
-        for child in self.tree.children(self.me) {
+        for child in self.coll_children() {
             self.send_ctrl(ctx, child, PicMsg::StatsDown { slot, summary });
         }
     }
@@ -551,8 +960,72 @@ impl PicRank {
             self.enter_lb(ctx);
         } else {
             // No migration epoch this step: skip straight on.
+            self.finish_step(ctx);
+        }
+    }
+
+    /// Step epilogue: checkpoint when crash tolerance is on, otherwise
+    /// advance immediately (the original behavior, byte for byte).
+    fn finish_step(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
+        if self.ckpt_enabled() {
+            self.enter_checkpoint(ctx);
+        } else {
             self.advance_step(ctx);
         }
+    }
+
+    /// Ship this rank's full object state to its buddy inside a
+    /// TD-fenced epoch, so the checkpoint is durably delivered before
+    /// any crash at the upcoming step boundary can need it.
+    fn enter_checkpoint(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
+        self.stage = PicStage::Checkpoint;
+        let step = self.step;
+        self.span_open(
+            ctx.now(),
+            EventKind::AppPhase {
+                phase: "checkpoint",
+                step: step as u64,
+            },
+        );
+        let epoch = self.checkpoint_epoch();
+        self.det.start_epoch(epoch);
+        if self.live.len() > 1 {
+            let buddy = Self::buddy_among(&self.live, self.me);
+            let colors = self.owned.clone();
+            let particles: Vec<WireParticle> = (0..self.particles.len())
+                .map(|i| {
+                    [
+                        self.particles.x[i],
+                        self.particles.y[i],
+                        self.particles.vx[i],
+                        self.particles.vy[i],
+                    ]
+                })
+                .collect();
+            if self.rec.is_enabled() {
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::CheckpointSaved {
+                        step: step as u64,
+                        objects: particles.len() as u64,
+                    },
+                );
+            }
+            self.send_basic(
+                ctx,
+                buddy,
+                PicMsg::Checkpoint {
+                    epoch,
+                    step,
+                    colors,
+                    particles,
+                },
+            );
+        }
+        let kick = self.det.kick();
+        self.emit_td(ctx, kick);
+        self.replay_buffered(ctx);
     }
 
     // ---- embedded LB -----------------------------------------------------------
@@ -583,11 +1056,13 @@ impl PicRank {
 
         // Namespace the LB randomness by the step so repeated invocations
         // decorrelate.
-        let sub = RngFactory::new(tempered_core::rng::derive_seed(
+        let sub = RngFactory::new(derive_seed(
             self.factory.master(),
             &[0x00D1_571B, self.step as u64],
         ));
-        let mut lb = LbRank::new(self.me, self.num_ranks, tasks, self.cfg.lb, sub);
+        // The balancer runs over the *survivors*, addressed by live
+        // index; with nobody dead this is the identity mapping.
+        let mut lb = LbRank::new(self.live_index(), self.live.len(), tasks, self.cfg.lb, sub);
         lb.set_recorder(self.rec.clone());
         self.pump_lb(ctx, |lb, lb_ctx| lb.on_start(lb_ctx), &mut lb);
         self.lb = Some(lb);
@@ -608,13 +1083,14 @@ impl PicRank {
         let mut outbox: Vec<(RankId, LbWire, usize)> = Vec::new();
         let timers;
         {
-            let mut lb_ctx = Ctx::detached(self.me, ctx.now(), &mut outbox);
+            let mut lb_ctx = Ctx::detached(self.live_index(), ctx.now(), &mut outbox);
             f(lb, &mut lb_ctx);
             timers = lb_ctx.take_timers();
         }
         let gen = self.lb_gen;
         for (to, wire, bytes) in outbox {
-            ctx.send(to, PicMsg::Lb { gen, wire }, bytes);
+            // LB targets are live indices; translate to real rank ids.
+            ctx.send(self.live[to.as_usize()], PicMsg::Lb { gen, wire }, bytes);
         }
         for (delay, wire) in timers {
             ctx.schedule(delay, PicMsg::Lb { gen, wire });
@@ -622,8 +1098,17 @@ impl PicRank {
     }
 
     fn on_lb_msg(&mut self, ctx: &mut Ctx<'_, PicMsg>, from: RankId, wire: LbWire) {
+        let lb_from = RankId::from(
+            self.live
+                .binary_search(&from)
+                .expect("LB traffic only flows among live ranks"),
+        );
         let mut lb = self.lb.take().expect("LB messages only while LB exists");
-        self.pump_lb(ctx, |lb, lb_ctx| lb.on_message(lb_ctx, from, wire), &mut lb);
+        self.pump_lb(
+            ctx,
+            |lb, lb_ctx| lb.on_message(lb_ctx, lb_from, wire),
+            &mut lb,
+        );
         self.lb = Some(lb);
         self.check_lb_done(ctx);
     }
@@ -656,7 +1141,6 @@ impl PicRank {
         );
         let epoch = self.migration_epoch();
         self.det.start_epoch(epoch);
-        let mesh = self.cfg.scenario.mesh;
 
         // The committed assignment: this rank's final task set.
         let final_tasks = self
@@ -665,18 +1149,21 @@ impl PicRank {
             .expect("LB just finished")
             .final_tasks()
             .to_vec();
-        let new_owned: Vec<ColorId> = final_tasks
+        let mut new_owned: Vec<ColorId> = final_tasks
             .iter()
             .map(|t| ColorId::from_task(t.id))
             .collect();
+        new_owned.sort_unstable();
 
         // Request payloads for gained colors from their previous owners,
         // and tell each gained color's mesh home about the new owner.
+        // Task homes are in the balancer's live-index space.
+        let my_lb = self.live_index();
         let mut by_prev: HashMap<RankId, Vec<ColorId>> = HashMap::new();
         for t in &final_tasks {
-            if t.home != self.me {
+            if t.home != my_lb {
                 by_prev
-                    .entry(t.home)
+                    .entry(self.live[t.home.as_usize()])
                     .or_default()
                     .push(ColorId::from_task(t.id));
             }
@@ -686,7 +1173,7 @@ impl PicRank {
         for (prev, colors) in requests {
             self.colors_gained += colors.len();
             for &c in &colors {
-                let home = mesh.home_rank(c);
+                let home = self.effective_home(c);
                 if home == self.me {
                     self.owner_table.insert(c, self.me);
                 } else {
@@ -827,7 +1314,7 @@ impl PicRank {
             } => {
                 debug_assert_eq!(epoch, self.det.epoch());
                 self.det.on_basic_recv();
-                debug_assert_eq!(self.cfg.scenario.mesh.home_rank(color), self.me);
+                debug_assert_eq!(self.effective_home(color), self.me);
                 self.owner_table.insert(color, owner);
             }
             PicMsg::RequestParticles { epoch, colors } => {
@@ -837,6 +1324,26 @@ impl PicRank {
             PicMsg::MigrateParticles { epoch, colors } => {
                 debug_assert_eq!(epoch, self.det.epoch());
                 self.on_migrate_particles(colors);
+            }
+            PicMsg::Checkpoint {
+                epoch,
+                step,
+                colors,
+                particles,
+            } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.det.on_basic_recv();
+                self.ckpt_store.insert(from, (step, colors, particles));
+            }
+            PicMsg::RestoreColor {
+                epoch,
+                dead,
+                color,
+                particles,
+            } => {
+                debug_assert_eq!(epoch, self.det.epoch());
+                self.det.on_basic_recv();
+                self.adopt_color(ctx, dead, color, particles);
             }
             PicMsg::StatsUp { slot, summary } => {
                 if let Some(done) = self.slot_mut(slot).on_child(from, summary) {
@@ -880,6 +1387,9 @@ impl Protocol for PicRank {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, PicMsg>, from: RankId, msg: PicMsg) {
+        if self.crashed {
+            return;
+        }
         if self.should_buffer(&msg) {
             self.buffered.push((from, msg));
             return;
@@ -905,8 +1415,12 @@ pub struct DistPicResult {
     pub degraded_lb_rounds: usize,
     /// Executor report.
     pub report: SimReport,
-    /// Final per-rank particle counts.
+    /// Final per-rank particle counts (zero for crashed ranks).
     pub final_particles: Vec<usize>,
+    /// Ranks that crashed during the run.
+    pub crashed_ranks: Vec<RankId>,
+    /// Particles recovered from crashed ranks' checkpoints.
+    pub particles_restored: usize,
 }
 
 /// Run the distributed PIC application end to end on the event-driven
@@ -942,11 +1456,63 @@ pub fn run_distributed_pic_traced(
     plan: FaultPlan,
     recorder: Recorder,
 ) -> DistPicResult {
+    run_distributed_pic_crash_traced(cfg, model, seed, plan, &[], recorder)
+}
+
+/// Run the distributed PIC application with step-aligned crash-stop
+/// failures. Every step ends with a checkpoint epoch (full object state
+/// to a rendezvous-hashed buddy); at each crash boundary the survivors
+/// restore the corpse's objects from its latest checkpoint and the run
+/// completes with the *full* particle population on the survivor set.
+/// An empty `crashes` slice is bit-identical to
+/// [`run_distributed_pic_with_faults`].
+pub fn run_distributed_pic_with_crashes(
+    cfg: DistPicConfig,
+    model: NetworkModel,
+    seed: u64,
+    crashes: &[StepCrash],
+) -> DistPicResult {
+    run_distributed_pic_crash_traced(
+        cfg,
+        model,
+        seed,
+        FaultPlan::none(),
+        crashes,
+        Recorder::disabled(),
+    )
+}
+
+/// The fully general entry point: network faults, step-aligned crashes,
+/// and tracing together.
+pub fn run_distributed_pic_crash_traced(
+    cfg: DistPicConfig,
+    model: NetworkModel,
+    seed: u64,
+    plan: FaultPlan,
+    crashes: &[StepCrash],
+    recorder: Recorder,
+) -> DistPicResult {
+    let num_ranks = cfg.scenario.mesh.num_ranks();
+    let mut crashing = BTreeSet::new();
+    for c in crashes {
+        assert!(
+            c.rank.as_usize() < num_ranks,
+            "crash plan names rank {:?} but the mesh has {num_ranks} ranks",
+            c.rank
+        );
+        assert!(crashing.insert(c.rank), "rank {:?} crashes twice", c.rank);
+    }
+    assert!(
+        crashing.len() < num_ranks,
+        "at least one rank must survive the crash plan"
+    );
+
     let factory = RngFactory::new(seed);
-    let ranks: Vec<PicRank> = (0..cfg.scenario.mesh.num_ranks())
+    let ranks: Vec<PicRank> = (0..num_ranks)
         .map(|r| {
             let mut rank = PicRank::new(RankId::from(r), cfg, factory);
             rank.set_recorder(recorder.clone());
+            rank.set_crash_plan(crashes);
             rank
         })
         .collect();
@@ -962,11 +1528,17 @@ pub fn run_distributed_pic_traced(
         .collect();
     degraded_steps.sort_unstable();
     degraded_steps.dedup();
+    let reporter = ranks
+        .iter()
+        .find(|r| !r.crashed())
+        .expect("at least one rank survives");
     DistPicResult {
-        stats: ranks[0].stats.clone(),
+        stats: reporter.stats.clone(),
         colors_migrated: ranks.iter().map(|r| r.colors_gained).sum(),
         degraded_lb_rounds: degraded_steps.len(),
         final_particles: ranks.iter().map(|r| r.num_particles()).collect(),
+        crashed_ranks: ranks.iter().filter(|r| r.crashed()).map(|r| r.me).collect(),
+        particles_restored: ranks.iter().map(|r| r.particles_restored).sum(),
         report,
     }
 }
@@ -1122,6 +1694,123 @@ mod tests {
         }
         let total: usize = out.final_particles.iter().sum();
         assert_eq!(total, global.num_particles());
+    }
+
+    /// Total particles alive in the global (single-process) simulation
+    /// after `steps` steps — the ground truth for conservation checks.
+    fn global_population(cfg: &DistPicConfig, seed: u64, steps: usize) -> usize {
+        let mut global = EmpireSim::new(cfg.scenario, cfg.cost, seed);
+        for _ in 0..steps {
+            global.step();
+        }
+        global.num_particles()
+    }
+
+    #[test]
+    fn crashed_rank_objects_are_restored_and_conserved() {
+        let steps = 16;
+        let cfg = small_cfg(steps, 4);
+        let crashes = [StepCrash::new(RankId::new(3), 6)];
+        let out = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 7, &crashes);
+
+        assert_eq!(out.stats.len(), steps);
+        assert_eq!(out.crashed_ranks, vec![RankId::new(3)]);
+        assert_eq!(out.final_particles[3], 0, "corpses hold nothing");
+        assert!(out.particles_restored > 0, "the crash boundary had objects");
+
+        // Nothing is lost: the survivor set carries the full population,
+        // and the per-step global particle counts match the crash-free
+        // single-process simulation exactly (replicated injection plus
+        // exact checkpoint restore).
+        let total: usize = out.final_particles.iter().sum();
+        assert_eq!(total, global_population(&cfg, 7, steps));
+        let mut global = EmpireSim::new(cfg.scenario, cfg.cost, 7);
+        for s in 0..steps {
+            let phase = global.step();
+            assert_eq!(
+                out.stats[s].num_particles, phase.num_particles,
+                "step {s}: particle counts diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_is_survivable() {
+        // Rank 0 coordinates the termination detector and roots the
+        // stats tree; killing it exercises both regenerations.
+        let steps = 14;
+        let cfg = small_cfg(steps, 4);
+        let crashes = [StepCrash::new(RankId::new(0), 5)];
+        let out = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 11, &crashes);
+        assert_eq!(out.stats.len(), steps);
+        assert_eq!(out.final_particles[0], 0);
+        let total: usize = out.final_particles.iter().sum();
+        assert_eq!(total, global_population(&cfg, 11, steps));
+    }
+
+    #[test]
+    fn staggered_crashes_with_lb_in_between() {
+        // Two boundaries, 12.5% of ranks dead, an LB pass at step 4 and
+        // another at step 10 between/after the deaths: ownership chains
+        // (LB handoff, recovery placement, home remapping) must compose.
+        let steps = 14;
+        let cfg = small_cfg(steps, 4);
+        let crashes = [
+            StepCrash::new(RankId::new(5), 3),
+            StepCrash::new(RankId::new(9), 8),
+        ];
+        let out = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 13, &crashes);
+        assert_eq!(out.crashed_ranks.len(), 2);
+        assert_eq!(out.final_particles[5], 0);
+        assert_eq!(out.final_particles[9], 0);
+        let total: usize = out.final_particles.iter().sum();
+        assert_eq!(total, global_population(&cfg, 13, steps));
+        assert!(out.colors_migrated > 0, "LB still moves work");
+    }
+
+    #[test]
+    fn crash_recovery_is_deterministic() {
+        let cfg = small_cfg(12, 4);
+        let crashes = [StepCrash::new(RankId::new(2), 6)];
+        let a = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 23, &crashes);
+        let b = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 23, &crashes);
+        assert_eq!(a.report.events_delivered, b.report.events_delivered);
+        assert_eq!(a.final_particles, b.final_particles);
+        assert_eq!(a.particles_restored, b.particles_restored);
+        for (x, y) in a.stats.iter().zip(b.stats.iter()) {
+            assert_eq!(x.imbalance.to_bits(), y.imbalance.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_crash_plan_is_bit_identical_to_the_plain_run() {
+        let cfg = small_cfg(12, 4);
+        let plain = run_distributed_pic(cfg, NetworkModel::default(), 17);
+        let tolerant = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 17, &[]);
+        assert_eq!(
+            plain.report.events_delivered,
+            tolerant.report.events_delivered
+        );
+        assert_eq!(plain.final_particles, tolerant.final_particles);
+        for (x, y) in plain.stats.iter().zip(tolerant.stats.iter()) {
+            assert_eq!(x.imbalance.to_bits(), y.imbalance.to_bits());
+        }
+        assert!(tolerant.crashed_ranks.is_empty());
+        assert_eq!(tolerant.particles_restored, 0);
+    }
+
+    #[test]
+    fn crash_at_step_zero_restores_the_initial_decomposition() {
+        // The rank dies before ever running; its (empty) initial colors
+        // are re-owned from the deterministic initial decomposition and
+        // injection into them continues on the survivors.
+        let steps = 10;
+        let cfg = small_cfg(steps, 4);
+        let crashes = [StepCrash::new(RankId::new(7), 0)];
+        let out = run_distributed_pic_with_crashes(cfg, NetworkModel::default(), 29, &crashes);
+        assert_eq!(out.final_particles[7], 0);
+        let total: usize = out.final_particles.iter().sum();
+        assert_eq!(total, global_population(&cfg, 29, steps));
     }
 
     #[test]

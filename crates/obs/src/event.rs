@@ -97,6 +97,33 @@ pub enum EventKind {
         /// Number of tasks received.
         tasks: u64,
     },
+    /// The heartbeat failure detector declared a peer crashed.
+    Suspected {
+        /// The rank now considered dead.
+        rank: u32,
+    },
+    /// This rank adopted a new membership view and restarted its protocol
+    /// on the surviving ranks.
+    ViewChange {
+        /// Generation of the new view (== number of dead ranks).
+        generation: u32,
+        /// Size of the dead set in the new view.
+        dead: u32,
+    },
+    /// End-of-step object checkpoint shipped to a buddy rank.
+    CheckpointSaved {
+        /// Application step the checkpoint covers.
+        step: u64,
+        /// Objects captured in the checkpoint.
+        objects: u64,
+    },
+    /// Objects of a crashed rank restored from its latest checkpoint.
+    CheckpointRestored {
+        /// The crashed rank whose objects were recovered.
+        from: u32,
+        /// Objects brought back.
+        objects: u64,
+    },
     /// Free-form marker for ad-hoc instrumentation.
     Marker(&'static str),
 }
@@ -114,6 +141,10 @@ impl EventKind {
             EventKind::Fault { .. } => "fault",
             EventKind::PhaseBoundary { .. } | EventKind::AppPhase { .. } => "app",
             EventKind::Migration { .. } => "migration",
+            EventKind::Suspected { .. } | EventKind::ViewChange { .. } => "membership",
+            EventKind::CheckpointSaved { .. } | EventKind::CheckpointRestored { .. } => {
+                "checkpoint"
+            }
             EventKind::Marker(_) => "marker",
         }
     }
@@ -132,6 +163,10 @@ impl EventKind {
             EventKind::PhaseBoundary { step } => format!("step:{step}"),
             EventKind::AppPhase { phase, .. } => format!("app:{phase}"),
             EventKind::Migration { .. } => "migration".to_string(),
+            EventKind::Suspected { rank } => format!("suspected:{rank}"),
+            EventKind::ViewChange { generation, .. } => format!("view_change:{generation}"),
+            EventKind::CheckpointSaved { step, .. } => format!("checkpoint_saved:{step}"),
+            EventKind::CheckpointRestored { from, .. } => format!("checkpoint_restored:{from}"),
             EventKind::Marker(name) => (*name).to_string(),
         }
     }
@@ -163,6 +198,17 @@ impl EventKind {
             EventKind::PhaseBoundary { step } => vec![("step", step.to_string())],
             EventKind::AppPhase { step, .. } => vec![("step", step.to_string())],
             EventKind::Migration { tasks } => vec![("tasks", tasks.to_string())],
+            EventKind::Suspected { rank } => vec![("rank", rank.to_string())],
+            EventKind::ViewChange { generation, dead } => vec![
+                ("generation", generation.to_string()),
+                ("dead", dead.to_string()),
+            ],
+            EventKind::CheckpointSaved { step, objects } => {
+                vec![("step", step.to_string()), ("objects", objects.to_string())]
+            }
+            EventKind::CheckpointRestored { from, objects } => {
+                vec![("from", from.to_string()), ("objects", objects.to_string())]
+            }
             EventKind::Marker(_) => vec![],
         }
     }

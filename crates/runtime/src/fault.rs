@@ -41,6 +41,102 @@ pub struct PauseWindow {
     pub until: f64,
 }
 
+/// A crash-stop failure: `rank` dies at time `at` (seconds — virtual in
+/// the simulator, wall-clock from run start in the threaded executor).
+/// Every message addressed to the rank from then on is discarded, its
+/// timers never fire, and the executors treat it as finished.
+///
+/// With `restart_after = Some(d)` the rank comes back at `at + d` and
+/// deliveries resume. The executors model a *warm* restart — the rank's
+/// in-memory protocol state survives, so a restart before the failure
+/// detector fires looks like a blackout the reliable layer can mask.
+/// State-loss recovery is the application layer's job (see the
+/// checkpoint/restore machinery in `tempered-empire`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// The crashing rank.
+    pub rank: RankId,
+    /// Crash time (seconds, inclusive: deliveries at `at` are dropped).
+    pub at: f64,
+    /// Downtime before a warm restart; `None` means the rank stays dead.
+    pub restart_after: Option<f64>,
+}
+
+impl CrashEvent {
+    /// A rank that dies at `at` and never comes back.
+    pub fn fatal(rank: RankId, at: f64) -> Self {
+        CrashEvent {
+            rank,
+            at,
+            restart_after: None,
+        }
+    }
+
+    /// A rank that dies at `at` and warm-restarts `downtime` seconds
+    /// later with its in-memory state intact (deliveries during the
+    /// outage are lost for good).
+    pub fn with_restart(rank: RankId, at: f64, downtime: f64) -> Self {
+        CrashEvent {
+            rank,
+            at,
+            restart_after: Some(downtime),
+        }
+    }
+}
+
+/// An invalid [`FaultPlan`] parameter, reported by [`FaultPlan::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A per-message probability lies outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Field name (`"drop"`, `"duplicate"`, ...).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A straggler latency factor is below 1.
+    StragglerBelowOne {
+        /// The rank the factor applies to.
+        rank: RankId,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A pause window is inverted or starts before time zero.
+    MalformedPause(PauseWindow),
+    /// A crash event has a negative time or negative restart delay.
+    MalformedCrash(CrashEvent),
+    /// Two crash events name the same rank.
+    DuplicateCrash(RankId),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "FaultPlan.{field} must be a probability, got {value}")
+            }
+            FaultPlanError::StragglerBelowOne { rank, factor } => {
+                write!(f, "straggler factor for {rank} must be >= 1, got {factor}")
+            }
+            FaultPlanError::MalformedPause(w) => write!(
+                f,
+                "pause window for {} is malformed: [{}, {})",
+                w.rank, w.from, w.until
+            ),
+            FaultPlanError::MalformedCrash(c) => write!(
+                f,
+                "crash of {} is malformed: at {}, restart_after {:?}",
+                c.rank, c.at, c.restart_after
+            ),
+            FaultPlanError::DuplicateCrash(r) => {
+                write!(f, "rank {r} appears in more than one crash event")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// Declarative description of the faults to inject into a run.
 ///
 /// All probabilities are per *faultable* message (see
@@ -71,6 +167,8 @@ pub struct FaultPlan {
     pub stragglers: Vec<(RankId, f64)>,
     /// Transient per-rank outage windows.
     pub pauses: Vec<PauseWindow>,
+    /// Crash-stop failures (at most one per rank).
+    pub crashes: Vec<CrashEvent>,
 }
 
 impl FaultPlan {
@@ -86,6 +184,7 @@ impl FaultPlan {
             reorder_factor: 1.0,
             stragglers: Vec::new(),
             pauses: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 
@@ -99,32 +198,49 @@ impl FaultPlan {
             && self.reorder == 0.0
             && self.stragglers.iter().all(|&(_, f)| f <= 1.0)
             && self.pauses.is_empty()
+            && self.crashes.is_empty()
     }
 
-    /// Panic on out-of-range parameters; called once by the executors.
-    pub fn validate(&self) {
-        for (name, p) in [
+    /// Check every parameter, reporting the first offender.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (field, value) in [
             ("drop", self.drop),
             ("duplicate", self.duplicate),
             ("delay_spike", self.delay_spike),
             ("reorder", self.reorder),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&p),
-                "FaultPlan.{name} must be a probability, got {p}"
-            );
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultPlanError::ProbabilityOutOfRange { field, value });
+            }
         }
-        for &(r, f) in &self.stragglers {
-            assert!(f >= 1.0, "straggler factor for {r} must be >= 1, got {f}");
+        for &(rank, factor) in &self.stragglers {
+            if factor < 1.0 {
+                return Err(FaultPlanError::StragglerBelowOne { rank, factor });
+            }
         }
-        for w in &self.pauses {
-            assert!(
-                w.until >= w.from && w.from >= 0.0,
-                "pause window for {} is malformed: [{}, {})",
-                w.rank,
-                w.from,
-                w.until
-            );
+        for &w in &self.pauses {
+            if w.until < w.from || w.from < 0.0 {
+                return Err(FaultPlanError::MalformedPause(w));
+            }
+        }
+        let mut crashed = std::collections::BTreeSet::new();
+        for &c in &self.crashes {
+            if c.at < 0.0 || c.restart_after.is_some_and(|d| d < 0.0) {
+                return Err(FaultPlanError::MalformedCrash(c));
+            }
+            if !crashed.insert(c.rank) {
+                return Err(FaultPlanError::DuplicateCrash(c.rank));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`FaultPlan::validate`], panicking on the first invalid parameter.
+    /// Kept for executors and tests that treat a bad plan as a programming
+    /// error rather than user input.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 }
@@ -171,6 +287,9 @@ pub struct FaultStats {
     pub straggled: u64,
     /// Deliveries deferred past a pause window.
     pub paused: u64,
+    /// Deliveries (messages and timers) discarded because the destination
+    /// rank was crashed at arrival time.
+    pub crash_dropped: u64,
 }
 
 impl FaultStats {
@@ -183,6 +302,7 @@ impl FaultStats {
         self.reordered += other.reordered;
         self.straggled += other.straggled;
         self.paused += other.paused;
+        self.crash_dropped += other.crash_dropped;
     }
 }
 
@@ -209,9 +329,10 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// Build an injector for `plan` (validates it).
+    /// Build an injector for `plan` (panics on an invalid plan — callers
+    /// with user-supplied plans should [`FaultPlan::validate`] first).
     pub fn new(plan: FaultPlan) -> Self {
-        plan.validate();
+        plan.validate_or_panic();
         let straggler = plan.stragglers.iter().copied().collect();
         FaultInjector {
             plan,
@@ -293,6 +414,51 @@ impl FaultInjector {
             self.stats.paused += 1;
         }
         deferred
+    }
+}
+
+/// Executor-neutral view of a plan's crash events: both executors ask the
+/// same two questions (is the rank down *now*, will it ever come back) so
+/// a crash schedule means the same thing in virtual and wall-clock time.
+#[derive(Clone, Debug, Default)]
+pub struct CrashSchedule {
+    crashes: HashMap<RankId, CrashEvent>,
+}
+
+impl CrashSchedule {
+    /// Build the schedule from a plan's crash events.
+    pub fn new(crashes: &[CrashEvent]) -> Self {
+        CrashSchedule {
+            crashes: crashes.iter().map(|&c| (c.rank, c)).collect(),
+        }
+    }
+
+    /// Whether the schedule contains any crash at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// Whether `rank` is down at time `now` (crashed, not yet restarted).
+    pub fn is_down(&self, rank: RankId, now: f64) -> bool {
+        match self.crashes.get(&rank) {
+            Some(c) => now >= c.at && c.restart_after.is_none_or(|d| now < c.at + d),
+            None => false,
+        }
+    }
+
+    /// Whether `rank` is down at `now` and will never restart. Executors
+    /// count such ranks as finished so survivors' completion ends the run.
+    pub fn is_down_forever(&self, rank: RankId, now: f64) -> bool {
+        match self.crashes.get(&rank) {
+            Some(c) => now >= c.at && c.restart_after.is_none(),
+            None => false,
+        }
+    }
+
+    /// Earliest crash time in the schedule, if any (executors use it to
+    /// know when the down-set can first change).
+    pub fn first_crash_at(&self) -> Option<f64> {
+        self.crashes.values().map(|c| c.at).reduce(f64::min)
     }
 }
 
@@ -446,9 +612,72 @@ mod tests {
             reordered: 5,
             straggled: 6,
             paused: 7,
+            crash_dropped: 8,
         };
         a.merge(&a.clone());
         assert_eq!(a.dropped, 4);
         assert_eq!(a.paused, 14);
+        assert_eq!(a.crash_dropped, 16);
+    }
+
+    #[test]
+    fn validate_reports_instead_of_panicking() {
+        let mut p = plan(1.5, 0.0);
+        assert_eq!(
+            p.validate(),
+            Err(FaultPlanError::ProbabilityOutOfRange {
+                field: "drop",
+                value: 1.5
+            })
+        );
+        p.drop = 0.1;
+        assert_eq!(p.validate(), Ok(()));
+        p.crashes = vec![CrashEvent::fatal(RankId::new(1), -1.0)];
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::MalformedCrash(_))
+        ));
+        p.crashes = vec![
+            CrashEvent::fatal(RankId::new(1), 1.0),
+            CrashEvent::fatal(RankId::new(1), 2.0),
+        ];
+        assert_eq!(
+            p.validate(),
+            Err(FaultPlanError::DuplicateCrash(RankId::new(1)))
+        );
+    }
+
+    #[test]
+    fn crashes_make_a_plan_nonzero() {
+        let mut p = FaultPlan::none();
+        assert!(p.is_zero());
+        p.crashes = vec![CrashEvent::fatal(RankId::new(2), 0.5)];
+        assert!(!p.is_zero());
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn crash_schedule_tracks_downtime() {
+        let sched = CrashSchedule::new(&[
+            CrashEvent::fatal(RankId::new(1), 2.0),
+            CrashEvent {
+                rank: RankId::new(2),
+                at: 1.0,
+                restart_after: Some(3.0),
+            },
+        ]);
+        // Fatal crash: down from `at` forever.
+        assert!(!sched.is_down(RankId::new(1), 1.9));
+        assert!(sched.is_down(RankId::new(1), 2.0));
+        assert!(sched.is_down_forever(RankId::new(1), 100.0));
+        // Warm restart: down only during the outage window.
+        assert!(sched.is_down(RankId::new(2), 1.0));
+        assert!(sched.is_down(RankId::new(2), 3.9));
+        assert!(!sched.is_down(RankId::new(2), 4.0));
+        assert!(!sched.is_down_forever(RankId::new(2), 2.0));
+        // Unlisted ranks never crash.
+        assert!(!sched.is_down(RankId::new(0), 50.0));
+        assert_eq!(sched.first_crash_at(), Some(1.0));
+        assert_eq!(CrashSchedule::new(&[]).first_crash_at(), None);
     }
 }

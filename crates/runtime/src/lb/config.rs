@@ -2,6 +2,7 @@
 //! that keeps it in lock-step with the analysis-mode [`RefineConfig`].
 
 use super::engine::EngineConfig;
+use crate::health::HealthConfig;
 use crate::reliable::RetryConfig;
 use tempered_core::refine::RefineConfig;
 use tempered_core::transfer::TransferConfig;
@@ -36,6 +37,13 @@ pub struct LbProtocolConfig {
     /// at-least-once delivery with retransmission, dedup, and stage
     /// deadlines.
     pub reliability: Option<RetryConfig>,
+    /// Crash-stop fault tolerance. `None` (default) disables heartbeats
+    /// and failure detection entirely — no extra traffic, bit-identical
+    /// to builds without the health layer. `Some` makes every rank send
+    /// periodic heartbeats, run an accrual failure detector, and — on
+    /// suspecting a peer — fence it out and restart the protocol on the
+    /// surviving ranks (see `lb::engine`'s view-change handling).
+    pub health: Option<HealthConfig>,
 }
 
 impl From<RefineConfig> for LbProtocolConfig {
@@ -54,6 +62,7 @@ impl From<RefineConfig> for LbProtocolConfig {
             bytes_per_task: 65_536,
             use_nacks: false,
             reliability: None,
+            health: None,
         }
     }
 }
@@ -76,6 +85,15 @@ impl LbProtocolConfig {
     pub fn hardened(self, retry: RetryConfig) -> Self {
         LbProtocolConfig {
             reliability: Some(retry),
+            ..self
+        }
+    }
+
+    /// The same configuration with crash-stop fault tolerance enabled:
+    /// heartbeats, failure detection, and survivor-set restarts.
+    pub fn crash_tolerant(self, health: HealthConfig) -> Self {
+        LbProtocolConfig {
+            health: Some(health),
             ..self
         }
     }

@@ -54,9 +54,10 @@ mod stages;
 
 use super::messages::{LbMsg, TaskEntry};
 use crate::collective::{LoadSummary, ReduceSlot, Tree};
+use crate::membership::View;
 use crate::termination::{TdMsg, TdOutcome, TerminationDetector};
 use stages::StageState;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::refine::RefineConfig;
 use tempered_core::rng::RngFactory;
@@ -205,8 +206,17 @@ pub struct GossipEngine {
     num_ranks: usize,
     cfg: EngineConfig,
     factory: RngFactory,
+    /// Collective tree over *live-rank indices* (root = index 0). With
+    /// no dead ranks, live index == rank id: the original full tree.
     tree: Tree,
     det: TerminationDetector,
+
+    // Membership: the current view and its sorted survivor list. Every
+    // TD epoch is offset by `view.epoch_base()` and every collective
+    // slot is stamped with the generation, so cross-view traffic is
+    // recognizably stale (see `is_stale`) and restarts cannot mix state.
+    view: View,
+    live: Vec<RankId>,
 
     // Task state.
     original: Vec<TaskEntry>,
@@ -260,6 +270,8 @@ impl GossipEngine {
             factory,
             tree: Tree::new(num_ranks, RankId::new(0)),
             det: TerminationDetector::new(me, num_ranks),
+            view: View::new(num_ranks),
+            live: (0..num_ranks).map(RankId::from).collect(),
             current: original.clone(),
             best: original.clone(),
             original,
@@ -291,7 +303,20 @@ impl GossipEngine {
             iter: 0,
         }));
         let summary = LoadSummary::of(self.my_load());
-        self.contribute(&mut out, 0, summary);
+        let slot = self.setup_slot();
+        self.contribute(&mut out, slot, summary);
+        out
+    }
+
+    /// Declare `dead` ranks crashed — locally detected by the driver's
+    /// failure detector or learned from a peer's [`LbMsg::View`]. If the
+    /// union grows this engine's view, the old view's epochs are fenced,
+    /// the merged dead set is re-broadcast (a convergent flood), and the
+    /// protocol restarts from Setup on the surviving quorum. A finished
+    /// engine keeps its committed result and ignores view changes.
+    pub fn on_view(&mut self, dead: &BTreeSet<RankId>) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.handle_view(&mut out, dead);
         out
     }
 
@@ -332,6 +357,11 @@ impl GossipEngine {
     /// Whether the protocol has finished on this rank.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// The engine's current membership view.
+    pub fn view(&self) -> &View {
+        &self.view
     }
 
     /// This rank's final task set `(id, load, home)` after the protocol.
@@ -377,12 +407,15 @@ impl GossipEngine {
 
     // ---- epoch numbering -------------------------------------------------
     //
-    // Epoch 0 is reserved for setup. Each (trial, iteration) owns a
-    // contiguous block of `rounds + 1` epochs: one per gossip round plus
-    // one for the proposal exchange. Commit takes the single epoch after
-    // the last block. Early-exited gossip rounds leave their epoch
-    // numbers unused — TD epochs need not be consecutive, only unique
-    // and globally ordered.
+    // Within a view, epoch `base` is reserved for setup, where `base` is
+    // the view's epoch base (`generation × VIEW_EPOCH_STRIDE`; 0 for the
+    // initial view). Each (trial, iteration) owns a contiguous block of
+    // `rounds + 1` epochs above the base: one per gossip round plus one
+    // for the proposal exchange. Commit takes the single epoch after the
+    // last block. Early-exited gossip rounds leave their epoch numbers
+    // unused — TD epochs need not be consecutive, only unique and
+    // globally ordered. A view change moves the base past every epoch of
+    // every older view, so stale traffic is recognizable by epoch alone.
 
     fn epoch_stride(&self) -> u64 {
         self.cfg.rounds as u64 + 1
@@ -393,19 +426,36 @@ impl GossipEngine {
     }
 
     fn gossip_round_epoch(&self, round: u32) -> u64 {
-        1 + self.iter_base() + (round as u64 - 1)
+        self.view.epoch_base() + 1 + self.iter_base() + (round as u64 - 1)
     }
 
     fn proposal_epoch(&self) -> u64 {
-        1 + self.iter_base() + self.cfg.rounds as u64
+        self.view.epoch_base() + 1 + self.iter_base() + self.cfg.rounds as u64
     }
 
     fn commit_epoch(&self) -> u64 {
-        1 + (self.cfg.trials * self.cfg.iters) as u64 * self.epoch_stride()
+        self.view.epoch_base() + 1 + (self.cfg.trials * self.cfg.iters) as u64 * self.epoch_stride()
+    }
+
+    // Collective slots are stamped with the view generation in the high
+    // 16 bits; the low 16 bits are the within-view slot (0 = setup,
+    // `1 + trial·n_iters + iter` = that iteration's evaluation).
+
+    fn view_slot(&self, local: u32) -> u32 {
+        debug_assert!(local < 1 << 16, "per-view slot space is 16 bits");
+        ((self.view.generation() as u32) << 16) | local
+    }
+
+    fn slot_generation(slot: u32) -> u64 {
+        (slot >> 16) as u64
+    }
+
+    fn setup_slot(&self) -> u32 {
+        self.view_slot(0)
     }
 
     fn eval_slot(&self) -> u32 {
-        1 + (self.trial * self.cfg.iters + self.iter) as u32
+        self.view_slot(1 + (self.trial * self.cfg.iters + self.iter) as u32)
     }
 
     /// The random sub-stream namespace for the current `(trial, iter)` —
@@ -450,9 +500,38 @@ impl GossipEngine {
     }
 
     // ---- collectives -----------------------------------------------------
+    //
+    // The collective tree spans *live-rank indices*, not rank ids: after
+    // a view change the survivors renumber themselves 0..num_live by
+    // sorted rank id and rebuild a dense binary tree over those indices.
+    // In the initial view (nobody dead) index == id, so the mapping is
+    // the identity and the clean path is bit-identical to the pre-fault
+    // protocol.
+
+    fn live_index(&self) -> RankId {
+        let idx = self
+            .live
+            .binary_search(&self.me)
+            .expect("engine rank must be live in its own view");
+        RankId::from(idx)
+    }
+
+    fn coll_parent(&self) -> Option<RankId> {
+        self.tree
+            .parent(self.live_index())
+            .map(|p| self.live[p.as_usize()])
+    }
+
+    fn coll_children(&self) -> Vec<RankId> {
+        self.tree
+            .children(self.live_index())
+            .into_iter()
+            .map(|c| self.live[c.as_usize()])
+            .collect()
+    }
 
     fn slot_mut(&mut self, slot: u32) -> &mut ReduceSlot {
-        let children = self.tree.children(self.me).len();
+        let children = self.coll_children().len();
         self.slots
             .entry(slot)
             .or_insert_with(|| ReduceSlot::new(children))
@@ -465,7 +544,7 @@ impl GossipEngine {
     }
 
     fn reduce_complete(&mut self, out: &mut Vec<Command>, slot: u32, summary: LoadSummary) {
-        match self.tree.parent(self.me) {
+        match self.coll_parent() {
             Some(parent) => {
                 self.send_ctrl(out, parent, LbMsg::ReduceUp { slot, summary });
             }
@@ -478,13 +557,13 @@ impl GossipEngine {
     }
 
     fn broadcast_down(&mut self, out: &mut Vec<Command>, slot: u32, summary: LoadSummary) {
-        for child in self.tree.children(self.me) {
+        for child in self.coll_children() {
             self.send_ctrl(out, child, LbMsg::ReduceDown { slot, summary });
         }
     }
 
     fn on_reduce_result(&mut self, out: &mut Vec<Command>, slot: u32, summary: LoadSummary) {
-        if slot == 0 {
+        if slot == self.setup_slot() {
             // Setup complete: everyone now knows ℓ_ave / ℓ_max.
             debug_assert_eq!(self.stage(), Stage::Setup);
             self.l_ave = summary.average();
@@ -510,15 +589,41 @@ impl GossipEngine {
         }
     }
 
-    // ---- buffering ---------------------------------------------------------
+    // ---- buffering and view fencing ----------------------------------------
 
     fn should_buffer(&self, msg: &LbMsg) -> bool {
         match msg {
             LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch, .. }) => {
                 *epoch > self.det.epoch()
             }
+            // A collective stamped with a future view generation: a peer
+            // already restarted on news we have not merged yet. Hold it
+            // until the View flood reaches us and we restart too.
+            LbMsg::ReduceUp { slot, .. } | LbMsg::ReduceDown { slot, .. } => {
+                Self::slot_generation(*slot) > self.view.generation()
+            }
             other => match other.basic_epoch() {
                 Some(e) => e > self.det.epoch(),
+                None => false,
+            },
+        }
+    }
+
+    /// Whether `msg` was produced under a view older than ours. Stale
+    /// traffic is dropped un-dispatched *and un-counted*: the dead view's
+    /// TD epoch was abandoned wholesale at restart, so its books need not
+    /// balance.
+    fn is_stale(&self, msg: &LbMsg) -> bool {
+        match msg {
+            LbMsg::ReduceUp { slot, .. } | LbMsg::ReduceDown { slot, .. } => {
+                Self::slot_generation(*slot) < self.view.generation()
+            }
+            LbMsg::Td(TdMsg::Token { epoch, .. }) | LbMsg::Td(TdMsg::Terminated { epoch, .. }) => {
+                *epoch < self.view.epoch_base()
+            }
+            LbMsg::View { .. } => false,
+            other => match other.basic_epoch() {
+                Some(e) => e < self.view.epoch_base(),
                 None => false,
             },
         }
@@ -538,13 +643,22 @@ impl GossipEngine {
         }
         self.buffered = keep;
         for (from, msg) in deliverable {
+            // Dispatching one message can trigger a view change that
+            // stales the rest of the batch.
+            if self.is_stale(&msg) {
+                continue;
+            }
             self.dispatch(out, from, msg);
         }
     }
 
     /// Deliver a protocol message that passed the transport layer (dedup
-    /// already done); buffer it if it belongs to a future epoch.
+    /// already done); drop it if it predates our view, buffer it if it
+    /// belongs to a future epoch.
     fn receive(&mut self, out: &mut Vec<Command>, from: RankId, msg: LbMsg) {
+        if self.is_stale(&msg) {
+            return;
+        }
         if self.should_buffer(&msg) {
             self.buffered.push((from, msg));
             return;
@@ -587,11 +701,108 @@ impl GossipEngine {
                 debug_assert_eq!(epoch, self.det.epoch());
                 self.on_task_data(tasks);
             }
+            LbMsg::View { dead } => {
+                let dead: BTreeSet<RankId> = dead.into_iter().collect();
+                self.handle_view(out, &dead);
+            }
             LbMsg::Td(td) => {
                 let outcome = self.det.handle(td);
                 self.emit_td(out, outcome);
             }
         }
+    }
+
+    // ---- view changes ------------------------------------------------------
+
+    fn handle_view(&mut self, out: &mut Vec<Command>, dead: &BTreeSet<RankId>) {
+        debug_assert!(
+            !dead.contains(&self.me),
+            "the driver must intercept a view declaring this rank dead"
+        );
+        if self.done || !self.view.merge(dead) {
+            // A finished engine keeps its committed result; an already-
+            // merged set is not news. Either way the flood has nothing
+            // left to spread from here.
+            return;
+        }
+        // Convergent flood: re-broadcast the *merged* dead set to every
+        // other rank — including the dead ones, so a warm-restarted
+        // zombie learns the survivors moved on without it and stands
+        // down (the driver degrades a rank that hears of its own death).
+        let merged: Vec<RankId> = self.view.dead().iter().copied().collect();
+        for r in (0..self.num_ranks).map(RankId::from) {
+            if r != self.me {
+                self.send_ctrl(
+                    out,
+                    r,
+                    LbMsg::View {
+                        dead: merged.clone(),
+                    },
+                );
+            }
+        }
+        out.push(Command::Instant(EventKind::ViewChange {
+            generation: self.view.generation() as u32,
+            dead: self.view.dead().len() as u32,
+        }));
+        self.restart(out);
+    }
+
+    /// Restart the protocol from Setup on the surviving quorum. The old
+    /// view's in-flight epoch is abandoned (its TD books never balance —
+    /// the corpse can't reply — so it is discarded, not drained) and all
+    /// of its traffic is fenced behind the new epoch base.
+    fn restart(&mut self, out: &mut Vec<Command>) {
+        // Survivor set and the dense collective tree over its indices.
+        self.live = self.view.live_ranks();
+        self.tree = Tree::new(self.live.len(), RankId::new(0));
+
+        // Fence termination detection: tell the detector who died (its
+        // relaunch sends target the old, now-abandoned epoch — discard
+        // them), then hard-reset it to the new view's epoch base.
+        let _ = self.det.set_dead(self.view.dead());
+        self.det.start_epoch(self.view.epoch_base());
+
+        // Drop cross-view state: partial collectives and any buffered
+        // message that the new view fences out.
+        self.slots.clear();
+        let buffered = std::mem::take(&mut self.buffered);
+        self.buffered = buffered
+            .into_iter()
+            .filter(|(_, m)| !self.is_stale(m))
+            .collect();
+
+        // Reset the algorithm to this rank's original residency. Tasks
+        // homed on a dead rank are gone at this layer — restoring their
+        // data is the application's job (checkpoints in
+        // `empire::dist_app`); the LB protocol just re-balances whatever
+        // the survivors still hold.
+        self.current = self.original.clone();
+        self.best = self.original.clone();
+        self.l_ave = 0.0;
+        self.initial_imbalance = 0.0;
+        self.best_imbalance = f64::INFINITY;
+        self.trial = 0;
+        self.iter = 0;
+        self.records.clear();
+        self.iter_transfers = 0;
+        self.iter_rejected = 0;
+        self.migrations_in = 0;
+        self.migrations_out = 0;
+        self.nacks_received = 0;
+
+        // Re-enter Setup on the survivor set, then replay anything we
+        // buffered from peers that restarted before us.
+        self.state = StageState::Setup;
+        out.push(Command::OpenSpan(EventKind::LbStage {
+            stage: "setup",
+            trial: 0,
+            iter: 0,
+        }));
+        let summary = LoadSummary::of(self.my_load());
+        let slot = self.setup_slot();
+        self.contribute(out, slot, summary);
+        self.replay_buffered(out);
     }
 }
 
@@ -697,6 +908,81 @@ mod tests {
         assert_eq!(label, "commit");
         assert_eq!(e.final_tasks().len(), 1);
         assert_eq!(e.final_tasks()[0].id, TaskId::new(9));
+    }
+
+    #[test]
+    fn view_change_floods_and_restarts_from_setup() {
+        let mut e = engine(EngineConfig::tempered(), vec![(TaskId::new(1), 1.0)], 4);
+        let _ = e.start();
+        let dead: BTreeSet<RankId> = [RankId::new(2)].into_iter().collect();
+        let cmds = e.on_view(&dead);
+        assert_eq!(e.view().generation(), 1);
+        assert_eq!(e.stage(), Stage::Setup, "restart re-enters setup");
+        assert!(
+            e.gossip_round_epoch(1) >= crate::membership::VIEW_EPOCH_STRIDE,
+            "new view's epochs are fenced past every old epoch"
+        );
+        // The flood reaches every other rank — the corpse included, so a
+        // warm-restarted zombie learns to stand down.
+        let view_sends = cmds
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c,
+                    Command::Send {
+                        msg: LbMsg::View { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(view_sends, 3);
+        // Merging the same set again is not news: no second flood.
+        assert!(e.on_view(&dead).is_empty());
+    }
+
+    #[test]
+    fn stale_traffic_from_an_old_view_is_dropped() {
+        let mut e = engine(EngineConfig::tempered(), vec![(TaskId::new(1), 1.0)], 4);
+        let _ = e.start();
+        let dead: BTreeSet<RankId> = [RankId::new(2)].into_iter().collect();
+        let _ = e.on_view(&dead);
+        // Old-view basic traffic (epochs below the new base) is ignored.
+        let cmds = e.on_message(
+            RankId::new(1),
+            LbMsg::Gossip {
+                epoch: 1,
+                round: 1,
+                pairs: vec![],
+            },
+        );
+        assert!(cmds.is_empty());
+        // Old-view collectives (generation 0 slots) are ignored too.
+        let cmds = e.on_message(
+            RankId::new(1),
+            LbMsg::ReduceUp {
+                slot: 0,
+                summary: LoadSummary::of(1.0),
+            },
+        );
+        assert!(cmds.is_empty());
+        assert_eq!(
+            e.stage(),
+            Stage::Setup,
+            "stale traffic must not advance state"
+        );
+    }
+
+    #[test]
+    fn finished_engine_keeps_its_result_across_view_changes() {
+        let mut e = engine(EngineConfig::tempered(), vec![(TaskId::new(1), 1.0)], 4);
+        e.state = StageState::Done;
+        e.done = true;
+        let dead: BTreeSet<RankId> = [RankId::new(3)].into_iter().collect();
+        let cmds = e.on_view(&dead);
+        assert!(cmds.is_empty(), "a done engine neither floods nor restarts");
+        assert_eq!(e.view().generation(), 0);
+        assert_eq!(e.final_tasks().len(), 1);
     }
 
     #[test]

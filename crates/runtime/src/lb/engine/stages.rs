@@ -11,9 +11,10 @@
 use super::super::messages::{LbMsg, TaskEntry};
 use super::{Command, GossipEngine, Stage};
 use crate::collective::LoadSummary;
+use crate::membership::View;
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
-use tempered_core::gossip::sample_fanout_targets;
+use tempered_core::gossip::{sample_fanout_targets, TargetExclusions};
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::knowledge::Knowledge;
 use tempered_core::load::Load;
@@ -77,6 +78,33 @@ fn pairs_of(k: &Knowledge) -> Vec<(RankId, f64)> {
     k.entries().map(|(r, l)| (r, l.get())).collect()
 }
 
+/// [`TargetExclusions`] restricted to the membership view's survivors:
+/// dead ranks count as already-known, so the fanout draw resamples over
+/// live ranks only. In the initial view (nobody dead) this is exactly
+/// the plain [`Knowledge`] exclusion set, so the draw sequence — and
+/// with it the sync ↔ async equivalence — is bit-identical on the clean
+/// path.
+struct LiveTargets<'a> {
+    knowledge: &'a Knowledge,
+    view: &'a View,
+}
+
+impl TargetExclusions for LiveTargets<'_> {
+    fn known(&self) -> usize {
+        self.knowledge.len()
+            + self
+                .view
+                .dead()
+                .iter()
+                .filter(|r| !self.knowledge.contains(**r))
+                .count()
+    }
+
+    fn knows(&self, rank: RankId) -> bool {
+        self.knowledge.contains(rank) || !self.view.is_live(rank)
+    }
+}
+
 impl GossipEngine {
     // ---- stage transitions -----------------------------------------------
 
@@ -134,11 +162,15 @@ impl GossipEngine {
         if sending {
             let pairs = pairs_of(&gs.knowledge);
             let mut targets = Vec::new();
+            let exclusions = LiveTargets {
+                knowledge: &gs.knowledge,
+                view: &self.view,
+            };
             sample_fanout_targets(
                 &mut gs.rng,
                 self.num_ranks,
                 self.me,
-                &gs.knowledge,
+                &exclusions,
                 self.cfg.fanout,
                 &mut targets,
             );

@@ -67,6 +67,15 @@ pub enum LbWire {
         /// Value of the stage counter when the timer was armed.
         stage_seq: u64,
     },
+    /// Liveness beacon for the heartbeat failure detector
+    /// ([`crate::health::HealthDetector`]). Deliberately *outside* the
+    /// reliable layer: heartbeats are periodic and self-correcting, so
+    /// retransmitting a lost one is pointless — and a crashed receiver
+    /// must not burn the sender's retry budget.
+    Heartbeat,
+    /// Self-timer driving the heartbeat send period and the failure
+    /// detector's poll.
+    HeartbeatTimer,
 }
 
 /// Wire overhead of the reliable framing (sequence number + tag),
@@ -80,7 +89,8 @@ impl LbWire {
             LbWire::Raw(m) => m.wire_bytes(),
             LbWire::Data { msg, .. } => msg.wire_bytes() + SEQ_OVERHEAD_BYTES,
             LbWire::Ack { .. } => SEQ_OVERHEAD_BYTES,
-            LbWire::RetryTimer { .. } | LbWire::StageTimer { .. } => 0,
+            LbWire::Heartbeat => 8,
+            LbWire::RetryTimer { .. } | LbWire::StageTimer { .. } | LbWire::HeartbeatTimer => 0,
         }
     }
 }
@@ -146,6 +156,15 @@ pub enum LbMsg {
         /// Task ids delivered.
         tasks: Vec<TaskId>,
     },
+    /// Membership view-change propagation: the sender's full dead set.
+    /// Control traffic (never TD-counted, never buffered): a receiver
+    /// merges the set into its own view and, if the union grew, restarts
+    /// its protocol on the survivors and re-broadcasts — a convergent
+    /// flood, since dead sets only ever grow (crash-stop).
+    View {
+        /// Every rank the sender's view has declared dead.
+        dead: Vec<RankId>,
+    },
     /// Termination-detection control traffic.
     Td(TdMsg),
 }
@@ -175,6 +194,7 @@ impl LbMsg {
             LbMsg::ProposeReply { rejected, .. } => 16 + 20 * rejected.len(),
             LbMsg::Fetch { tasks, .. } => 16 + 8 * tasks.len(),
             LbMsg::TaskData { tasks, .. } => 16 + 8 * tasks.len(),
+            LbMsg::View { dead } => 8 + 4 * dead.len(),
             LbMsg::Td(_) => crate::termination::TD_MSG_BYTES,
         }
     }
@@ -248,6 +268,20 @@ mod tests {
             0
         );
         assert_eq!(LbWire::StageTimer { stage_seq: 3 }.wire_bytes(), 0);
+        assert_eq!(LbWire::HeartbeatTimer.wire_bytes(), 0);
+        assert!(
+            LbWire::Heartbeat.wire_bytes() > 0,
+            "heartbeats cross the wire"
+        );
+    }
+
+    #[test]
+    fn view_changes_are_control_traffic() {
+        let msg = LbMsg::View {
+            dead: vec![RankId::new(3), RankId::new(5)],
+        };
+        assert_eq!(msg.basic_epoch(), None, "views must never be TD-counted");
+        assert!(msg.wire_bytes() > LbMsg::View { dead: vec![] }.wire_bytes());
     }
 
     #[test]

@@ -124,34 +124,45 @@ pub fn run_distributed_lb_traced(
         })
         .collect();
 
+    let crash_free = plan.crashes.is_empty();
     let mut sim = Simulator::new(ranks, model, factory);
     sim.set_recorder(recorder);
     sim.set_fault_plan(plan);
     let report = sim.run();
-    assert!(
-        report.completed,
-        "protocol must reach Done on every rank (faults without \
-         `reliability` configured can starve the best-effort protocol)"
-    );
+    if crash_free {
+        assert!(
+            report.completed,
+            "protocol must reach Done on every rank (faults without \
+             `reliability` configured can starve the best-effort protocol)"
+        );
+    }
 
     let ranks = sim.into_ranks();
     let degraded_ranks = ranks.iter().filter(|r| r.degraded()).count();
+    let strict = degraded_ranks == 0 && crash_free;
     let mut reliable = ReliableStats::default();
     let mut out = Distribution::new(num_ranks);
     let mut tasks_migrated = 0usize;
     for (p, r) in ranks.iter().enumerate() {
         reliable.merge(&r.reliable_stats());
+        if !r.finished() {
+            // Crashed mid-protocol: its engine holds a corpse's state.
+            // Tasks homed there are restored from checkpoints by the
+            // application layer (see `tempered-empire`), not here.
+            continue;
+        }
         for t in r.final_tasks() {
             let inserted = out.insert(RankId::from(p), Task::new(t.id, t.load));
-            if degraded_ranks == 0 {
+            if strict {
                 inserted.expect("each task has exactly one final owner");
             }
-            // With degraded ranks a unilaterally reverted task may be
-            // claimed twice; keep the first claim for reporting purposes.
+            // With degraded or crashed ranks a task may be claimed twice
+            // (a unilateral revert, or a rank that committed in an older
+            // view); keep the first claim for reporting purposes.
         }
         tasks_migrated += r.migrations_in();
     }
-    if degraded_ranks == 0 {
+    if strict {
         assert_eq!(
             out.num_tasks(),
             dist.num_tasks(),
@@ -159,11 +170,17 @@ pub fn run_distributed_lb_traced(
         );
     }
 
+    // Records and the agreed imbalances come from a rank that finished
+    // the protocol normally — with crashes, rank 0 may be a corpse.
+    let reporter = ranks
+        .iter()
+        .position(|r| r.finished() && !r.degraded())
+        .unwrap_or(0);
     DistLbResult {
-        initial_imbalance: ranks[0].initial_imbalance(),
+        initial_imbalance: ranks[reporter].initial_imbalance(),
         final_imbalance: out.imbalance(),
         tasks_migrated,
-        records: ranks[0].records().to_vec(),
+        records: ranks[reporter].records().to_vec(),
         degraded_ranks,
         reliable,
         distribution: out,
@@ -509,6 +526,168 @@ mod tests {
             assert!(replay
                 .rank_load(rank)
                 .approx_eq(r.distribution.rank_load(rank)));
+        }
+    }
+
+    mod crash {
+        use super::*;
+        use crate::fault::CrashEvent;
+        use crate::health::HealthConfig;
+        use crate::reliable::RetryConfig;
+
+        fn crash_cfg() -> LbProtocolConfig {
+            quick_cfg()
+                .hardened(RetryConfig::default())
+                .crash_tolerant(HealthConfig::default())
+        }
+
+        fn crash_plan(crashes: Vec<CrashEvent>) -> FaultPlan {
+            FaultPlan {
+                crashes,
+                ..FaultPlan::none()
+            }
+        }
+
+        /// Mid-gossip crash of rank 0 — simultaneously the TD
+        /// coordinator and the collective-tree root, the hardest rank to
+        /// lose. Survivors must detect, re-form, and finish with every
+        /// task that was homed on a survivor.
+        #[test]
+        fn coordinator_crash_mid_gossip_survivors_complete() {
+            let dist = concentrated(16, 2, 30);
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                crash_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(7),
+                crash_plan(vec![CrashEvent::fatal(RankId::new(0), 2e-4)]),
+            );
+            assert_eq!(out.degraded_ranks, 0, "survivors restart, not degrade");
+            // Rank 0's 30 tasks died with it (the LB layer does not
+            // restore data; see empire's checkpoints). Rank 1's 30 live.
+            assert_eq!(out.distribution.num_tasks(), 30);
+            assert_eq!(
+                out.distribution.tasks_on(RankId::new(0)).len(),
+                0,
+                "no task may be assigned to a corpse"
+            );
+            assert!(out.tasks_migrated > 0, "survivors rebalanced rank 1's load");
+        }
+
+        #[test]
+        fn quarter_of_ranks_crashing_still_completes() {
+            let dist = concentrated(16, 4, 20);
+            // 4 of 16 ranks (25%) die at staggered times mid-protocol,
+            // including one hot rank.
+            let crashes = vec![
+                CrashEvent::fatal(RankId::new(2), 1e-4),
+                CrashEvent::fatal(RankId::new(5), 3e-4),
+                CrashEvent::fatal(RankId::new(9), 3e-4),
+                CrashEvent::fatal(RankId::new(14), 6e-4),
+            ];
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                crash_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(11),
+                crash_plan(crashes),
+            );
+            assert_eq!(out.degraded_ranks, 0);
+            // Hot ranks 0,1,3 survive with 20 tasks each; hot rank 2 died.
+            assert_eq!(out.distribution.num_tasks(), 60);
+            for dead in [2u32, 5, 9, 14] {
+                assert_eq!(out.distribution.tasks_on(RankId::new(dead)).len(), 0);
+            }
+            // The survivor set still balances: well under the initial
+            // concentration (3 hot ranks / 12 survivors → I₀ = 3).
+            assert!(out.final_imbalance < out.initial_imbalance);
+        }
+
+        #[test]
+        fn crash_runs_are_deterministic() {
+            let dist = concentrated(16, 2, 25);
+            let run = || {
+                run_distributed_lb_with_faults(
+                    &dist,
+                    crash_cfg(),
+                    NetworkModel::default(),
+                    &RngFactory::new(23),
+                    crash_plan(vec![CrashEvent::fatal(RankId::new(3), 2e-4)]),
+                )
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.final_imbalance.to_bits(), b.final_imbalance.to_bits());
+            assert_eq!(a.report.events_delivered, b.report.events_delivered);
+            assert_eq!(a.report.faults.crash_dropped, b.report.faults.crash_dropped);
+            for r in a.distribution.rank_ids() {
+                assert_eq!(
+                    a.distribution.rank_load(r).get().to_bits(),
+                    b.distribution.rank_load(r).get().to_bits()
+                );
+            }
+        }
+
+        /// Enabling crash tolerance on a crash-free run must not change
+        /// the committed assignment: heartbeats perturb message timing
+        /// (extra latency draws), but the protocol is deterministic
+        /// under reordering, so the final distribution is identical to
+        /// the plain hardened run.
+        #[test]
+        fn health_layer_is_assignment_neutral_without_crashes() {
+            let dist = concentrated(16, 2, 30);
+            let plain = run_distributed_lb(
+                &dist,
+                quick_cfg().hardened(RetryConfig::default()),
+                NetworkModel::default(),
+                &RngFactory::new(31),
+            );
+            let tolerant = run_distributed_lb(
+                &dist,
+                crash_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(31),
+            );
+            assert_eq!(tolerant.degraded_ranks, 0);
+            for r in plain.distribution.rank_ids() {
+                let mut a: Vec<_> = plain
+                    .distribution
+                    .tasks_on(r)
+                    .iter()
+                    .map(|t| t.id)
+                    .collect();
+                let mut b: Vec<_> = tolerant
+                    .distribution
+                    .tasks_on(r)
+                    .iter()
+                    .map(|t| t.id)
+                    .collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "assignment must not depend on heartbeat traffic");
+            }
+        }
+
+        /// A warm-restarted rank that was already declared dead must not
+        /// disrupt the survivors: it either learns of its own death from
+        /// the periodic stand-down nudge and degrades, or (if it wakes
+        /// after the run) stays silent. Either way the survivors' result
+        /// stands.
+        #[test]
+        fn warm_restarted_zombie_cannot_disrupt_survivors() {
+            let dist = concentrated(16, 2, 30);
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                crash_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(41),
+                crash_plan(vec![CrashEvent::with_restart(RankId::new(3), 2e-4, 8e-3)]),
+            );
+            // Rank 3 held no tasks; all 60 survive regardless of when
+            // (or whether) the zombie stood down.
+            assert_eq!(out.distribution.num_tasks(), 60);
+            assert_eq!(out.distribution.tasks_on(RankId::new(3)).len(), 0);
+            assert!(out.final_imbalance < out.initial_imbalance);
         }
     }
 

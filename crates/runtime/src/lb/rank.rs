@@ -23,10 +23,12 @@
 
 use super::config::LbProtocolConfig;
 use super::engine::{Command, GossipEngine, Stage};
-use super::messages::{LbWire, TaskEntry};
+use super::messages::{payload_bytes, LbMsg, LbWire, TaskEntry};
 use super::transport::{transport_for, RxEvent, Transport, TxAction};
+use crate::health::HealthDetector;
 use crate::reliable::ReliableStats;
 use crate::sim::{Ctx, Protocol};
+use std::collections::BTreeSet;
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::rng::RngFactory;
 use tempered_obs::{EventKind, Recorder};
@@ -35,6 +37,7 @@ use tempered_obs::{EventKind, Recorder};
 #[derive(Debug)]
 pub struct LbRank {
     me: RankId,
+    num_ranks: usize,
     cfg: LbProtocolConfig,
     engine: GossipEngine,
     transport: Box<dyn Transport>,
@@ -43,6 +46,13 @@ pub struct LbRank {
     stage_seq: u64,
     degraded: bool,
     done: bool,
+
+    // Crash tolerance (present iff `cfg.health` is set): the failure
+    // detector, and the set of ranks the current membership view has
+    // fenced out — the transport holds no state toward them and their
+    // traffic is ignored.
+    health: Option<HealthDetector>,
+    fenced: BTreeSet<RankId>,
 
     // Observability.
     rec: Recorder,
@@ -62,12 +72,15 @@ impl LbRank {
     ) -> Self {
         LbRank {
             me,
+            num_ranks,
             engine: GossipEngine::new(me, num_ranks, tasks, cfg.engine(), factory),
-            transport: transport_for(&cfg),
+            transport: transport_for(&cfg, me, &factory),
             cfg,
             stage_seq: 0,
             degraded: false,
             done: false,
+            health: None,
+            fenced: BTreeSet::new(),
             rec: Recorder::disabled(),
             open_span: None,
         }
@@ -98,6 +111,13 @@ impl LbRank {
     /// or stage deadline missed) and reverted to a safe assignment.
     pub fn degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Whether the protocol reached Done on this rank, normally or by
+    /// degradation. A crashed rank never finishes; its engine state is
+    /// whatever it held when it died.
+    pub fn finished(&self) -> bool {
+        self.done
     }
 
     /// Per-iteration records (symmetrically identical across ranks except
@@ -207,6 +227,86 @@ impl LbRank {
         self.flush_metrics();
     }
 
+    // ---- crash tolerance -------------------------------------------------
+
+    /// Heartbeat clock: beat to every unfenced peer (outside the reliable
+    /// layer — a corpse must not burn anyone's retry budget), poll the
+    /// failure detector, and re-arm. The chain stops once the rank is
+    /// done, so a completed run quiesces.
+    fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<'_, LbWire>) {
+        if self.done {
+            return;
+        }
+        let Some(hc) = self.cfg.health else { return };
+        for r in (0..self.num_ranks).map(RankId::from) {
+            if r == self.me {
+                continue;
+            }
+            if self.fenced.contains(&r) {
+                // Periodic stand-down nudge instead of a heartbeat: a
+                // warm-restarted zombie wakes with no timers and (being
+                // fenced) receives no protocol traffic, so this is the
+                // only way it ever learns of its own death and degrades
+                // instead of idling forever.
+                let dead: Vec<RankId> = self.fenced.iter().copied().collect();
+                let msg = LbMsg::View { dead };
+                let bytes = payload_bytes(&msg, self.cfg.bytes_per_task);
+                ctx.send(r, LbWire::Raw(msg), bytes);
+            } else {
+                ctx.send(r, LbWire::Heartbeat, LbWire::Heartbeat.wire_bytes());
+            }
+        }
+        ctx.schedule(hc.period, LbWire::HeartbeatTimer);
+        let newly = match &mut self.health {
+            Some(d) => d.tick(ctx.now()),
+            None => Vec::new(),
+        };
+        if !newly.is_empty() {
+            self.on_deaths(ctx, &newly);
+        }
+    }
+
+    /// Declare `dead` ranks crashed: record the suspicion, hand the view
+    /// change to the engine (which fences, floods, and restarts on the
+    /// survivors), and sync driver-side fencing before interpreting the
+    /// resulting commands — the View flood to the corpses themselves must
+    /// bypass the reliable channel.
+    fn on_deaths(&mut self, ctx: &mut Ctx<'_, LbWire>, dead: &[RankId]) {
+        if self.done {
+            return;
+        }
+        for &r in dead {
+            self.rec.instant(
+                self.me.as_u32(),
+                ctx.now(),
+                EventKind::Suspected { rank: r.as_u32() },
+            );
+        }
+        let set: BTreeSet<RankId> = dead.iter().copied().collect();
+        let commands = self.engine.on_view(&set);
+        self.apply_view();
+        self.run_commands(ctx, commands);
+    }
+
+    /// Sync driver-side fencing with the engine's membership view: drop
+    /// transport state toward newly dead ranks (so orphaned retry timers
+    /// settle instead of degrading us) and pin them suspected in the
+    /// detector.
+    fn apply_view(&mut self) {
+        if self.engine.view().generation() as usize == self.fenced.len() {
+            return;
+        }
+        let dead: Vec<RankId> = self.engine.view().dead().iter().copied().collect();
+        for r in dead {
+            if self.fenced.insert(r) {
+                self.transport.fence(r);
+                if let Some(d) = &mut self.health {
+                    d.force_suspect(r);
+                }
+            }
+        }
+    }
+
     // ---- command / action interpreters -----------------------------------
 
     fn apply_actions(&mut self, ctx: &mut Ctx<'_, LbWire>, actions: Vec<TxAction>) {
@@ -222,6 +322,16 @@ impl LbRank {
         for command in commands {
             match command {
                 Command::Send { to, msg } => {
+                    if self.fenced.contains(&to) {
+                        // A fenced peer gets no reliable-channel state:
+                        // its acks will never come and retries would
+                        // burn the budget. Only the View flood targets
+                        // corpses (to stand down warm-restarted
+                        // zombies), and best-effort is enough for it.
+                        let bytes = payload_bytes(&msg, self.cfg.bytes_per_task);
+                        ctx.send(to, LbWire::Raw(msg), bytes);
+                        continue;
+                    }
                     let mut actions = Vec::new();
                     self.transport.send(to, msg, &mut actions);
                     self.apply_actions(ctx, actions);
@@ -251,6 +361,10 @@ impl Protocol for LbRank {
     type Msg = LbWire;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, LbWire>) {
+        if let Some(hc) = self.cfg.health {
+            self.health = Some(HealthDetector::new(self.me, self.num_ranks, hc, ctx.now()));
+            ctx.schedule(hc.period, LbWire::HeartbeatTimer);
+        }
         let commands = self.engine.start();
         self.run_commands(ctx, commands);
     }
@@ -262,6 +376,10 @@ impl Protocol for LbRank {
         if self.degraded {
             return;
         }
+        if matches!(wire, LbWire::HeartbeatTimer) {
+            self.on_heartbeat_timer(ctx);
+            return;
+        }
         // The stage watchdog is driver-side policy, not delivery
         // mechanics: a stale counter means the stage advanced since the
         // timer was armed; only a live counter indicates a stall.
@@ -271,11 +389,37 @@ impl Protocol for LbRank {
             }
             return;
         }
+        // Network traffic from a fenced rank is a zombie talking; ignore
+        // it entirely (in particular, don't let it prove liveness).
+        if self.fenced.contains(&from) {
+            return;
+        }
+        // Any frame that crossed the network proves the sender was alive
+        // when it sent — cheaper and tighter than heartbeats alone.
+        if from != self.me {
+            if let Some(d) = &mut self.health {
+                d.on_heartbeat(from, ctx.now());
+            }
+        }
+        if matches!(wire, LbWire::Heartbeat) {
+            return;
+        }
         let mut actions = Vec::new();
         match self.transport.receive(from, wire, &mut actions) {
             RxEvent::Deliver(msg) => {
                 self.apply_actions(ctx, actions);
+                // Self-death valve: a View naming *this* rank dead means
+                // the survivors moved on without us (we were warm-
+                // restarted, or falsely suspected during a long stall).
+                // Stand down rather than disrupt the new view.
+                if let LbMsg::View { dead } = &msg {
+                    if dead.contains(&self.me) {
+                        self.degrade(ctx.now());
+                        return;
+                    }
+                }
                 let commands = self.engine.on_message(from, msg);
+                self.apply_view();
                 self.run_commands(ctx, commands);
             }
             RxEvent::Duplicate { from, seq } => {
@@ -306,7 +450,17 @@ impl Protocol for LbRank {
                     ctx.now(),
                     EventKind::GaveUp { to: to.as_u32() },
                 );
-                self.degrade(ctx.now());
+                if self.health.is_some() {
+                    // Retry exhaustion toward one peer under crash
+                    // tolerance means that peer is gone, not that we
+                    // are: declare it dead and restart on the survivors
+                    // instead of abandoning the protocol.
+                    if !self.fenced.contains(&to) {
+                        self.on_deaths(ctx, &[to]);
+                    }
+                } else {
+                    self.degrade(ctx.now());
+                }
             }
             RxEvent::Nothing => self.apply_actions(ctx, actions),
         }

@@ -94,6 +94,12 @@ pub trait Transport: std::fmt::Debug + Send {
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
     }
+
+    /// Fence a rank declared dead: drop any pending retransmissions to
+    /// it, so orphaned retry timers settle silently instead of burning
+    /// the budget (and eventually degrading *this* rank) on a corpse.
+    /// No-op for best-effort transports.
+    fn fence(&mut self, _dead: RankId) {}
 }
 
 /// Best-effort transport: frames pass through untouched.
@@ -122,9 +128,11 @@ impl Transport for Raw {
     fn receive(&mut self, _from: RankId, wire: LbWire, _out: &mut Vec<TxAction>) -> RxEvent {
         match wire {
             LbWire::Raw(msg) | LbWire::Data { msg, .. } => RxEvent::Deliver(msg),
-            LbWire::Ack { .. } | LbWire::RetryTimer { .. } | LbWire::StageTimer { .. } => {
-                RxEvent::Nothing
-            }
+            LbWire::Ack { .. }
+            | LbWire::RetryTimer { .. }
+            | LbWire::StageTimer { .. }
+            | LbWire::Heartbeat
+            | LbWire::HeartbeatTimer => RxEvent::Nothing,
         }
     }
 
@@ -147,6 +155,17 @@ impl Reliable {
     pub fn new(retry: RetryConfig, bytes_per_task: usize) -> Self {
         Reliable {
             channel: ReliableChannel::new(retry),
+            bytes_per_task,
+        }
+    }
+
+    /// Like [`Reliable::new`], but with retransmission backoff jittered
+    /// from the given seeded stream (see
+    /// [`ReliableChannel::with_jitter`]); the schedule is deterministic
+    /// per `(seed, rank)`, but no longer aligned across ranks.
+    pub fn jittered(retry: RetryConfig, bytes_per_task: usize, rng: rand::rngs::SmallRng) -> Self {
+        Reliable {
+            channel: ReliableChannel::with_jitter(retry, rng),
             bytes_per_task,
         }
     }
@@ -211,12 +230,18 @@ impl Transport for Reliable {
                 RetryAction::GaveUp { to, .. } => RxEvent::GaveUp { to },
                 RetryAction::Settled => RxEvent::Nothing,
             },
-            LbWire::StageTimer { .. } => RxEvent::Nothing,
+            LbWire::StageTimer { .. } | LbWire::Heartbeat | LbWire::HeartbeatTimer => {
+                RxEvent::Nothing
+            }
         }
     }
 
     fn stats(&self) -> ReliableStats {
         self.channel.stats
+    }
+
+    fn fence(&mut self, dead: RankId) {
+        self.channel.forget_peer(dead);
     }
 }
 
@@ -263,6 +288,10 @@ impl<T: Transport> Transport for Faulty<T> {
     fn fault_stats(&self) -> FaultStats {
         self.injector.stats
     }
+
+    fn fence(&mut self, dead: RankId) {
+        self.inner.fence(dead);
+    }
 }
 
 impl<T: Transport> Faulty<T> {
@@ -286,9 +315,20 @@ impl<T: Transport> Faulty<T> {
 }
 
 /// Build the transport stack an [`super::LbProtocolConfig`] denotes:
-/// [`Raw`] by default, [`Reliable`] when hardened.
-pub fn transport_for(cfg: &super::LbProtocolConfig) -> Box<dyn Transport> {
+/// [`Raw`] by default, [`Reliable`] when hardened. A hardened stack with
+/// a nonzero [`RetryConfig::jitter`] draws its backoff jitter from the
+/// dedicated `(b"retry", rank)` stream of `factory`, so retry timing is
+/// decorrelated across ranks yet fully seed-deterministic.
+pub fn transport_for(
+    cfg: &super::LbProtocolConfig,
+    me: RankId,
+    factory: &tempered_core::rng::RngFactory,
+) -> Box<dyn Transport> {
     match cfg.reliability {
+        Some(retry) if retry.jitter > 0.0 => {
+            let rng = factory.rank_stream(b"retry", me.as_u32() as u64, 0);
+            Box::new(Reliable::jittered(retry, cfg.bytes_per_task, rng))
+        }
         Some(retry) => Box::new(Reliable::new(retry, cfg.bytes_per_task)),
         None => Box::new(Raw::new(cfg.bytes_per_task)),
     }

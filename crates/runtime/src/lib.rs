@@ -19,9 +19,14 @@
 //!   ([`lb::engine::GossipEngine`]), stacked delivery transports
 //!   ([`lb::transport`]), and thin per-executor drivers.
 //! * [`fault`] — seed-deterministic fault injection (drop, duplication,
-//!   delay spikes, stragglers, pauses) shared by both executors.
+//!   delay spikes, stragglers, pauses, crash-stop failures) shared by
+//!   both executors.
 //! * [`reliable`] — at-least-once delivery with retransmission, backoff,
 //!   and receiver-side dedup, hardening the LB protocol against faults.
+//! * [`health`] — accrual-style heartbeat failure detection, turning a
+//!   crashed rank's silence into a deterministic suspicion verdict.
+//! * [`membership`] — epoch-stamped membership views (monotone dead
+//!   sets) used to fence stale-view traffic after a crash.
 //! * [`phase`] — phase demarcation and per-task instrumentation
 //!   (the *principle of persistence*, §III-B).
 //! * [`rdma`] — simulated one-sided RDMA handles with get/put/accumulate
@@ -32,7 +37,9 @@
 
 pub mod collective;
 pub mod fault;
+pub mod health;
 pub mod lb;
+pub mod membership;
 pub mod parallel;
 pub mod phase;
 pub mod rdma;
@@ -40,12 +47,14 @@ pub mod reliable;
 pub mod sim;
 pub mod termination;
 
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{CrashEvent, FaultPlan, FaultPlanError, FaultStats};
+pub use health::{HealthConfig, HealthDetector};
 pub use lb::{
     run_distributed_lb, run_distributed_lb_traced, run_distributed_lb_with_faults, run_local_lb,
     DistLbResult, DistributedGrapevineLb, DistributedTemperedLb, GossipEngine, LbProtocolConfig,
     LocalLbResult,
 };
+pub use membership::View;
 pub use reliable::{ReliableStats, RetryConfig};
 pub use sim::{NetworkModel, Protocol, SimReport, Simulator};
 pub use tempered_obs::NetworkStats;

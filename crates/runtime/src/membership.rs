@@ -1,0 +1,160 @@
+//! Epoch-stamped membership views for crash-stop fault tolerance.
+//!
+//! A [`View`] is a monotone record of which ranks have been declared
+//! dead. Because declarations only ever *add* ranks (crash-stop: the
+//! dead stay dead), the dead set is a join-semilattice under union and
+//! every rank converges to the same view by gossiping and merging dead
+//! sets — no agreement protocol is needed.
+//!
+//! The **generation** of a view is the size of its dead set. Protocol
+//! machinery uses the generation to fence cross-view traffic: the LB
+//! engine offsets its termination-detection epochs by
+//! `generation × VIEW_EPOCH_STRIDE` and stamps its collective slots with
+//! the generation, so any message produced under an older view is
+//! recognizably stale and dropped (see `lb::engine`). Two ranks can
+//! transiently hold different dead sets of the same size, but only when
+//! *different* ranks died concurrently — and then further view changes
+//! follow until the union is reached, with a full protocol restart on
+//! every growth, so the fencing remains conservative.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use tempered_core::ids::RankId;
+
+/// Spacing between the epoch ranges of consecutive view generations.
+/// Each LB protocol run uses epochs well below this bound, so offsetting
+/// by `generation × VIEW_EPOCH_STRIDE` guarantees epoch ranges of
+/// different views never collide.
+pub const VIEW_EPOCH_STRIDE: u64 = 1 << 32;
+
+/// A membership view: the full rank set minus the ranks declared dead.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    num_ranks: usize,
+    dead: BTreeSet<RankId>,
+}
+
+impl View {
+    /// The initial view: everyone alive.
+    pub fn new(num_ranks: usize) -> Self {
+        View {
+            num_ranks,
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// Total ranks in the system (live + dead).
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// View generation: grows with every declared death.
+    pub fn generation(&self) -> u64 {
+        self.dead.len() as u64
+    }
+
+    /// Whether `rank` is still considered alive.
+    pub fn is_live(&self, rank: RankId) -> bool {
+        !self.dead.contains(&rank)
+    }
+
+    /// The set of ranks declared dead.
+    pub fn dead(&self) -> &BTreeSet<RankId> {
+        &self.dead
+    }
+
+    /// Number of surviving ranks.
+    pub fn num_live(&self) -> usize {
+        self.num_ranks - self.dead.len()
+    }
+
+    /// Surviving ranks in ascending order.
+    pub fn live_ranks(&self) -> Vec<RankId> {
+        (0..self.num_ranks)
+            .map(RankId::from)
+            .filter(|r| self.is_live(*r))
+            .collect()
+    }
+
+    /// Declare a single rank dead. Returns `true` if the view grew
+    /// (i.e. this was news and the generation advanced).
+    pub fn declare_dead(&mut self, rank: RankId) -> bool {
+        debug_assert!(rank.as_usize() < self.num_ranks, "unknown rank {rank}");
+        self.dead.insert(rank)
+    }
+
+    /// Merge a peer's dead set (view-change propagation). Returns `true`
+    /// if the union grew our view.
+    pub fn merge(&mut self, dead: &BTreeSet<RankId>) -> bool {
+        let before = self.dead.len();
+        self.dead.extend(dead.iter().copied());
+        self.dead.len() > before
+    }
+
+    /// First epoch of this view's epoch range (see module docs).
+    pub fn epoch_base(&self) -> u64 {
+        self.generation() * VIEW_EPOCH_STRIDE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_view_has_everyone_live() {
+        let v = View::new(4);
+        assert_eq!(v.generation(), 0);
+        assert_eq!(v.epoch_base(), 0);
+        assert_eq!(v.num_live(), 4);
+        assert_eq!(v.live_ranks().len(), 4);
+        assert!(v.is_live(RankId::new(3)));
+    }
+
+    #[test]
+    fn declaring_dead_advances_the_generation_once() {
+        let mut v = View::new(4);
+        assert!(v.declare_dead(RankId::new(2)));
+        assert!(!v.declare_dead(RankId::new(2)), "not news twice");
+        assert_eq!(v.generation(), 1);
+        assert_eq!(v.epoch_base(), VIEW_EPOCH_STRIDE);
+        assert!(!v.is_live(RankId::new(2)));
+        assert_eq!(
+            v.live_ranks(),
+            vec![RankId::new(0), RankId::new(1), RankId::new(3)]
+        );
+    }
+
+    #[test]
+    fn merge_is_a_union_and_reports_growth() {
+        let mut a = View::new(5);
+        a.declare_dead(RankId::new(1));
+        let mut b = View::new(5);
+        b.declare_dead(RankId::new(3));
+        assert!(a.merge(b.dead()));
+        assert_eq!(a.generation(), 2);
+        assert!(!a.merge(b.dead()), "idempotent");
+        // Merging the larger view into the smaller converges them.
+        assert!(b.merge(a.dead()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_merges_converge_regardless_of_order() {
+        let sets: Vec<BTreeSet<RankId>> = vec![
+            [RankId::new(1)].into_iter().collect(),
+            [RankId::new(4), RankId::new(2)].into_iter().collect(),
+            [RankId::new(1), RankId::new(5)].into_iter().collect(),
+        ];
+        let mut fwd = View::new(8);
+        for s in &sets {
+            fwd.merge(s);
+        }
+        let mut rev = View::new(8);
+        for s in sets.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.generation(), 4);
+    }
+}

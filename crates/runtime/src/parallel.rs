@@ -23,7 +23,7 @@
 //! termination condition (as the LB protocol does); an actor that never
 //! reports done hangs the run, which tests guard with a wall-clock bound.
 
-use crate::fault::{Fate, FaultInjector, FaultPlan, FaultStats};
+use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats};
 use crate::sim::{Ctx, Protocol};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cmp::Reverse;
@@ -143,8 +143,11 @@ where
     // Per-worker injectors share the plan: sends from a rank are always
     // processed by its owning worker, so per-link ordinals — and hence
     // fault decisions — match the single-injector simulator exactly.
+    // Crash windows count wall-clock seconds from run start, mirroring
+    // the pause-window convention.
+    let crash_sched = CrashSchedule::new(&options.fault_plan.crashes);
     let plan = if options.fault_plan.is_zero() {
-        options.fault_plan.validate();
+        options.fault_plan.validate_or_panic();
         None
     } else {
         Some(options.fault_plan)
@@ -170,6 +173,7 @@ where
             let rx = receivers[w].clone();
             let done_count = &done_count;
             let injector = plan.clone().map(FaultInjector::new);
+            let crash_sched = crash_sched.clone();
             let recorder = options.recorder.clone();
             handles.push(scope.spawn(move || {
                 let mut worker = Worker {
@@ -179,6 +183,8 @@ where
                     done_flags: Vec::new(),
                     stats: NetworkStats::default(),
                     injector,
+                    crash_sched,
+                    crash_dropped: 0,
                     recorder,
                     start,
                     held: BinaryHeap::new(),
@@ -217,6 +223,7 @@ where
         m.counter_add("fault.reordered", faults.reordered);
         m.counter_add("fault.straggled", faults.straggled);
         m.counter_add("fault.paused", faults.paused);
+        m.counter_add("fault.crash_dropped", faults.crash_dropped);
         m.gauge_max("parallel.wall_time_s", start.elapsed().as_secs_f64());
     });
     ParallelReport {
@@ -234,6 +241,8 @@ struct Worker<'a, P: Protocol> {
     done_flags: Vec<bool>,
     stats: NetworkStats,
     injector: Option<FaultInjector>,
+    crash_sched: CrashSchedule,
+    crash_dropped: u64,
     recorder: Recorder,
     start: Instant,
     /// Protocol timers and delay-faulted envelopes awaiting their time.
@@ -248,13 +257,32 @@ where
     P::Msg: Send,
 {
     fn fault_stats(&self) -> FaultStats {
-        self.injector.as_ref().map(|i| i.stats).unwrap_or_default()
+        let mut stats = self.injector.as_ref().map(|i| i.stats).unwrap_or_default();
+        stats.crash_dropped += self.crash_dropped;
+        stats
     }
 
     fn mark_done(&mut self, slot: usize) {
         if self.shard[slot].1.is_done() && !self.done_flags[slot] {
             self.done_flags[slot] = true;
             self.done_count.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Count permanently-crashed local ranks as finished: they can never
+    /// report done themselves, and waiting on them would turn every fatal
+    /// crash into an idle-timeout failure.
+    fn sweep_crashed(&mut self) {
+        if self.crash_sched.is_empty() {
+            return;
+        }
+        let now = self.start.elapsed().as_secs_f64();
+        for slot in 0..self.shard.len() {
+            let me = RankId::from(self.shard[slot].0);
+            if !self.done_flags[slot] && self.crash_sched.is_down_forever(me, now) {
+                self.done_flags[slot] = true;
+                self.done_count.fetch_add(1, Ordering::SeqCst);
+            }
         }
     }
 
@@ -346,11 +374,27 @@ where
             .position(|(i, _)| *i == to)
             .expect("routed to owning worker");
         let me = RankId::from(to);
-        let mut outbox = std::mem::take(&mut self.outbox);
         // Monotonic seconds since executor start: the threaded analogue
         // of the simulator's virtual clock, used for timestamps only
         // (protocols treat `now` as opaque).
         let now = self.start.elapsed().as_secs_f64();
+        // Crash-stop: deliveries (messages and timers) to a down rank are
+        // discarded at arrival, mirroring the simulator's pop-time check.
+        if self.crash_sched.is_down(me, now) {
+            self.crash_dropped += 1;
+            if self.recorder.is_enabled() {
+                self.recorder.instant(
+                    from.as_u32(),
+                    now,
+                    EventKind::Fault {
+                        kind: "crash_drop",
+                        to: me.as_u32(),
+                    },
+                );
+            }
+            return;
+        }
+        let mut outbox = std::mem::take(&mut self.outbox);
         let mut ctx = Ctx::for_executor(me, now, &mut outbox);
         self.shard[slot].1.on_message(&mut ctx, from, msg);
         let timers = ctx.take_timers();
@@ -428,6 +472,7 @@ where
                         idle = Duration::ZERO;
                         continue;
                     }
+                    self.sweep_crashed();
                     if self.done_count.load(Ordering::SeqCst) == num_ranks {
                         return true;
                     }
@@ -438,6 +483,7 @@ where
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    self.sweep_crashed();
                     return self.done_count.load(Ordering::SeqCst) == num_ranks;
                 }
             }
@@ -574,6 +620,47 @@ mod tests {
         );
         assert!(report.completed);
         assert!(report.ranks.iter().all(|r| r.fired));
+    }
+
+    #[test]
+    fn fatal_crash_counts_as_finished_under_threads() {
+        use crate::fault::CrashEvent;
+        // Rank 1 is dead from t=0 and never reports done; the executor
+        // must still complete once rank 0 is done, and the ping addressed
+        // to the corpse must be discarded rather than delivered.
+        struct Idle {
+            me: usize,
+            got: bool,
+        }
+        impl Protocol for Idle {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if self.me == 0 {
+                    ctx.send(RankId::new(1), 1, 8);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, u8>, _: RankId, _: u8) {
+                self.got = true;
+            }
+            fn is_done(&self) -> bool {
+                self.me == 0
+            }
+        }
+        let report = run_parallel_with(
+            vec![Idle { me: 0, got: false }, Idle { me: 1, got: false }],
+            2,
+            Duration::from_secs(5),
+            ParallelOptions {
+                fault_plan: FaultPlan {
+                    crashes: vec![CrashEvent::fatal(RankId::new(1), 0.0)],
+                    ..FaultPlan::none()
+                },
+                ..Default::default()
+            },
+        );
+        assert!(report.completed, "dead rank must not hang the run");
+        assert!(!report.ranks[1].got, "delivery to a corpse");
+        assert_eq!(report.faults.crash_dropped, 1);
     }
 
     #[test]

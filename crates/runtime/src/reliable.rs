@@ -15,6 +15,8 @@
 //! embedding protocol what to (re)send; timers are driven through the
 //! executor's [`crate::sim::Ctx::schedule`] facility.
 
+use rand::rngs::SmallRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 use tempered_core::ids::RankId;
@@ -32,6 +34,13 @@ pub struct RetryConfig {
     /// Seconds a protocol stage may sit without progress before the
     /// rank degrades (see the LB protocol's stage deadlines).
     pub stage_deadline: f64,
+    /// Jitter amplitude on retry delays: each armed timer is multiplied
+    /// by a factor drawn uniformly from `[1, 1 + jitter]`, decorrelating
+    /// retransmission bursts across senders. The draw comes from a
+    /// seeded per-rank stream ([`ReliableChannel::with_jitter`]), so the
+    /// schedule is deterministic under a seed; a channel without a
+    /// jitter stream uses the exact exponential schedule.
+    pub jitter: f64,
 }
 
 impl Default for RetryConfig {
@@ -43,12 +52,14 @@ impl Default for RetryConfig {
             backoff: 2.0,
             max_retries: 16,
             stage_deadline: 0.25,
+            jitter: 0.1,
         }
     }
 }
 
 impl RetryConfig {
-    /// Timer delay for retransmission attempt `attempt` (0-based).
+    /// Nominal (jitter-free) timer delay for retransmission attempt
+    /// `attempt` (0-based): exponential backoff from `timeout`.
     pub fn delay_for(&self, attempt: u32) -> f64 {
         self.timeout * self.backoff.powi(attempt as i32)
     }
@@ -140,25 +151,51 @@ pub struct ReliableChannel<M> {
     next_seq: HashMap<RankId, u64>,
     pending: HashMap<(RankId, u64), Pending<M>>,
     seen: HashMap<RankId, SeqSet>,
+    /// Seeded stream for retry-delay jitter; `None` pins the exact
+    /// exponential schedule.
+    jitter_rng: Option<SmallRng>,
     /// Delivery-layer counters.
     pub stats: ReliableStats,
 }
 
 impl<M: Clone> ReliableChannel<M> {
-    /// New channel with the given retry policy.
+    /// New channel with the given retry policy and no jitter stream
+    /// (exact exponential schedule).
     pub fn new(cfg: RetryConfig) -> Self {
         ReliableChannel {
             cfg,
             next_seq: HashMap::new(),
             pending: HashMap::new(),
             seen: HashMap::new(),
+            jitter_rng: None,
             stats: ReliableStats::default(),
         }
+    }
+
+    /// New channel drawing retry-delay jitter from `rng` (a seeded
+    /// per-rank stream, so the schedule is deterministic under a seed).
+    pub fn with_jitter(cfg: RetryConfig, rng: SmallRng) -> Self {
+        let mut ch = ReliableChannel::new(cfg);
+        if cfg.jitter > 0.0 {
+            ch.jitter_rng = Some(rng);
+        }
+        ch
     }
 
     /// The retry policy.
     pub fn cfg(&self) -> &RetryConfig {
         &self.cfg
+    }
+
+    /// Delay to arm for retransmission attempt `attempt`: exponential
+    /// backoff, multiplied by a jitter factor in `[1, 1 + jitter]` when a
+    /// jitter stream is attached.
+    fn armed_delay(&mut self, attempt: u32) -> f64 {
+        let nominal = self.cfg.delay_for(attempt);
+        match &mut self.jitter_rng {
+            Some(rng) => nominal * (1.0 + rng.gen::<f64>() * self.cfg.jitter),
+            None => nominal,
+        }
     }
 
     /// Register a new outgoing message to `to`. Returns the assigned
@@ -177,7 +214,8 @@ impl<M: Clone> ReliableChannel<M> {
             },
         );
         self.stats.sent += 1;
-        (seq, self.cfg.delay_for(0))
+        let delay = self.armed_delay(0);
+        (seq, delay)
     }
 
     /// Handle an acknowledgement from `from` for `seq`.
@@ -210,12 +248,23 @@ impl<M: Clone> ReliableChannel<M> {
         }
         p.attempts += 1;
         self.stats.retransmitted += 1;
+        let (to, msg, attempts) = (p.to, p.msg.clone(), p.attempts);
         RetryAction::Resend {
-            to: p.to,
+            to,
             seq,
-            msg: p.msg.clone(),
-            next_delay: self.cfg.delay_for(p.attempts),
+            msg,
+            next_delay: self.armed_delay(attempts),
         }
+    }
+
+    /// Drop every pending message addressed to `to` — the peer was
+    /// declared dead and fenced. Their retry timers will find nothing and
+    /// settle, so a corpse never drags the sender into a spurious
+    /// give-up. Returns how many messages were abandoned.
+    pub fn forget_peer(&mut self, to: RankId) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|&(t, _), _| t != to);
+        before - self.pending.len()
     }
 
     /// Number of unacknowledged messages.
@@ -262,6 +311,7 @@ mod tests {
             backoff: 2.0,
             max_retries: 2,
             stage_deadline: 10.0,
+            jitter: 0.0,
         };
         let mut c: ReliableChannel<&str> = ReliableChannel::new(cfg);
         let (seq, d0) = c.send(RankId::new(3), "x");
@@ -286,6 +336,69 @@ mod tests {
         assert_eq!(c.stats.gave_up, 1);
         assert_eq!(c.stats.retransmitted, 2);
         assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn jittered_schedule_is_deterministic_backoff_within_bounds() {
+        use tempered_core::rng::RngFactory;
+        let cfg = RetryConfig {
+            timeout: 1.0,
+            backoff: 2.0,
+            max_retries: 4,
+            stage_deadline: 10.0,
+            jitter: 0.1,
+        };
+        let schedule = |seed: u64| -> Vec<f64> {
+            let rng = RngFactory::new(seed).rank_stream(b"retry", 0, 0);
+            let mut c: ReliableChannel<&str> = ReliableChannel::with_jitter(cfg, rng);
+            let (seq, d0) = c.send(RankId::new(3), "x");
+            let mut delays = vec![d0];
+            loop {
+                match c.on_retry_timer(RankId::new(3), seq) {
+                    RetryAction::Resend { next_delay, .. } => delays.push(next_delay),
+                    RetryAction::GaveUp { .. } => return delays,
+                    RetryAction::Settled => unreachable!("never acked"),
+                }
+            }
+        };
+        let a = schedule(7);
+        // max_retries resends after the initial arm, each with a delay.
+        assert_eq!(a.len(), 5);
+        for (attempt, &d) in a.iter().enumerate() {
+            let nominal = cfg.delay_for(attempt as u32);
+            assert!(
+                d >= nominal && d <= nominal * (1.0 + cfg.jitter),
+                "attempt {attempt}: {d} outside [{nominal}, {}]",
+                nominal * (1.0 + cfg.jitter)
+            );
+        }
+        // Backoff dominates the 10% jitter: the schedule still grows.
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "schedule must grow: {a:?}"
+        );
+        // Same seed, same schedule — bit-exact; different seed differs.
+        assert_eq!(a, schedule(7));
+        assert_ne!(a, schedule(8));
+    }
+
+    #[test]
+    fn forget_peer_settles_pending_without_give_up() {
+        let mut c = ch();
+        let (s1, _) = c.send(RankId::new(1), "a");
+        let (s2, _) = c.send(RankId::new(1), "b");
+        let (s3, _) = c.send(RankId::new(2), "c");
+        assert_eq!(c.forget_peer(RankId::new(1)), 2);
+        assert_eq!(c.pending_count(), 1);
+        // The orphaned retry timers settle instead of giving up.
+        assert_eq!(c.on_retry_timer(RankId::new(1), s1), RetryAction::Settled);
+        assert_eq!(c.on_retry_timer(RankId::new(1), s2), RetryAction::Settled);
+        assert_eq!(c.stats.gave_up, 0);
+        // Traffic to the surviving peer is untouched.
+        assert!(matches!(
+            c.on_retry_timer(RankId::new(2), s3),
+            RetryAction::Resend { .. }
+        ));
     }
 
     #[test]

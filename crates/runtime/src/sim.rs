@@ -24,7 +24,7 @@
 //!   simulator hook exists to *validate* the detector against ground
 //!   truth.
 
-use crate::fault::{Fate, FaultInjector, FaultPlan, FaultStats};
+use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tempered_core::ids::RankId;
@@ -246,6 +246,9 @@ pub struct Simulator<P: Protocol> {
     seq: u64,
     stats: NetworkStats,
     injector: Option<FaultInjector>,
+    crash_sched: CrashSchedule,
+    /// Deliveries discarded because the destination was crashed.
+    crash_dropped: u64,
     events_delivered: u64,
     recorder: Recorder,
     /// Network (non-timer) events currently queued; lets the executor
@@ -268,6 +271,8 @@ impl<P: Protocol> Simulator<P> {
             seq: 0,
             stats: NetworkStats::default(),
             injector: None,
+            crash_sched: CrashSchedule::default(),
+            crash_dropped: 0,
             events_delivered: 0,
             recorder: Recorder::disabled(),
             net_in_queue: 0,
@@ -280,8 +285,9 @@ impl<P: Protocol> Simulator<P> {
     /// touch the simulator's random stream, so the only way a plan can
     /// perturb anything is by actually injecting a fault.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.crash_sched = CrashSchedule::new(&plan.crashes);
         self.injector = if plan.is_zero() {
-            plan.validate();
+            plan.validate_or_panic();
             None
         } else {
             Some(FaultInjector::new(plan))
@@ -311,6 +317,13 @@ impl<P: Protocol> Simulator<P> {
     /// Consume the simulator and return the final per-rank states.
     pub fn into_ranks(self) -> Vec<P> {
         self.ranks
+    }
+
+    /// A rank no longer blocks completion: it reported done, or it crashed
+    /// for good — a permanently dead rank can never report anything, so
+    /// waiting on it would turn every fatal crash into a hang.
+    fn rank_finished(&self, p: usize) -> bool {
+        self.ranks[p].is_done() || self.crash_sched.is_down_forever(RankId::from(p), self.now)
     }
 
     fn flush_outbox(&mut self, from: RankId, outbox: &mut Vec<(RankId, P::Msg, usize)>) {
@@ -430,7 +443,7 @@ impl<P: Protocol> Simulator<P> {
             // the makespan, so only network events block completion.
             // Checked before popping so a pending far-future timer never
             // advances the clock of an already-finished run.
-            if self.net_in_queue == 0 && self.ranks.iter().all(|r| r.is_done()) {
+            if self.net_in_queue == 0 && (0..self.ranks.len()).all(|p| self.rank_finished(p)) {
                 break;
             }
             if self.events_delivered >= self.max_events {
@@ -443,10 +456,31 @@ impl<P: Protocol> Simulator<P> {
                 Some(Reverse(ev)) => {
                     debug_assert!(ev.time >= self.now, "time must be monotone");
                     self.now = ev.time;
-                    self.events_delivered += 1;
                     if !ev.timer {
                         self.net_in_queue -= 1;
                     }
+                    // Crash-stop: anything addressed to a down rank —
+                    // messages and its own timers — is discarded at
+                    // arrival time. Suppression happens at *pop* time,
+                    // never at send time, so the latency draws (taken per
+                    // send in `flush_outbox`) stay aligned with a
+                    // crash-free run; the clock still advances so the
+                    // down-forever accounting above sees crash times pass.
+                    if self.crash_sched.is_down(ev.to, ev.time) {
+                        self.crash_dropped += 1;
+                        if self.recorder.is_enabled() {
+                            self.recorder.instant(
+                                ev.from.as_u32(),
+                                ev.time,
+                                EventKind::Fault {
+                                    kind: "crash_drop",
+                                    to: ev.to.as_u32(),
+                                },
+                            );
+                        }
+                        continue;
+                    }
+                    self.events_delivered += 1;
                     let to = ev.to.as_usize();
                     let mut ctx = Ctx::for_executor(ev.to, self.now, &mut outbox);
                     self.ranks[to].on_message(&mut ctx, ev.from, ev.msg);
@@ -473,7 +507,8 @@ impl<P: Protocol> Simulator<P> {
             }
         }
 
-        let faults = self.injector.as_ref().map(|i| i.stats).unwrap_or_default();
+        let mut faults = self.injector.as_ref().map(|i| i.stats).unwrap_or_default();
+        faults.crash_dropped += self.crash_dropped;
         self.recorder.with_metrics(|m| {
             m.record_network("sim.net", &self.stats);
             m.counter_add("sim.events_delivered", self.events_delivered);
@@ -485,13 +520,14 @@ impl<P: Protocol> Simulator<P> {
             m.counter_add("fault.reordered", faults.reordered);
             m.counter_add("fault.straggled", faults.straggled);
             m.counter_add("fault.paused", faults.paused);
+            m.counter_add("fault.crash_dropped", faults.crash_dropped);
         });
         SimReport {
             finish_time: self.now,
             events_delivered: self.events_delivered,
             network: self.stats.clone(),
             faults,
-            completed: self.ranks.iter().all(|r| r.is_done()),
+            completed: (0..self.ranks.len()).all(|p| self.rank_finished(p)),
         }
     }
 }
@@ -801,6 +837,173 @@ mod tests {
         assert!(report.completed);
         assert_eq!(sim.rank(RankId::new(1)).arrived, Some(2.0));
         assert_eq!(report.faults.paused, 1);
+    }
+
+    /// Rank 0 pings every other rank and is done after enough pongs;
+    /// `expected_dead` lowers the quorum so survivors can finish.
+    struct QuorumPing {
+        me: usize,
+        num_ranks: usize,
+        expected_dead: usize,
+        pongs: usize,
+        done: bool,
+    }
+
+    impl Protocol for QuorumPing {
+        type Msg = PpMsg;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, PpMsg>) {
+            if self.me == 0 {
+                for r in 1..self.num_ranks {
+                    ctx.send(RankId::from(r), PpMsg::Ping, 8);
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, PpMsg>, from: RankId, msg: PpMsg) {
+            match msg {
+                PpMsg::Ping => {
+                    ctx.send(from, PpMsg::Pong, 8);
+                    self.done = true;
+                }
+                PpMsg::Pong => {
+                    self.pongs += 1;
+                    if self.pongs >= self.num_ranks - 1 - self.expected_dead {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn quorum(n: usize, expected_dead: usize) -> Vec<QuorumPing> {
+        (0..n)
+            .map(|me| QuorumPing {
+                me,
+                num_ranks: n,
+                expected_dead,
+                pongs: 0,
+                done: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fatal_crash_silences_the_rank_and_still_completes() {
+        use crate::fault::CrashEvent;
+        let mut sim = Simulator::new(quorum(8, 1), NetworkModel::default(), &RngFactory::new(1));
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashEvent::fatal(RankId::new(3), 0.0)],
+            ..FaultPlan::none()
+        });
+        let report = sim.run();
+        // The ping addressed to the dead rank is discarded at arrival.
+        assert_eq!(report.faults.crash_dropped, 1);
+        // Rank 0 collects the 6 surviving pongs; the dead rank counts as
+        // finished, so the run completes instead of hanging.
+        assert!(report.completed);
+        assert_eq!(sim.rank(RankId::new(0)).pongs, 6);
+        assert!(!sim.rank(RankId::new(3)).is_done());
+    }
+
+    #[test]
+    fn fatal_crash_starves_a_protocol_that_needs_everyone() {
+        use crate::fault::CrashEvent;
+        let mut sim = Simulator::new(quorum(8, 0), NetworkModel::default(), &RngFactory::new(1));
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashEvent::fatal(RankId::new(3), 0.0)],
+            ..FaultPlan::none()
+        });
+        let report = sim.run();
+        assert!(!report.completed, "rank 0 still waits for the dead pong");
+        assert!(!sim.rank(RankId::new(0)).is_done());
+    }
+
+    #[test]
+    fn warm_restart_resumes_delivery_but_loses_in_flight_messages() {
+        use crate::fault::CrashEvent;
+        // Rank 0 pings rank 1 at t=0 (lost in the outage) and again at
+        // t=5 via a timer (delivered after the restart).
+        struct TwoPings {
+            me: usize,
+            got: Vec<u8>,
+            sent_second: bool,
+        }
+        impl Protocol for TwoPings {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                if self.me == 0 {
+                    ctx.send(RankId::new(1), 1, 8);
+                    ctx.schedule(5.0, 0);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, from: RankId, msg: u8) {
+                if from == ctx.me() {
+                    ctx.send(RankId::new(1), 2, 8);
+                    self.sent_second = true;
+                } else {
+                    self.got.push(msg);
+                }
+            }
+            fn is_done(&self) -> bool {
+                if self.me == 0 {
+                    self.sent_second
+                } else {
+                    !self.got.is_empty()
+                }
+            }
+        }
+        let mk = |me| TwoPings {
+            me,
+            got: Vec::new(),
+            sent_second: false,
+        };
+        let mut sim = Simulator::new(
+            vec![mk(0), mk(1)],
+            NetworkModel::default(),
+            &RngFactory::new(1),
+        );
+        sim.set_fault_plan(FaultPlan {
+            crashes: vec![CrashEvent {
+                rank: RankId::new(1),
+                at: 0.0,
+                restart_after: Some(1.0),
+            }],
+            ..FaultPlan::none()
+        });
+        let report = sim.run();
+        assert!(report.completed);
+        assert_eq!(report.faults.crash_dropped, 1, "first ping lost in outage");
+        assert_eq!(
+            sim.rank(RankId::new(1)).got,
+            vec![2],
+            "second ping delivered"
+        );
+    }
+
+    #[test]
+    fn crash_after_completion_is_bit_identical_to_no_plan() {
+        use crate::fault::CrashEvent;
+        let run = |with_crash: bool| {
+            let mut sim = Simulator::new(make(16), NetworkModel::default(), &RngFactory::new(5));
+            if with_crash {
+                sim.set_fault_plan(FaultPlan {
+                    crashes: vec![CrashEvent::fatal(RankId::new(5), 1e6)],
+                    ..FaultPlan::none()
+                });
+            }
+            let r = sim.run();
+            (
+                r.finish_time.to_bits(),
+                r.events_delivered,
+                r.network.messages,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

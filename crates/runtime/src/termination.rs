@@ -25,6 +25,7 @@
 
 use crate::collective::Tree;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use tempered_core::ids::RankId;
 
 /// Control messages of the detector.
@@ -82,7 +83,14 @@ pub struct TdOutcome {
 pub struct TerminationDetector {
     me: RankId,
     num_ranks: usize,
+    /// Broadcast tree over *live-rank indices* (root = index 0, the
+    /// coordinator). With no dead ranks, live index == rank id and this
+    /// is the original full tree.
     tree: Tree,
+    /// Ranks declared crashed; they leave the ring and the tree.
+    dead: BTreeSet<RankId>,
+    /// Sorted surviving ranks; `live[0]` coordinates.
+    live: Vec<RankId>,
     epoch: u64,
     sent: u64,
     recv: u64,
@@ -105,6 +113,8 @@ impl TerminationDetector {
             me,
             num_ranks,
             tree: Tree::new(num_ranks, RankId::new(0)),
+            dead: BTreeSet::new(),
+            live: (0..num_ranks).map(RankId::from).collect(),
             epoch: 0,
             sent: 0,
             recv: 0,
@@ -118,6 +128,73 @@ impl TerminationDetector {
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The rank coordinating waves: the lowest surviving rank.
+    pub fn coordinator(&self) -> RankId {
+        self.live[0]
+    }
+
+    /// Whether `rank` has been declared dead.
+    pub fn is_dead(&self, rank: RankId) -> bool {
+        self.dead.contains(&rank)
+    }
+
+    /// Number of surviving ranks.
+    pub fn num_live(&self) -> usize {
+        self.live.len()
+    }
+
+    /// This rank's successor in the live token ring.
+    fn next_live(&self) -> RankId {
+        let i = self
+            .live
+            .binary_search(&self.me)
+            .expect("a dead rank cannot run the detector");
+        self.live[(i + 1) % self.live.len()]
+    }
+
+    /// Children of `me` in the termination broadcast tree over survivors.
+    fn bcast_children(&self) -> Vec<RankId> {
+        let i = self
+            .live
+            .binary_search(&self.me)
+            .expect("a dead rank cannot run the detector");
+        self.tree
+            .children(RankId::from(i))
+            .into_iter()
+            .map(|c| self.live[c.as_usize()])
+            .collect()
+    }
+
+    /// Declare `dead` ranks crashed: they leave the token ring and the
+    /// termination broadcast tree, and the coordinator role moves to the
+    /// lowest survivor. Wave bookkeeping is reset and — when this rank
+    /// now coordinates an unterminated epoch — a fresh wave is launched,
+    /// because the old token may be parked at a corpse and would stall
+    /// the epoch forever. Basic-message counters are *not* adjusted:
+    /// traffic already counted toward a dead rank keeps the epoch
+    /// unbalanced, so embedding protocols restart their epoch after a
+    /// view change (see `lb::engine`); the regenerated wave guarantees
+    /// the detector keeps probing instead of hanging.
+    pub fn set_dead(&mut self, dead: &BTreeSet<RankId>) -> TdOutcome {
+        debug_assert!(!dead.contains(&self.me), "a rank cannot outlive itself");
+        if *dead == self.dead {
+            return TdOutcome::default();
+        }
+        self.dead = dead.clone();
+        self.live = (0..self.num_ranks)
+            .map(RankId::from)
+            .filter(|r| !self.dead.contains(r))
+            .collect();
+        self.tree = Tree::new(self.live.len(), RankId::new(0));
+        self.prev_wave = None;
+        self.wave = 0;
+        self.forwarded_wave = 0;
+        if self.terminated {
+            return TdOutcome::default();
+        }
+        self.kick()
     }
 
     /// Whether the current epoch has been declared terminated at this
@@ -156,13 +233,13 @@ impl TerminationDetector {
     }
 
     /// Coordinator: launch the first wave of the current epoch. No-op on
-    /// other ranks. For a single-rank system the epoch terminates
-    /// immediately (nothing can be in flight).
+    /// other ranks. When this rank is the sole survivor the epoch
+    /// terminates immediately (nothing can be in flight).
     pub fn kick(&mut self) -> TdOutcome {
-        if self.me.as_u32() != 0 || self.terminated {
+        if self.me != self.coordinator() || self.terminated {
             return TdOutcome::default();
         }
-        if self.num_ranks == 1 {
+        if self.live.len() == 1 {
             self.terminated = true;
             return TdOutcome {
                 sends: Vec::new(),
@@ -173,7 +250,7 @@ impl TerminationDetector {
         self.wave += 1;
         TdOutcome {
             sends: vec![TdSend {
-                to: RankId::new(1),
+                to: self.next_live(),
                 msg: TdMsg::Token {
                     epoch: self.epoch,
                     wave: self.wave,
@@ -198,7 +275,7 @@ impl TerminationDetector {
                     // Stale token from a finished epoch: drop it.
                     return TdOutcome::default();
                 }
-                if self.me.as_u32() == 0 {
+                if self.me == self.coordinator() {
                     if wave != self.wave {
                         // A duplicated or reordered token from an already
                         // completed wave: processing it again would count
@@ -214,8 +291,7 @@ impl TerminationDetector {
                         // Terminated: broadcast down the tree.
                         self.terminated = true;
                         let mut sends: Vec<TdSend> = self
-                            .tree
-                            .children(self.me)
+                            .bcast_children()
                             .into_iter()
                             .map(|to| TdSend {
                                 to,
@@ -233,7 +309,7 @@ impl TerminationDetector {
                         self.wave = wave + 1;
                         TdOutcome {
                             sends: vec![TdSend {
-                                to: RankId::new(1),
+                                to: self.next_live(),
                                 msg: TdMsg::Token {
                                     epoch,
                                     wave: self.wave,
@@ -252,8 +328,8 @@ impl TerminationDetector {
                         return TdOutcome::default();
                     }
                     self.forwarded_wave = wave;
-                    // Accumulate and pass along the ring.
-                    let next = RankId::from((self.me.as_usize() + 1) % self.num_ranks);
+                    // Accumulate and pass along the live ring.
+                    let next = self.next_live();
                     TdOutcome {
                         sends: vec![TdSend {
                             to: next,
@@ -274,8 +350,7 @@ impl TerminationDetector {
                 }
                 self.terminated = true;
                 let sends = self
-                    .tree
-                    .children(self.me)
+                    .bcast_children()
                     .into_iter()
                     .map(|to| TdSend {
                         to,
@@ -562,6 +637,101 @@ mod tests {
             }
         }
         assert!(dets.iter().all(|d| d.is_terminated()));
+    }
+
+    /// Drain `queue`, discarding anything addressed to `dead_rank`.
+    fn drain_with_corpse(
+        dets: &mut [TerminationDetector],
+        queue: &mut VecDeque<(usize, TdMsg)>,
+        dead_rank: Option<usize>,
+    ) {
+        let mut guard = 0;
+        while let Some((to, msg)) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 100_000, "TD did not converge");
+            if Some(to) == dead_rank {
+                continue; // the corpse swallows its mail
+            }
+            for s in dets[to].handle(msg).sends {
+                queue.push_back((s.to.as_usize(), s.msg));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_rank_does_not_hang_the_detector() {
+        // Regression: rank 2 never responds, so the wave token parks at
+        // the corpse and the epoch stalls. Declaring the rank dead must
+        // regenerate the wave over the shrunken ring and terminate the
+        // epoch on every survivor instead of hanging forever.
+        let num_ranks = 4;
+        let corpse = 2usize;
+        let mut dets: Vec<TerminationDetector> = (0..num_ranks)
+            .map(|r| {
+                let mut d = TerminationDetector::new(RankId::from(r), num_ranks);
+                d.start_epoch(1);
+                d
+            })
+            .collect();
+        let mut queue: VecDeque<(usize, TdMsg)> = VecDeque::new();
+        for s in dets[0].kick().sends {
+            queue.push_back((s.to.as_usize(), s.msg));
+        }
+        drain_with_corpse(&mut dets, &mut queue, Some(corpse));
+        assert!(
+            dets.iter().all(|d| !d.is_terminated()),
+            "token parked at the corpse must stall the epoch"
+        );
+
+        // Survivors declare the corpse dead; the coordinator's set_dead
+        // relaunches the wave over the live ring.
+        let dead: BTreeSet<RankId> = [RankId::from(corpse)].into_iter().collect();
+        for r in (0..num_ranks).filter(|&r| r != corpse) {
+            for s in dets[r].set_dead(&dead).sends {
+                queue.push_back((s.to.as_usize(), s.msg));
+            }
+        }
+        drain_with_corpse(&mut dets, &mut queue, Some(corpse));
+        for (r, d) in dets.iter().enumerate() {
+            if r != corpse {
+                assert!(d.is_terminated(), "survivor {r} must terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_death_moves_coordination_to_lowest_survivor() {
+        let num_ranks = 3;
+        let mut dets: Vec<TerminationDetector> = (0..num_ranks)
+            .map(|r| {
+                let mut d = TerminationDetector::new(RankId::from(r), num_ranks);
+                d.start_epoch(1);
+                d
+            })
+            .collect();
+        let dead: BTreeSet<RankId> = [RankId::new(0)].into_iter().collect();
+        let mut queue: VecDeque<(usize, TdMsg)> = VecDeque::new();
+        for d in dets.iter_mut().skip(1) {
+            assert_eq!(d.coordinator(), RankId::new(0));
+            for s in d.set_dead(&dead).sends {
+                queue.push_back((s.to.as_usize(), s.msg));
+            }
+            assert_eq!(d.coordinator(), RankId::new(1));
+        }
+        drain_with_corpse(&mut dets, &mut queue, Some(0));
+        assert!(dets[1].is_terminated());
+        assert!(dets[2].is_terminated());
+    }
+
+    #[test]
+    fn sole_survivor_terminates_immediately_on_set_dead() {
+        let mut d = TerminationDetector::new(RankId::new(1), 3);
+        d.start_epoch(1);
+        let dead: BTreeSet<RankId> = [RankId::new(0), RankId::new(2)].into_iter().collect();
+        let out = d.set_dead(&dead);
+        assert_eq!(out.terminated_epoch, Some(1));
+        assert!(d.is_terminated());
+        assert_eq!(d.num_live(), 1);
     }
 
     #[test]

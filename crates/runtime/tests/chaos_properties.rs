@@ -10,7 +10,8 @@ use std::time::Duration;
 use tempered_core::distribution::Distribution;
 use tempered_core::ids::{RankId, TaskId};
 use tempered_core::rng::RngFactory;
-use tempered_runtime::fault::{FaultPlan, PauseWindow};
+use tempered_runtime::fault::{CrashEvent, FaultPlan, FaultStats, PauseWindow};
+use tempered_runtime::health::HealthConfig;
 use tempered_runtime::lb::{LbProtocolConfig, LbRank};
 use tempered_runtime::parallel::{run_parallel_with, ParallelOptions};
 use tempered_runtime::reliable::RetryConfig;
@@ -36,6 +37,7 @@ fn generous_retry() -> RetryConfig {
         backoff: 1.5,
         max_retries: 30,
         stage_deadline: 30.0,
+        ..RetryConfig::default()
     }
 }
 
@@ -129,6 +131,7 @@ proptest! {
             reorder_factor: 25.0,
             stragglers: vec![(RankId::new(1), 16.0)],
             pauses: vec![PauseWindow { rank: RankId::new(0), from: 0.001, until: 0.004 }],
+            ..FaultPlan::none()
         };
         // run_distributed_lb_with_faults asserts completion internally;
         // reaching this point at all is the termination property.
@@ -176,6 +179,89 @@ proptest! {
         // termination-detection waves, so control traffic is timing-
         // dependent even though the committed assignment is not.)
         prop_assert!(slow.report.finish_time >= clean.report.finish_time);
+    }
+
+    /// [`FaultStats::merge`] is commutative: per-worker counters can be
+    /// folded in any order.
+    #[test]
+    fn fault_stats_merge_is_commutative(a in arb_fault_stats(), b in arb_fault_stats()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// [`FaultStats::merge`] is associative: folding worker counters in
+    /// any grouping gives the same totals.
+    #[test]
+    fn fault_stats_merge_is_associative(
+        a in arb_fault_stats(),
+        b in arb_fault_stats(),
+        c in arb_fault_stats(),
+    ) {
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}
+
+fn arb_fault_stats() -> impl Strategy<Value = FaultStats> {
+    // u32 counters so triple sums cannot overflow the u64 fields.
+    prop::collection::vec(any::<u32>(), 8).prop_map(|v| FaultStats {
+        faultable: v[0] as u64,
+        dropped: v[1] as u64,
+        duplicated: v[2] as u64,
+        spiked: v[3] as u64,
+        reordered: v[4] as u64,
+        straggled: v[5] as u64,
+        paused: v[6] as u64,
+        crash_dropped: v[7] as u64,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random crash plans against the crash-tolerant protocol: up to a
+    /// quarter of the ranks die fatally at arbitrary times (before,
+    /// during, or after the pass), and the run must always terminate —
+    /// never hang — and do so bit-identically across reruns of the same
+    /// seed.
+    #[test]
+    fn random_crash_plans_terminate_deterministically(
+        seed in any::<u64>(),
+        deaths in prop::collection::vec(1usize..12, 3),
+        times in prop::collection::vec(1e-5f64..5e-3, 3),
+    ) {
+        let dist = concentrated(12, 2, 15);
+        let cfg = small_cfg()
+            .hardened(generous_retry())
+            .crash_tolerant(HealthConfig::default());
+        let deaths: std::collections::BTreeSet<usize> = deaths.into_iter().collect();
+        let crashes: Vec<CrashEvent> = deaths
+            .iter()
+            .zip(&times)
+            .map(|(&r, &t)| CrashEvent::fatal(RankId::from(r), t))
+            .collect();
+        let plan = FaultPlan { crashes, ..FaultPlan::none() };
+        let run = || run_distributed_lb_with_faults(
+            &dist, cfg, NetworkModel::default(), &RngFactory::new(seed), plan.clone());
+        let a = run();
+        // No more tasks than went in (corpse tasks may be lost; nothing
+        // is ever duplicated into the reported distribution).
+        prop_assert!(a.distribution.num_tasks() <= dist.num_tasks());
+        a.distribution.check_invariants().map_err(TestCaseError::fail)?;
+        let b = run();
+        prop_assert_eq!(assignment(&a.distribution), assignment(&b.distribution));
+        prop_assert_eq!(a.report.events_delivered, b.report.events_delivered);
+        prop_assert_eq!(a.report.finish_time.to_bits(), b.report.finish_time.to_bits());
+        prop_assert_eq!(a.degraded_ranks, b.degraded_ranks);
     }
 }
 
@@ -332,6 +418,7 @@ fn blackout_degrades_every_rank_and_reverts_to_input() {
         backoff: 2.0,
         max_retries: 4,
         stage_deadline: 0.01,
+        ..RetryConfig::default()
     });
     let plan = FaultPlan {
         drop: 1.0,
@@ -370,6 +457,7 @@ fn parallel_executor_converges_under_faults() {
         backoff: 2.0,
         max_retries: 12,
         stage_deadline: 10.0,
+        ..RetryConfig::default()
     });
     let plan = FaultPlan {
         seed: 9,
