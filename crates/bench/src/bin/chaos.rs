@@ -20,14 +20,25 @@
 //! (retransmissions, suppressed duplicates, give-ups), degradation
 //! counts, and the modeled makespan — the cost of chaos in one table.
 //!
+//! A fourth grid splits the network: clean rank-set bipartitions up to
+//! 50/50 (permanent or healing mid-gossip) and gray-link storms (lossy
+//! and flapping paths) run against the partition-tolerant stack. The
+//! quorum side must commit, the quorum-less side must park read-only
+//! (never a split-brain double commit), heals must re-merge every rank,
+//! and each cell must reproduce bit-identically when re-run under the
+//! same seed and plan.
+//!
 //! Run with: `cargo run --release -p tempered-bench --bin chaos`
-//! Writes `results/chaos.csv`, `results/chaos_grapevine.csv`, and
-//! `results/chaos_crash.csv`.
+//! Writes `results/chaos.csv`, `results/chaos_grapevine.csv`,
+//! `results/chaos_crash.csv`, and `results/chaos_partition.csv`.
 //!
 //! An ad-hoc crash scenario can be injected with repeated
 //! `--crash <rank>@<time>[+<downtime>]` arguments; an invalid plan
 //! (malformed spec, duplicate rank, negative time) is reported as a
-//! clean CLI error instead of a panic.
+//! clean CLI error instead of a panic. A full [`FaultPlan`] can be
+//! loaded from a JSON file with `--plan <file.json>` (see
+//! `examples/plans/` for the format) and is run against the
+//! partition-tolerant stack.
 
 use lbaf::Table;
 use std::collections::BTreeSet;
@@ -39,7 +50,7 @@ use tempered_runtime::lb::LbProtocolConfig;
 use tempered_runtime::sim::NetworkModel;
 use tempered_runtime::{
     run_distributed_lb, run_distributed_lb_with_faults, CrashEvent, DistLbResult, FaultPlan,
-    HealthConfig, RetryConfig,
+    HealthConfig, LinkFault, LinkFaultKind, PartitionConfig, PartitionWindow, RetryConfig,
 };
 
 /// Hot-spot input: a few overloaded ranks, the rest empty.
@@ -296,6 +307,191 @@ fn crash_sweep(
     (table, violations)
 }
 
+/// One named partition/gray-link scenario of the partition grid.
+struct PartitionScenario {
+    name: &'static str,
+    plan: FaultPlan,
+    /// Ranks expected to park (0 = the scenario should commit on all).
+    expect_parked: usize,
+}
+
+/// Build the partition-grid scenarios for `num_ranks` ranks: clean
+/// splits up to 50/50 (permanent and healing mid-gossip) plus gray-link
+/// storms that must be absorbed without killing anyone.
+fn partition_scenarios(num_ranks: usize) -> Vec<PartitionScenario> {
+    let side = |count: usize| -> Vec<RankId> {
+        // Spread the minority across the rank space, hot ranks included.
+        (0..count)
+            .map(|i| RankId::from(1 + i * num_ranks / (count + 1)))
+            .collect()
+    };
+    let split = |count: usize, start: f64, end: Option<f64>| PartitionWindow {
+        side: side(count),
+        start,
+        end,
+    };
+    let mut scenarios = Vec::new();
+    for count in [num_ranks / 8, num_ranks / 4] {
+        scenarios.push(PartitionScenario {
+            name: if count == num_ranks / 8 {
+                "split_eighth"
+            } else {
+                "split_quarter"
+            },
+            plan: FaultPlan {
+                seed: 0x9A47 ^ count as u64,
+                partitions: vec![split(count, 2e-4, None)],
+                ..FaultPlan::none()
+            },
+            expect_parked: count,
+        });
+    }
+    scenarios.push(PartitionScenario {
+        name: "split_half",
+        plan: FaultPlan {
+            seed: 0x9A47,
+            partitions: vec![split(num_ranks / 2, 2e-4, None)],
+            ..FaultPlan::none()
+        },
+        // A 50/50 split leaves no strict majority: everyone parks.
+        expect_parked: num_ranks,
+    });
+    scenarios.push(PartitionScenario {
+        name: "heal_mid_gossip",
+        plan: FaultPlan {
+            seed: 0x6EA1,
+            partitions: vec![split(num_ranks / 4, 2e-4, Some(0.02))],
+            ..FaultPlan::none()
+        },
+        // The heal re-admits and un-parks every rank.
+        expect_parked: 0,
+    });
+    scenarios.push(PartitionScenario {
+        name: "gray_lossy_storm",
+        plan: FaultPlan {
+            seed: 0x10_55,
+            links: vec![
+                LinkFault {
+                    src: vec![RankId::new(0)],
+                    dst: vec![RankId::new(3), RankId::new(5)],
+                    start: 0.0,
+                    end: None,
+                    kind: LinkFaultKind::Lossy { p: 0.35 },
+                },
+                LinkFault {
+                    src: vec![RankId::new(2)],
+                    dst: vec![RankId::new(1)],
+                    start: 0.0,
+                    end: None,
+                    kind: LinkFaultKind::Corrupt { p: 0.25 },
+                },
+            ],
+            ..FaultPlan::none()
+        },
+        expect_parked: 0,
+    });
+    scenarios.push(PartitionScenario {
+        name: "gray_flap_delay",
+        plan: FaultPlan {
+            seed: 0xF1A9,
+            links: vec![
+                LinkFault {
+                    src: vec![RankId::new(1)],
+                    dst: vec![RankId::new(4)],
+                    start: 0.0,
+                    end: None,
+                    kind: LinkFaultKind::Flap {
+                        period: 1e-3,
+                        duty: 0.5,
+                    },
+                },
+                LinkFault {
+                    src: vec![RankId::new(6)],
+                    dst: vec![RankId::new(0)],
+                    start: 0.0,
+                    end: None,
+                    kind: LinkFaultKind::Delay { factor: 8.0 },
+                },
+            ],
+            ..FaultPlan::none()
+        },
+        expect_parked: 0,
+    });
+    scenarios
+}
+
+/// Sweep one partition-tolerant balancer over the partition grid. Every
+/// cell runs twice under the same seed and plan; the pair must agree
+/// bit-exactly (assignment, event count, finish time) and match the
+/// scenario's expected parked count. Returns the table and the number
+/// of violated cells.
+fn partition_sweep(
+    name: &str,
+    cfg: LbProtocolConfig,
+    dist: &Distribution,
+    seed: u64,
+) -> (Table, usize) {
+    let mut table = Table::new(
+        format!("{name} under partitions and gray links"),
+        &[
+            "scenario",
+            "parked",
+            "degraded",
+            "link_cut",
+            "corrupted",
+            "retrans",
+            "revived",
+            "events",
+            "finish_ms",
+            "imbalance",
+            "outcome",
+        ],
+    );
+
+    let mut violations = 0usize;
+    for s in partition_scenarios(dist.num_ranks()) {
+        let out = run_with_plan(dist, cfg, seed, s.plan.clone());
+        let again = run_with_plan(dist, cfg, seed, s.plan.clone());
+        let deterministic = assignment(&out.distribution) == assignment(&again.distribution)
+            && out.report.events_delivered == again.report.events_delivered
+            && out.report.finish_time.to_bits() == again.report.finish_time.to_bits()
+            && out.parked_ranks == again.parked_ranks;
+        let parked_ok = out.parked_ranks == s.expect_parked;
+        let conserved = out.distribution.num_tasks() == dist.num_tasks();
+        let outcome = match (deterministic, parked_ok, conserved) {
+            (true, true, true) => "ok".to_string(),
+            (false, _, _) => "NONDETERMINISTIC".to_string(),
+            (_, false, _) => format!("PARKED={}", out.parked_ranks),
+            (_, _, false) => "TASKS_LOST".to_string(),
+        };
+        if !(deterministic && parked_ok && conserved) {
+            violations += 1;
+        }
+
+        let reg = lb_run_metrics(&out);
+        let mut row = vec![s.name.to_string()];
+        row.extend(counter_cells(
+            &reg,
+            &[
+                "lb.parked_ranks",
+                "lb.degraded_ranks",
+                "fault.link_cut",
+                "fault.corrupted",
+                "lb.reliable.retransmitted",
+                "lb.reliable.revived",
+                "sim.events_delivered",
+            ],
+        ));
+        row.push(format!("{:.2}", out.report.finish_time * 1e3));
+        row.push(format!("{:.3}", out.final_imbalance));
+        row.push(outcome);
+        table.push_row(row);
+    }
+
+    println!("{}", table.render());
+    (table, violations)
+}
+
 /// Parse a `--crash rank@time[+downtime]` specification.
 fn parse_crash_spec(spec: &str) -> Result<CrashEvent, String> {
     let (rank, rest) = spec
@@ -344,6 +540,32 @@ fn custom_crashes() -> Vec<CrashEvent> {
     crashes
 }
 
+/// `--plan <file.json>`: load a full [`FaultPlan`] from disk (empty when
+/// the flag is absent). Unreadable files and malformed JSON are clean
+/// CLI failures.
+fn plan_from_file() -> Option<FaultPlan> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg != "--plan" {
+            continue;
+        }
+        let path = args.next().unwrap_or_else(|| {
+            eprintln!("chaos: --plan needs a <file.json> argument");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("chaos: cannot read plan file {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = FaultPlan::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("chaos: bad plan file {path}: {e}");
+            std::process::exit(2);
+        });
+        return Some(plan);
+    }
+    None
+}
+
 fn main() {
     let quick = tempered_bench::quick_mode();
     let (num_ranks, hot, tasks) = if quick { (16, 2, 25) } else { (32, 3, 40) };
@@ -367,6 +589,27 @@ fn main() {
     .hardened(retry);
     let grapevine = LbProtocolConfig::grapevine().hardened(retry);
     let crash_tolerant = tempered.crash_tolerant(HealthConfig::default());
+    let partition_knobs = PartitionConfig {
+        park_deadline: 0.05,
+    };
+    let partition_tolerant = crash_tolerant.partition_tolerant(partition_knobs);
+
+    // A full fault plan from a JSON file: validate, run against the
+    // partition-tolerant stack, report.
+    if let Some(plan) = plan_from_file() {
+        let out = run_with_plan(&dist, partition_tolerant, seed, plan);
+        println!(
+            "plan scenario: imbalance {:.3} -> {:.3}, {} migrations, \
+             {} degraded, {} parked, finish {:.2} ms",
+            out.initial_imbalance,
+            out.final_imbalance,
+            out.tasks_migrated,
+            out.degraded_ranks,
+            out.parked_ranks,
+            out.report.finish_time * 1e3
+        );
+        return;
+    }
 
     // Ad-hoc scenario from the command line: validate, run, report.
     let custom = custom_crashes();
@@ -417,6 +660,25 @@ fn main() {
     let (crash_table, crash_violations) = crash_sweep(crash_tolerant, &dist, seed, &counts, &times);
     write_results("chaos_crash.csv", &crash_table.to_csv());
 
+    // Partition grid: clean splits up to 50/50, gray-link storms, and a
+    // heal mid-gossip, for both balancers through the same stack.
+    let mut partition_violations = 0usize;
+    let mut partition_csv = String::new();
+    for (name, cfg) in [
+        ("Partition-tolerant TemperedLB", partition_tolerant),
+        (
+            "Partition-tolerant GrapevineLB",
+            grapevine
+                .crash_tolerant(HealthConfig::default())
+                .partition_tolerant(partition_knobs),
+        ),
+    ] {
+        let (table, bad) = partition_sweep(name, cfg, &dist, seed);
+        partition_csv.push_str(&table.to_csv());
+        partition_violations += bad;
+    }
+    write_results("chaos_partition.csv", &partition_csv);
+
     assert_eq!(
         mismatches, 0,
         "a non-degraded chaotic run diverged from the fault-free assignment"
@@ -424,5 +686,9 @@ fn main() {
     assert_eq!(
         crash_violations, 0,
         "a crash-stop run was nondeterministic or left the survivors imbalanced"
+    );
+    assert_eq!(
+        partition_violations, 0,
+        "a partitioned run double-committed, lost tasks, or failed to reproduce"
     );
 }

@@ -91,11 +91,16 @@ pub fn lb_run_metrics(out: &DistLbResult) -> MetricsRegistry {
         out.reliable.duplicates_suppressed,
     );
     m.counter_add("lb.reliable.gave_up", out.reliable.gave_up);
+    m.counter_add("lb.reliable.revived", out.reliable.revived);
     m.counter_add("lb.degraded_ranks", out.degraded_ranks as u64);
+    m.counter_add("lb.parked_ranks", out.parked_ranks as u64);
     m.counter_add("lb.tasks_migrated", out.tasks_migrated as u64);
     m.counter_add("fault.faultable", out.report.faults.faultable);
     m.counter_add("fault.dropped", out.report.faults.dropped);
     m.counter_add("fault.crash_dropped", out.report.faults.crash_dropped);
+    m.counter_add("fault.link_cut", out.report.faults.link_cut);
+    m.counter_add("fault.link_delayed", out.report.faults.link_delayed);
+    m.counter_add("fault.corrupted", out.report.faults.corrupted);
     m.counter_add("fault.reordered", out.report.faults.reordered);
     m.counter_add("fault.duplicated", out.report.faults.duplicated);
     m.counter_add("fault.spiked", out.report.faults.spiked);

@@ -1382,6 +1382,21 @@ impl Protocol for PicRank {
         matches!(msg, PicMsg::Lb { .. })
     }
 
+    /// Only the embedded LB's frames carry a checksum, so only they can
+    /// arrive *detectably* damaged: the wrapped frame is re-delivered by
+    /// the balancer's reliable layer after the receiver drops it. For
+    /// everything else corruption degenerates to loss (the host
+    /// runtime's transport is assumed to checksum below this layer).
+    fn corrupted(msg: &PicMsg) -> Option<PicMsg> {
+        match msg {
+            PicMsg::Lb { gen, wire } => Some(PicMsg::Lb {
+                gen: *gen,
+                wire: wire.damaged(),
+            }),
+            _ => None,
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_, PicMsg>) {
         self.begin_step(ctx);
     }

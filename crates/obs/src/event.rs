@@ -67,6 +67,19 @@ pub enum EventKind {
         /// The unreachable destination rank.
         to: u32,
     },
+    /// Retry exhaustion was attributed to the *link* (the failure
+    /// detector still vouches for the peer): the payload was reinstated
+    /// with a fresh budget and the link's quality score debited.
+    LinkSuspect {
+        /// Destination rank of the suspect path.
+        to: u32,
+    },
+    /// A frame failed its checksum on receive and was dropped; the
+    /// sender's reliable channel re-delivers it.
+    CorruptDropped {
+        /// Origin rank of the damaged frame.
+        from: u32,
+    },
     /// The rank abandoned the LB protocol and fell back to its current
     /// assignment (stage deadline or retry give-up).
     Degraded {
@@ -110,6 +123,18 @@ pub enum EventKind {
         /// Size of the dead set in the new view.
         dead: u32,
     },
+    /// This rank's live component lost quorum under a partition and the
+    /// rank parked read-only (no protocol progress, no commit).
+    Parked {
+        /// Generation of the quorum-less view.
+        generation: u32,
+    },
+    /// A partition heal: this rank adopted (or minted) a healed view that
+    /// readmits previously fenced ranks.
+    Healed {
+        /// Generation of the healed view.
+        generation: u32,
+    },
     /// End-of-step object checkpoint shipped to a buddy rank.
     CheckpointSaved {
         /// Application step the checkpoint covers.
@@ -137,11 +162,16 @@ impl EventKind {
             EventKind::Retransmit { .. }
             | EventKind::DuplicateSuppressed { .. }
             | EventKind::GaveUp { .. }
+            | EventKind::LinkSuspect { .. }
+            | EventKind::CorruptDropped { .. }
             | EventKind::Degraded { .. } => "reliable",
             EventKind::Fault { .. } => "fault",
             EventKind::PhaseBoundary { .. } | EventKind::AppPhase { .. } => "app",
             EventKind::Migration { .. } => "migration",
-            EventKind::Suspected { .. } | EventKind::ViewChange { .. } => "membership",
+            EventKind::Suspected { .. }
+            | EventKind::ViewChange { .. }
+            | EventKind::Parked { .. }
+            | EventKind::Healed { .. } => "membership",
             EventKind::CheckpointSaved { .. } | EventKind::CheckpointRestored { .. } => {
                 "checkpoint"
             }
@@ -158,6 +188,8 @@ impl EventKind {
             EventKind::Retransmit { .. } => "retransmit".to_string(),
             EventKind::DuplicateSuppressed { .. } => "duplicate_suppressed".to_string(),
             EventKind::GaveUp { .. } => "gave_up".to_string(),
+            EventKind::LinkSuspect { to } => format!("link_suspect:{to}"),
+            EventKind::CorruptDropped { from } => format!("corrupt_dropped:{from}"),
             EventKind::Degraded { stage } => format!("degraded:{stage}"),
             EventKind::Fault { kind, .. } => format!("fault:{kind}"),
             EventKind::PhaseBoundary { step } => format!("step:{step}"),
@@ -165,6 +197,8 @@ impl EventKind {
             EventKind::Migration { .. } => "migration".to_string(),
             EventKind::Suspected { rank } => format!("suspected:{rank}"),
             EventKind::ViewChange { generation, .. } => format!("view_change:{generation}"),
+            EventKind::Parked { generation } => format!("parked:{generation}"),
+            EventKind::Healed { generation } => format!("healed:{generation}"),
             EventKind::CheckpointSaved { step, .. } => format!("checkpoint_saved:{step}"),
             EventKind::CheckpointRestored { from, .. } => format!("checkpoint_restored:{from}"),
             EventKind::Marker(name) => (*name).to_string(),
@@ -193,6 +227,8 @@ impl EventKind {
                 vec![("from", from.to_string()), ("seq", seq.to_string())]
             }
             EventKind::GaveUp { to } => vec![("to", to.to_string())],
+            EventKind::LinkSuspect { to } => vec![("to", to.to_string())],
+            EventKind::CorruptDropped { from } => vec![("from", from.to_string())],
             EventKind::Degraded { .. } => vec![],
             EventKind::Fault { to, .. } => vec![("to", to.to_string())],
             EventKind::PhaseBoundary { step } => vec![("step", step.to_string())],
@@ -203,6 +239,9 @@ impl EventKind {
                 ("generation", generation.to_string()),
                 ("dead", dead.to_string()),
             ],
+            EventKind::Parked { generation } | EventKind::Healed { generation } => {
+                vec![("generation", generation.to_string())]
+            }
             EventKind::CheckpointSaved { step, objects } => {
                 vec![("step", step.to_string()), ("objects", objects.to_string())]
             }

@@ -84,6 +84,112 @@ impl CrashEvent {
     }
 }
 
+/// What a matching [`LinkFault`] does to traffic on the link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LinkFaultKind {
+    /// The link is severed: every message on it is dropped.
+    Cut,
+    /// Gray link: each message is independently dropped with probability
+    /// `p` (drawn from the link-fault hash stream, never the model RNG).
+    Lossy {
+        /// Per-message drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Congested link: nominal latency is multiplied by `factor` (≥ 1).
+    Delay {
+        /// Latency multiplier.
+        factor: f64,
+    },
+    /// Flapping link: deterministically down for the first `duty`
+    /// fraction of every `period` seconds (measured from the fault's
+    /// `start`), up for the rest. No randomness — the down phases are a
+    /// pure function of time.
+    Flap {
+        /// Flap cycle length in seconds (> 0).
+        period: f64,
+        /// Fraction of each cycle the link is down, in `[0, 1]`.
+        duty: f64,
+    },
+    /// Bit-rot: each message is independently damaged in flight with
+    /// probability `p`. Receivers that checksum their frames detect the
+    /// damage and drop the frame ([`FaultStats::corrupted`]); protocols
+    /// without a corruption model lose the message outright.
+    Corrupt {
+        /// Per-message corruption probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// A directed link-level fault: `kind` applies to messages sent from a
+/// rank in `src` to a rank in `dst` while the send time lies in
+/// `[start, end)` (seconds — virtual in the simulator, wall-clock from
+/// run start in the threaded executor). An empty `src`/`dst` set acts as
+/// a wildcard. Asymmetric faults are expressed by listing only one
+/// direction; the reverse link stays clean unless another fault names it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkFault {
+    /// Source ranks the fault applies to (empty = every rank).
+    pub src: Vec<RankId>,
+    /// Destination ranks the fault applies to (empty = every rank).
+    pub dst: Vec<RankId>,
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive); `None` means the fault never lifts.
+    pub end: Option<f64>,
+    /// What the fault does.
+    pub kind: LinkFaultKind,
+}
+
+impl LinkFault {
+    /// Whether the fault's sets match the directed link `from → to`,
+    /// ignoring the time window.
+    fn matches_link(&self, from: RankId, to: RankId) -> bool {
+        (self.src.is_empty() || self.src.contains(&from))
+            && (self.dst.is_empty() || self.dst.contains(&to))
+    }
+
+    /// Whether the window covers send time `now`.
+    fn active_at(&self, now: f64) -> bool {
+        now >= self.start && self.end.is_none_or(|e| now < e)
+    }
+
+    /// Whether the kind consumes draws from the link-fault hash stream.
+    /// Draws are made for every message on a matching link *regardless of
+    /// the window*, so the stream stays aligned however the windows are
+    /// placed.
+    fn is_probabilistic(&self) -> bool {
+        matches!(
+            self.kind,
+            LinkFaultKind::Lossy { .. } | LinkFaultKind::Corrupt { .. }
+        )
+    }
+}
+
+/// A full network partition over a time window: the ranks in `side` are
+/// isolated from everyone else — traffic crossing the bipartition in
+/// *either* direction is cut while the send time lies in `[start, end)`.
+/// Traffic within each component flows normally.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// One component of the bipartition (the other is its complement).
+    pub side: Vec<RankId>,
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive); `None` means the partition never heals.
+    pub end: Option<f64>,
+}
+
+impl PartitionWindow {
+    /// Whether the partition severs the directed link `from → to` at
+    /// send time `now`.
+    fn cuts(&self, from: RankId, to: RankId, now: f64) -> bool {
+        if now < self.start || self.end.is_some_and(|e| now >= e) {
+            return false;
+        }
+        self.side.contains(&from) != self.side.contains(&to)
+    }
+}
+
 /// An invalid [`FaultPlan`] parameter, reported by [`FaultPlan::validate`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultPlanError {
@@ -107,6 +213,11 @@ pub enum FaultPlanError {
     MalformedCrash(CrashEvent),
     /// Two crash events name the same rank.
     DuplicateCrash(RankId),
+    /// A link fault has an inverted window, a probability outside
+    /// `[0, 1]`, a delay factor below 1, or a non-positive flap period.
+    MalformedLinkFault(LinkFault),
+    /// A partition window is inverted or starts before time zero.
+    MalformedPartition(PartitionWindow),
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -131,6 +242,16 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::DuplicateCrash(r) => {
                 write!(f, "rank {r} appears in more than one crash event")
             }
+            FaultPlanError::MalformedLinkFault(l) => write!(
+                f,
+                "link fault is malformed: [{}, {:?}) {:?}",
+                l.start, l.end, l.kind
+            ),
+            FaultPlanError::MalformedPartition(p) => write!(
+                f,
+                "partition window is malformed: [{}, {:?}) side {:?}",
+                p.start, p.end, p.side
+            ),
         }
     }
 }
@@ -169,6 +290,12 @@ pub struct FaultPlan {
     pub pauses: Vec<PauseWindow>,
     /// Crash-stop failures (at most one per rank).
     pub crashes: Vec<CrashEvent>,
+    /// Directed link-level faults (cut, lossy, delayed, flapping,
+    /// corrupting) over time windows.
+    pub links: Vec<LinkFault>,
+    /// Full bipartition windows (both directions across the cut are
+    /// severed).
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl FaultPlan {
@@ -185,6 +312,8 @@ impl FaultPlan {
             stragglers: Vec::new(),
             pauses: Vec::new(),
             crashes: Vec::new(),
+            links: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 
@@ -199,6 +328,15 @@ impl FaultPlan {
             && self.stragglers.iter().all(|&(_, f)| f <= 1.0)
             && self.pauses.is_empty()
             && self.crashes.is_empty()
+            && self.links.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// True when the plan contains no link faults and no partitions —
+    /// i.e. the link layer of the injector is inert and a legacy plan's
+    /// fate stream is untouched.
+    pub fn links_zero(&self) -> bool {
+        self.links.is_empty() && self.partitions.is_empty()
     }
 
     /// Check every parameter, reporting the first offender.
@@ -230,6 +368,25 @@ impl FaultPlan {
             }
             if !crashed.insert(c.rank) {
                 return Err(FaultPlanError::DuplicateCrash(c.rank));
+            }
+        }
+        for l in &self.links {
+            let window_ok = l.start >= 0.0 && l.end.is_none_or(|e| e >= l.start);
+            let kind_ok = match l.kind {
+                LinkFaultKind::Cut => true,
+                LinkFaultKind::Lossy { p } | LinkFaultKind::Corrupt { p } => {
+                    (0.0..=1.0).contains(&p)
+                }
+                LinkFaultKind::Delay { factor } => factor >= 1.0,
+                LinkFaultKind::Flap { period, duty } => period > 0.0 && (0.0..=1.0).contains(&duty),
+            };
+            if !window_ok || !kind_ok {
+                return Err(FaultPlanError::MalformedLinkFault(l.clone()));
+            }
+        }
+        for p in &self.partitions {
+            if p.start < 0.0 || p.end.is_some_and(|e| e < p.start) {
+                return Err(FaultPlanError::MalformedPartition(p.clone()));
             }
         }
         Ok(())
@@ -270,6 +427,30 @@ impl Fate {
     }
 }
 
+/// The link layer's verdict for one message, combining every matching
+/// [`LinkFault`] and [`PartitionWindow`] active at send time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFate {
+    /// The message is severed (cut, flap down-phase, lossy draw, or
+    /// partition) and must not be delivered.
+    pub cut: bool,
+    /// Extra latency multiplier from `Delay` faults (≥ 1).
+    pub delay_factor: f64,
+    /// The message is delivered damaged; checksumming receivers drop it.
+    pub corrupt: bool,
+}
+
+impl LinkFate {
+    /// The fate on a healthy link.
+    pub fn clean() -> Self {
+        LinkFate {
+            cut: false,
+            delay_factor: 1.0,
+            corrupt: false,
+        }
+    }
+}
+
 /// Counters of injected effects, reported alongside network stats.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultStats {
@@ -290,6 +471,14 @@ pub struct FaultStats {
     /// Deliveries (messages and timers) discarded because the destination
     /// rank was crashed at arrival time.
     pub crash_dropped: u64,
+    /// Messages severed by a link cut, flap down-phase, lossy draw, or
+    /// partition window.
+    pub link_cut: u64,
+    /// Messages whose latency a link-level `Delay` fault inflated.
+    pub link_delayed: u64,
+    /// Messages damaged in flight by a `Corrupt` fault (receivers drop
+    /// them on checksum mismatch).
+    pub corrupted: u64,
 }
 
 impl FaultStats {
@@ -303,6 +492,9 @@ impl FaultStats {
         self.straggled += other.straggled;
         self.paused += other.paused;
         self.crash_dropped += other.crash_dropped;
+        self.link_cut += other.link_cut;
+        self.link_delayed += other.link_delayed;
+        self.corrupted += other.corrupted;
     }
 }
 
@@ -324,6 +516,10 @@ pub struct FaultInjector {
     plan: FaultPlan,
     straggler: HashMap<RankId, f64>,
     ordinals: HashMap<(RankId, RankId), u64>,
+    /// Per-link ordinals for the link-fault hash stream — independent of
+    /// `ordinals` so adding link faults to a plan leaves the legacy
+    /// per-message fate stream untouched.
+    link_ordinals: HashMap<(RankId, RankId), u64>,
     /// Effect counters, updated as fates are drawn.
     pub stats: FaultStats,
 }
@@ -338,6 +534,7 @@ impl FaultInjector {
             plan,
             straggler,
             ordinals: HashMap::new(),
+            link_ordinals: HashMap::new(),
             stats: FaultStats::default(),
         }
     }
@@ -414,6 +611,94 @@ impl FaultInjector {
             self.stats.paused += 1;
         }
         deferred
+    }
+
+    /// Decide what the link layer does to the next message sent on
+    /// `from → to` at time `now` (seconds — virtual in the simulator,
+    /// wall-clock from run start in the threaded executor).
+    ///
+    /// Probabilistic faults (`Lossy`, `Corrupt`) draw from a dedicated
+    /// hash stream keyed by `(seed, from, to, link ordinal)`; the draws
+    /// happen for every message on a *matching* link regardless of the
+    /// time window, so the stream — and with it every downstream fate —
+    /// is independent of when the windows open and close. A plan with no
+    /// link faults and no partitions returns [`LinkFate::clean`] without
+    /// touching any counter or stream.
+    pub fn link_fate(&mut self, from: RankId, to: RankId, now: f64) -> LinkFate {
+        if self.plan.links_zero() {
+            return LinkFate::clean();
+        }
+        let mut fate = LinkFate::clean();
+        let mut state: Option<u64> = None;
+        for l in &self.plan.links {
+            if !l.matches_link(from, to) {
+                continue;
+            }
+            // Lazily derive the per-message hash state on first
+            // probabilistic match; later matches draw sequentially in
+            // plan order.
+            let draw = if l.is_probabilistic() {
+                let s = match &mut state {
+                    Some(s) => s,
+                    None => {
+                        let ord = self.link_ordinals.entry((from, to)).or_insert(0);
+                        *ord += 1;
+                        state.insert(derive_seed(
+                            self.plan.seed,
+                            &[
+                                0x11_4C_17_u64,
+                                from.as_u32() as u64,
+                                to.as_u32() as u64,
+                                *ord,
+                            ],
+                        ))
+                    }
+                };
+                unit(splitmix64(s))
+            } else {
+                0.0
+            };
+            if !l.active_at(now) {
+                continue;
+            }
+            match l.kind {
+                LinkFaultKind::Cut => fate.cut = true,
+                LinkFaultKind::Lossy { p } => {
+                    if draw < p {
+                        fate.cut = true;
+                    }
+                }
+                LinkFaultKind::Delay { factor } => fate.delay_factor *= factor,
+                LinkFaultKind::Flap { period, duty } => {
+                    let phase = ((now - l.start) / period).fract();
+                    if phase < duty {
+                        fate.cut = true;
+                    }
+                }
+                LinkFaultKind::Corrupt { p } => {
+                    if draw < p {
+                        fate.corrupt = true;
+                    }
+                }
+            }
+        }
+        for p in &self.plan.partitions {
+            if p.cuts(from, to, now) {
+                fate.cut = true;
+            }
+        }
+        if fate.cut {
+            self.stats.link_cut += 1;
+            // A severed message is neither delayed nor corrupted.
+            fate.delay_factor = 1.0;
+            fate.corrupt = false;
+        } else if fate.corrupt {
+            self.stats.corrupted += 1;
+        }
+        if fate.delay_factor > 1.0 {
+            self.stats.link_delayed += 1;
+        }
+        fate
     }
 }
 
@@ -613,11 +898,17 @@ mod tests {
             straggled: 6,
             paused: 7,
             crash_dropped: 8,
+            link_cut: 9,
+            link_delayed: 10,
+            corrupted: 11,
         };
         a.merge(&a.clone());
         assert_eq!(a.dropped, 4);
         assert_eq!(a.paused, 14);
         assert_eq!(a.crash_dropped, 16);
+        assert_eq!(a.link_cut, 18);
+        assert_eq!(a.link_delayed, 20);
+        assert_eq!(a.corrupted, 22);
     }
 
     #[test]
@@ -654,6 +945,231 @@ mod tests {
         p.crashes = vec![CrashEvent::fatal(RankId::new(2), 0.5)];
         assert!(!p.is_zero());
         assert_eq!(p.validate(), Ok(()));
+    }
+
+    fn link(
+        src: &[u32],
+        dst: &[u32],
+        start: f64,
+        end: Option<f64>,
+        kind: LinkFaultKind,
+    ) -> LinkFault {
+        LinkFault {
+            src: src.iter().map(|&r| RankId::new(r)).collect(),
+            dst: dst.iter().map(|&r| RankId::new(r)).collect(),
+            start,
+            end,
+            kind,
+        }
+    }
+
+    #[test]
+    fn link_faults_make_a_plan_nonzero_but_not_legacy_nonzero() {
+        let mut p = FaultPlan::none();
+        assert!(p.links_zero());
+        p.links = vec![link(&[0], &[1], 0.0, None, LinkFaultKind::Cut)];
+        assert!(!p.is_zero());
+        assert!(!p.links_zero());
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn cut_is_directed_and_windowed() {
+        let mut p = FaultPlan::none();
+        p.links = vec![link(&[0], &[1], 1.0, Some(2.0), LinkFaultKind::Cut)];
+        let mut inj = FaultInjector::new(p);
+        let (a, b) = (RankId::new(0), RankId::new(1));
+        assert!(!inj.link_fate(a, b, 0.5).cut);
+        assert!(inj.link_fate(a, b, 1.0).cut);
+        assert!(inj.link_fate(a, b, 1.9).cut);
+        assert!(!inj.link_fate(a, b, 2.0).cut);
+        // Reverse direction untouched — asymmetric by construction.
+        assert!(!inj.link_fate(b, a, 1.5).cut);
+        assert_eq!(inj.stats.link_cut, 2);
+    }
+
+    #[test]
+    fn empty_sets_are_wildcards() {
+        let mut p = FaultPlan::none();
+        p.links = vec![link(&[], &[3], 0.0, None, LinkFaultKind::Cut)];
+        let mut inj = FaultInjector::new(p);
+        assert!(inj.link_fate(RankId::new(7), RankId::new(3), 0.0).cut);
+        assert!(!inj.link_fate(RankId::new(3), RankId::new(7), 0.0).cut);
+    }
+
+    #[test]
+    fn lossy_draws_are_window_independent() {
+        // The n-th message on a link gets the same draw whether or not
+        // earlier messages fell inside the fault window.
+        let mk = |start: f64| {
+            let mut p = FaultPlan::none();
+            p.seed = 9;
+            p.links = vec![link(
+                &[0],
+                &[1],
+                start,
+                None,
+                LinkFaultKind::Lossy { p: 0.5 },
+            )];
+            FaultInjector::new(p)
+        };
+        let (a, b) = (RankId::new(0), RankId::new(1));
+        let mut early = mk(0.0);
+        let mut late = mk(10.0);
+        let early_fates: Vec<bool> = (0..64)
+            .map(|i| early.link_fate(a, b, 20.0 + i as f64).cut)
+            .collect();
+        for _ in 0..64 {
+            // Burn messages before the late window opens: these must not
+            // shift the draws used once the window is active.
+            late.link_fate(a, b, 5.0);
+        }
+        // A fresh injector's draws at ordinals 65.. must match `late`'s.
+        let mut fresh = mk(10.0);
+        for _ in 0..64 {
+            fresh.link_fate(a, b, 5.0);
+        }
+        let late_fates: Vec<bool> = (0..64)
+            .map(|i| late.link_fate(a, b, 20.0 + i as f64).cut)
+            .collect();
+        let fresh_fates: Vec<bool> = (0..64)
+            .map(|i| fresh.link_fate(a, b, 20.0 + i as f64).cut)
+            .collect();
+        assert_eq!(late_fates, fresh_fates);
+        // And the loss rate is in the right ballpark.
+        let hits = early_fates.iter().filter(|&&c| c).count();
+        assert!((16..=48).contains(&hits), "loss count {hits} far from half");
+    }
+
+    #[test]
+    fn flap_is_deterministic_in_time() {
+        let mut p = FaultPlan::none();
+        p.links = vec![link(
+            &[0],
+            &[1],
+            1.0,
+            None,
+            LinkFaultKind::Flap {
+                period: 1.0,
+                duty: 0.5,
+            },
+        )];
+        let mut inj = FaultInjector::new(p);
+        let (a, b) = (RankId::new(0), RankId::new(1));
+        assert!(inj.link_fate(a, b, 1.0).cut); // phase 0.0 < 0.5
+        assert!(inj.link_fate(a, b, 1.25).cut);
+        assert!(!inj.link_fate(a, b, 1.5).cut);
+        assert!(!inj.link_fate(a, b, 1.75).cut);
+        assert!(inj.link_fate(a, b, 2.1).cut);
+        assert!(!inj.link_fate(a, b, 0.5).cut); // before the fault starts
+    }
+
+    #[test]
+    fn delay_compounds_and_counts() {
+        let mut p = FaultPlan::none();
+        p.links = vec![
+            link(&[0], &[1], 0.0, None, LinkFaultKind::Delay { factor: 3.0 }),
+            link(&[], &[1], 0.0, None, LinkFaultKind::Delay { factor: 2.0 }),
+        ];
+        let mut inj = FaultInjector::new(p);
+        let f = inj.link_fate(RankId::new(0), RankId::new(1), 0.0);
+        assert_eq!(f.delay_factor, 6.0);
+        assert!(!f.cut);
+        assert_eq!(inj.stats.link_delayed, 1);
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_across_the_split() {
+        let mut p = FaultPlan::none();
+        p.partitions = vec![PartitionWindow {
+            side: vec![RankId::new(0), RankId::new(1)],
+            start: 1.0,
+            end: Some(2.0),
+        }];
+        let mut inj = FaultInjector::new(p);
+        let (a, c) = (RankId::new(0), RankId::new(2));
+        assert!(inj.link_fate(a, c, 1.5).cut);
+        assert!(inj.link_fate(c, a, 1.5).cut);
+        // Within a component traffic flows.
+        assert!(!inj.link_fate(RankId::new(0), RankId::new(1), 1.5).cut);
+        assert!(!inj.link_fate(RankId::new(2), RankId::new(3), 1.5).cut);
+        // Outside the window the network is whole.
+        assert!(!inj.link_fate(a, c, 0.5).cut);
+        assert!(!inj.link_fate(a, c, 2.0).cut);
+    }
+
+    #[test]
+    fn corrupt_marks_but_cut_wins() {
+        let mut p = FaultPlan::none();
+        p.links = vec![link(
+            &[0],
+            &[1],
+            0.0,
+            None,
+            LinkFaultKind::Corrupt { p: 1.0 },
+        )];
+        let mut inj = FaultInjector::new(p.clone());
+        let f = inj.link_fate(RankId::new(0), RankId::new(1), 0.0);
+        assert!(f.corrupt && !f.cut);
+        assert_eq!(inj.stats.corrupted, 1);
+
+        p.links
+            .push(link(&[0], &[1], 0.0, None, LinkFaultKind::Cut));
+        let mut inj = FaultInjector::new(p);
+        let f = inj.link_fate(RankId::new(0), RankId::new(1), 0.0);
+        assert!(f.cut && !f.corrupt);
+        assert_eq!(inj.stats.corrupted, 0);
+        assert_eq!(inj.stats.link_cut, 1);
+    }
+
+    #[test]
+    fn malformed_link_faults_are_rejected() {
+        let mut p = FaultPlan::none();
+        p.links = vec![link(&[], &[], 2.0, Some(1.0), LinkFaultKind::Cut)];
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::MalformedLinkFault(_))
+        ));
+        p.links = vec![link(&[], &[], 0.0, None, LinkFaultKind::Lossy { p: 1.5 })];
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::MalformedLinkFault(_))
+        ));
+        p.links = vec![link(
+            &[],
+            &[],
+            0.0,
+            None,
+            LinkFaultKind::Delay { factor: 0.5 },
+        )];
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::MalformedLinkFault(_))
+        ));
+        p.links = vec![link(
+            &[],
+            &[],
+            0.0,
+            None,
+            LinkFaultKind::Flap {
+                period: 0.0,
+                duty: 0.5,
+            },
+        )];
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::MalformedLinkFault(_))
+        ));
+        p.links.clear();
+        p.partitions = vec![PartitionWindow {
+            side: vec![],
+            start: -1.0,
+            end: None,
+        }];
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::MalformedPartition(_))
+        ));
     }
 
     #[test]

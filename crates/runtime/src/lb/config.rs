@@ -44,6 +44,37 @@ pub struct LbProtocolConfig {
     /// suspecting a peer — fence it out and restart the protocol on the
     /// surviving ranks (see `lb::engine`'s view-change handling).
     pub health: Option<HealthConfig>,
+    /// Partition and gray-failure tolerance, layered over `health`.
+    /// `None` (default) keeps the pure crash-stop interpretation of every
+    /// failure signal — bit-identical to builds without the partition
+    /// layer. `Some` changes three things: retry exhaustion toward a peer
+    /// the failure detector still vouches for is treated as a *link*
+    /// problem (the message is reinstated instead of the peer declared
+    /// dead); protocol restarts and commits are quorum-gated (a minority
+    /// component parks read-only instead of committing — split-brain
+    /// prevention); and parked ranks knock at the majority until the
+    /// partition heals, re-merging under an epoch-fenced view.
+    pub partition: Option<PartitionConfig>,
+}
+
+/// Knobs of the partition-tolerance layer
+/// ([`LbProtocolConfig::partition`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionConfig {
+    /// Seconds a quorum-less (parked) rank waits for a heal before it
+    /// gives up and finishes read-only on its original placement.
+    pub park_deadline: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            // Generous vs. the µs-scale simulated RTT and the default
+            // 0.25 s stage deadline: a heal that is coming arrives well
+            // before this; one that is not should not stall shutdown.
+            park_deadline: 1.0,
+        }
+    }
 }
 
 impl From<RefineConfig> for LbProtocolConfig {
@@ -63,6 +94,7 @@ impl From<RefineConfig> for LbProtocolConfig {
             use_nacks: false,
             reliability: None,
             health: None,
+            partition: None,
         }
     }
 }
@@ -98,6 +130,18 @@ impl LbProtocolConfig {
         }
     }
 
+    /// The same configuration with partition tolerance enabled: link-
+    /// suspect attribution, quorum-gated commits, and partition healing.
+    /// Requires `health` (the failure detector is what vouches for
+    /// peers); callers typically stack
+    /// `.hardened(..).crash_tolerant(..).partition_tolerant(..)`.
+    pub fn partition_tolerant(self, partition: PartitionConfig) -> Self {
+        LbProtocolConfig {
+            partition: Some(partition),
+            ..self
+        }
+    }
+
     /// The engine-layer (algorithmic) slice of this configuration.
     pub fn engine(&self) -> EngineConfig {
         EngineConfig {
@@ -107,6 +151,7 @@ impl LbProtocolConfig {
             rounds: self.rounds,
             transfer: self.transfer,
             use_nacks: self.use_nacks,
+            quorum: self.partition.is_some(),
         }
     }
 }
@@ -161,5 +206,19 @@ mod tests {
         .hardened(RetryConfig::default());
         assert!(cfg.reliability.is_some());
         assert_eq!(cfg.trials, 4);
+    }
+
+    #[test]
+    fn partition_tolerance_is_opt_in_and_flips_the_quorum_gate() {
+        let base = LbProtocolConfig::default();
+        assert!(base.partition.is_none(), "default stays crash-stop");
+        assert!(!base.engine().quorum);
+        let cfg = base
+            .hardened(RetryConfig::default())
+            .crash_tolerant(crate::health::HealthConfig::default())
+            .partition_tolerant(PartitionConfig::default());
+        assert!(cfg.partition.is_some());
+        assert!(cfg.engine().quorum);
+        assert!(cfg.partition.unwrap().park_deadline > 0.0);
     }
 }

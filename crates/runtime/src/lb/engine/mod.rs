@@ -120,6 +120,14 @@ pub struct EngineConfig {
     /// proposed tasks that would push them past `ℓ_ave`. The paper drops
     /// this mechanism (§V-A); the flag exists to measure that choice.
     pub use_nacks: bool,
+    /// Quorum-gate view changes (partition tolerance): after a view
+    /// change that leaves this rank's live component without a strict
+    /// majority of the original ranks, the engine *parks* — reverts to
+    /// the original placement and goes inert instead of restarting — so
+    /// a minority component can never commit (split-brain prevention).
+    /// Off by default: the pure crash-stop interpretation restarts on
+    /// any survivor set.
+    pub quorum: bool,
 }
 
 impl From<RefineConfig> for EngineConfig {
@@ -131,6 +139,7 @@ impl From<RefineConfig> for EngineConfig {
             rounds: cfg.gossip.rounds,
             transfer: cfg.transfer,
             use_nacks: false,
+            quorum: false,
         }
     }
 }
@@ -248,6 +257,12 @@ pub struct GossipEngine {
     iter_rejected: usize,
 
     done: bool,
+    /// Parked: this rank's live component lost quorum under a partition
+    /// ([`EngineConfig::quorum`]). The engine is inert and read-only —
+    /// original placement, no sends, no commits — until a heal readmits
+    /// it (mid-run [`LbMsg::View`] flood or post-commit [`LbMsg::Heal`]
+    /// offer) or the driver's park deadline finishes it as-is.
+    parked: bool,
 }
 
 impl GossipEngine {
@@ -291,6 +306,7 @@ impl GossipEngine {
             iter_transfers: 0,
             iter_rejected: 0,
             done: false,
+            parked: false,
         }
     }
 
@@ -309,14 +325,45 @@ impl GossipEngine {
     }
 
     /// Declare `dead` ranks crashed — locally detected by the driver's
-    /// failure detector or learned from a peer's [`LbMsg::View`]. If the
-    /// union grows this engine's view, the old view's epochs are fenced,
-    /// the merged dead set is re-broadcast (a convergent flood), and the
-    /// protocol restarts from Setup on the surviving quorum. A finished
-    /// engine keeps its committed result and ignores view changes.
+    /// failure detector. If the union grows this engine's view, the old
+    /// view's epochs are fenced, the merged view is re-broadcast (a
+    /// convergent flood), and the protocol restarts from Setup on the
+    /// surviving ranks — or parks, if [`EngineConfig::quorum`] is on and
+    /// the survivors lost their majority. A finished engine keeps its
+    /// committed result and ignores view changes.
     pub fn on_view(&mut self, dead: &BTreeSet<RankId>) -> Vec<Command> {
         let mut out = Vec::new();
-        self.handle_view(&mut out, dead);
+        let base = self.view.base_gen();
+        self.handle_view(&mut out, base, dead);
+        out
+    }
+
+    /// Leader-side partition heal: re-admit `rejoined` ranks (typically a
+    /// parked rank whose [`LbMsg::Knock`] just got through, proving the
+    /// path works again). Bumps the view's heal fence so the healed
+    /// generation dominates every generation either side ever used, then
+    /// either floods the healed view and restarts on the grown live set
+    /// (mid-run) or sends the rejoined ranks a [`LbMsg::Heal`] offer so
+    /// they stand down in agreement with the committed result
+    /// (post-commit). The caller is responsible for the leader check.
+    pub fn on_heal(&mut self, rejoined: &BTreeSet<RankId>) -> Vec<Command> {
+        let mut out = Vec::new();
+        self.handle_heal(&mut out, rejoined);
+        out
+    }
+
+    /// Park without a view change of our own: the driver saw a View
+    /// naming *this* rank dead — some component fenced us out and moved
+    /// on (we were warm-restarted, or cut off before we could suspect
+    /// anyone ourselves). Whatever our own view says, we are effectively
+    /// on the wrong side of a partition: go inert read-only and let the
+    /// knock/heal path decide re-admission. No-op once done or already
+    /// parked.
+    pub fn park_self(&mut self) -> Vec<Command> {
+        let mut out = Vec::new();
+        if !self.done && !self.parked {
+            self.park(&mut out);
+        }
         out
     }
 
@@ -357,6 +404,30 @@ impl GossipEngine {
     /// Whether the protocol has finished on this rank.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// Whether this rank is parked (quorum-less under a partition).
+    /// Remains `true` on a rank that finished read-only via the park
+    /// deadline, for end-of-run accounting; cleared by a heal.
+    pub fn is_parked(&self) -> bool {
+        self.parked
+    }
+
+    /// The park deadline passed with no heal: finish read-only on the
+    /// original placement. Safe unconditionally — a quorum-less
+    /// component never committed anything this rank could disagree with,
+    /// and the majority (if any) committed without reference to this
+    /// rank's tasks.
+    pub fn finish_parked(&mut self) -> Vec<Command> {
+        let mut out = Vec::new();
+        if self.done || !self.parked {
+            return out;
+        }
+        self.state = StageState::Done;
+        self.done = true;
+        out.push(Command::Instant(EventKind::Marker("park_deadline")));
+        out.push(Command::Finished);
+        out
     }
 
     /// The engine's current membership view.
@@ -659,6 +730,13 @@ impl GossipEngine {
         if self.is_stale(&msg) {
             return;
         }
+        // A parked engine is inert: only membership traffic (a healed
+        // view flood or a post-commit heal offer) can wake it. Anything
+        // else — including buffered replays on the way in — is protocol
+        // progress a quorum-less component must not make.
+        if self.parked && !matches!(msg, LbMsg::View { .. } | LbMsg::Heal { .. }) {
+            return;
+        }
         if self.should_buffer(&msg) {
             self.buffered.push((from, msg));
             return;
@@ -701,9 +779,14 @@ impl GossipEngine {
                 debug_assert_eq!(epoch, self.det.epoch());
                 self.on_task_data(tasks);
             }
-            LbMsg::View { dead } => {
+            LbMsg::View { base, dead } => {
                 let dead: BTreeSet<RankId> = dead.into_iter().collect();
-                self.handle_view(out, &dead);
+                self.handle_view(out, base, &dead);
+            }
+            LbMsg::Knock => self.handle_knock(out, from),
+            LbMsg::Heal { base, dead } => {
+                let dead: BTreeSet<RankId> = dead.into_iter().collect();
+                self.handle_heal_offer(out, base, &dead);
             }
             LbMsg::Td(td) => {
                 let outcome = self.det.handle(td);
@@ -714,28 +797,30 @@ impl GossipEngine {
 
     // ---- view changes ------------------------------------------------------
 
-    fn handle_view(&mut self, out: &mut Vec<Command>, dead: &BTreeSet<RankId>) {
-        debug_assert!(
-            !dead.contains(&self.me),
-            "the driver must intercept a view declaring this rank dead"
-        );
-        if self.done || !self.view.merge(dead) {
-            // A finished engine keeps its committed result; an already-
-            // merged set is not news. Either way the flood has nothing
-            // left to spread from here.
+    fn handle_view(&mut self, out: &mut Vec<Command>, base: u64, dead: &BTreeSet<RankId>) {
+        if self.done || !self.view.merge_full(base, dead) {
+            // A finished engine keeps its committed result; a stale or
+            // already-merged view is not news. Either way the flood has
+            // nothing left to spread from here.
             return;
         }
-        // Convergent flood: re-broadcast the *merged* dead set to every
+        debug_assert!(
+            self.view.is_live(self.me),
+            "the driver must intercept a view declaring this rank dead"
+        );
+        // Convergent flood: re-broadcast the *merged* view to every
         // other rank — including the dead ones, so a warm-restarted
         // zombie learns the survivors moved on without it and stands
-        // down (the driver degrades a rank that hears of its own death).
+        // down (the driver handles a rank that hears of its own death).
         let merged: Vec<RankId> = self.view.dead().iter().copied().collect();
+        let vbase = self.view.base_gen();
         for r in (0..self.num_ranks).map(RankId::from) {
             if r != self.me {
                 self.send_ctrl(
                     out,
                     r,
                     LbMsg::View {
+                        base: vbase,
                         dead: merged.clone(),
                     },
                 );
@@ -745,7 +830,141 @@ impl GossipEngine {
             generation: self.view.generation() as u32,
             dead: self.view.dead().len() as u32,
         }));
+        if self.cfg.quorum && !self.view.has_quorum() {
+            self.park(out);
+        } else {
+            self.restart(out);
+        }
+    }
+
+    /// A [`LbMsg::Knock`] arrived from a rank this view has fenced out:
+    /// the path to it demonstrably works again, so the partition healed.
+    /// Only the live component's *leader* (lowest live rank) initiates
+    /// the heal, and only while it holds quorum — two concurrent healers
+    /// could otherwise mint competing heal fences for overlapping views.
+    fn handle_knock(&mut self, out: &mut Vec<Command>, from: RankId) {
+        if !self.cfg.quorum
+            || self.parked
+            || self.view.is_live(from)
+            || !self.view.has_quorum()
+            || self.live.first() != Some(&self.me)
+        {
+            return;
+        }
+        let rejoined: BTreeSet<RankId> = [from].into_iter().collect();
+        self.handle_heal(out, &rejoined);
+    }
+
+    fn handle_heal(&mut self, out: &mut Vec<Command>, rejoined: &BTreeSet<RankId>) {
+        let news: BTreeSet<RankId> = rejoined
+            .iter()
+            .copied()
+            .filter(|r| !self.view.is_live(*r))
+            .collect();
+        if news.is_empty() {
+            return;
+        }
+        self.view.heal(&news);
+        let base = self.view.base_gen();
+        let dead: Vec<RankId> = self.view.dead().iter().copied().collect();
+        out.push(Command::Instant(EventKind::Healed {
+            generation: self.view.generation() as u32,
+        }));
+        if self.done {
+            // Post-commit heal: the committed result stands (the run
+            // never referenced the fenced ranks' tasks). Hand each
+            // rejoined rank the healed view so it finishes read-only in
+            // agreement instead of waiting out its park deadline.
+            for r in &news {
+                self.send_ctrl(
+                    out,
+                    *r,
+                    LbMsg::Heal {
+                        base,
+                        dead: dead.clone(),
+                    },
+                );
+            }
+            return;
+        }
+        // Mid-run heal: flood the healed view — its base dominates every
+        // generation either component ever used, so it wins merge_full
+        // everywhere, un-parks the rejoined side, and restarts every
+        // live rank from Setup on the re-merged component.
+        for r in (0..self.num_ranks).map(RankId::from) {
+            if r != self.me {
+                self.send_ctrl(
+                    out,
+                    r,
+                    LbMsg::View {
+                        base,
+                        dead: dead.clone(),
+                    },
+                );
+            }
+        }
         self.restart(out);
+    }
+
+    /// A post-commit [`LbMsg::Heal`] offer from the majority's leader:
+    /// adopt the healed view and finish read-only on the original
+    /// placement — consistent with the majority's commit, which never
+    /// proposed tasks to or from this fenced rank.
+    fn handle_heal_offer(&mut self, out: &mut Vec<Command>, base: u64, dead: &BTreeSet<RankId>) {
+        if self.done || !self.parked || !self.view.merge_full(base, dead) {
+            return;
+        }
+        debug_assert!(
+            self.view.is_live(self.me),
+            "a heal offer must readmit its target"
+        );
+        self.parked = false;
+        self.current = self.original.clone();
+        self.best = self.original.clone();
+        self.state = StageState::Done;
+        self.done = true;
+        out.push(Command::Instant(EventKind::Healed {
+            generation: self.view.generation() as u32,
+        }));
+        out.push(Command::Finished);
+    }
+
+    /// Park: the live component lost quorum. Fence epochs exactly like a
+    /// restart — so stale cross-partition traffic drops — but go inert
+    /// on the *original* placement instead of re-entering the protocol:
+    /// a minority must neither gossip, nor transfer, nor commit
+    /// (split-brain prevention). The driver arms the park deadline and
+    /// knocks at the fenced side until a heal or the deadline resolves
+    /// the wait.
+    fn park(&mut self, out: &mut Vec<Command>) {
+        self.parked = true;
+        self.live = self.view.live_ranks();
+        self.tree = Tree::new(self.live.len(), RankId::new(0));
+        let _ = self.det.set_dead(self.view.dead());
+        self.det.start_epoch(self.view.epoch_base());
+        self.slots.clear();
+        let buffered = std::mem::take(&mut self.buffered);
+        self.buffered = buffered
+            .into_iter()
+            .filter(|(_, m)| !self.is_stale(m))
+            .collect();
+        self.current = self.original.clone();
+        self.best = self.original.clone();
+        self.l_ave = 0.0;
+        self.initial_imbalance = 0.0;
+        self.best_imbalance = f64::INFINITY;
+        self.trial = 0;
+        self.iter = 0;
+        self.records.clear();
+        self.iter_transfers = 0;
+        self.iter_rejected = 0;
+        self.migrations_in = 0;
+        self.migrations_out = 0;
+        self.nacks_received = 0;
+        self.state = StageState::Setup;
+        out.push(Command::Instant(EventKind::Parked {
+            generation: self.view.generation() as u32,
+        }));
     }
 
     /// Restart the protocol from Setup on the surviving quorum. The old
@@ -753,6 +972,8 @@ impl GossipEngine {
     /// the corpse can't reply — so it is discarded, not drained) and all
     /// of its traffic is fenced behind the new epoch base.
     fn restart(&mut self, out: &mut Vec<Command>) {
+        // A heal that regained quorum un-parks the engine.
+        self.parked = false;
         // Survivor set and the dense collective tree over its indices.
         self.live = self.view.live_ranks();
         self.tree = Tree::new(self.live.len(), RankId::new(0));

@@ -6,6 +6,7 @@
 //! epoch-stamping discipline of barrier-free AMT runtimes.
 
 use crate::collective::LoadSummary;
+use crate::crc::crc32;
 use crate::termination::TdMsg;
 use tempered_core::ids::{RankId, TaskId};
 
@@ -76,6 +77,26 @@ pub enum LbWire {
     /// Self-timer driving the heartbeat send period and the failure
     /// detector's poll.
     HeartbeatTimer,
+    /// Self-timer: if the rank is still parked (quorum-less after a
+    /// partition) with park counter `park_seq` when this fires, the heal
+    /// never came — the rank finishes read-only on its original
+    /// placement instead of waiting forever.
+    ParkTimer {
+        /// Value of the park counter when the timer was armed.
+        park_seq: u64,
+    },
+    /// A frame whose bits were corrupted in flight ([`LinkFaultKind::
+    /// Corrupt`](crate::fault::LinkFaultKind)): the canonical encoding of
+    /// the original frame with at least one bit flipped, plus the CRC32
+    /// the sender computed over the *un*-corrupted bytes. Receivers
+    /// recompute the checksum and drop the frame on mismatch; the
+    /// reliable layer then re-delivers, exactly as for a loss.
+    Damaged {
+        /// CRC32 ([`crate::crc::crc32`]) of the frame as sent.
+        crc: u32,
+        /// The frame bytes as received (corrupted).
+        bytes: Vec<u8>,
+    },
 }
 
 /// Wire overhead of the reliable framing (sequence number + tag),
@@ -90,7 +111,194 @@ impl LbWire {
             LbWire::Data { msg, .. } => msg.wire_bytes() + SEQ_OVERHEAD_BYTES,
             LbWire::Ack { .. } => SEQ_OVERHEAD_BYTES,
             LbWire::Heartbeat => 8,
-            LbWire::RetryTimer { .. } | LbWire::StageTimer { .. } | LbWire::HeartbeatTimer => 0,
+            // A damaged frame occupies the same bandwidth as the original.
+            LbWire::Damaged { bytes, .. } => bytes.len(),
+            LbWire::RetryTimer { .. }
+            | LbWire::StageTimer { .. }
+            | LbWire::HeartbeatTimer
+            | LbWire::ParkTimer { .. } => 0,
+        }
+    }
+
+    /// Canonical byte encoding of a frame: the integrity-checked unit the
+    /// CRC32 covers. This is a modeling device, not an interop format —
+    /// it only has to be deterministic and injective enough that any
+    /// single flipped bit changes the checksum (CRC32 detects all
+    /// single-bit errors), which the corruption fault model relies on.
+    pub fn encode(&self) -> Vec<u8> {
+        fn u32le(b: &mut Vec<u8>, v: u32) {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        fn u64le(b: &mut Vec<u8>, v: u64) {
+            b.extend_from_slice(&v.to_le_bytes());
+        }
+        fn f64le(b: &mut Vec<u8>, v: f64) {
+            u64le(b, v.to_bits());
+        }
+        fn summary(b: &mut Vec<u8>, s: &LoadSummary) {
+            f64le(b, s.total);
+            f64le(b, s.max);
+            u64le(b, s.count);
+        }
+        fn msg(b: &mut Vec<u8>, m: &LbMsg) {
+            match m {
+                LbMsg::ReduceUp { slot, summary: s } => {
+                    b.push(0);
+                    u32le(b, *slot);
+                    summary(b, s);
+                }
+                LbMsg::ReduceDown { slot, summary: s } => {
+                    b.push(1);
+                    u32le(b, *slot);
+                    summary(b, s);
+                }
+                LbMsg::Gossip {
+                    epoch,
+                    round,
+                    pairs,
+                } => {
+                    b.push(2);
+                    u64le(b, *epoch);
+                    u32le(b, *round);
+                    u32le(b, pairs.len() as u32);
+                    for (r, load) in pairs {
+                        u32le(b, r.as_u32());
+                        f64le(b, *load);
+                    }
+                }
+                LbMsg::Propose { epoch, tasks }
+                | LbMsg::ProposeReply {
+                    epoch,
+                    rejected: tasks,
+                } => {
+                    b.push(if matches!(m, LbMsg::Propose { .. }) {
+                        3
+                    } else {
+                        4
+                    });
+                    u64le(b, *epoch);
+                    u32le(b, tasks.len() as u32);
+                    for t in tasks {
+                        u64le(b, t.id.as_u64());
+                        f64le(b, t.load);
+                        u32le(b, t.home.as_u32());
+                    }
+                }
+                LbMsg::Fetch { epoch, tasks } | LbMsg::TaskData { epoch, tasks } => {
+                    b.push(if matches!(m, LbMsg::Fetch { .. }) {
+                        5
+                    } else {
+                        6
+                    });
+                    u64le(b, *epoch);
+                    u32le(b, tasks.len() as u32);
+                    for t in tasks {
+                        u64le(b, t.as_u64());
+                    }
+                }
+                LbMsg::View { base, dead } => {
+                    b.push(7);
+                    u64le(b, *base);
+                    u32le(b, dead.len() as u32);
+                    for r in dead {
+                        u32le(b, r.as_u32());
+                    }
+                }
+                LbMsg::Knock => b.push(8),
+                LbMsg::Heal { base, dead } => {
+                    b.push(9);
+                    u64le(b, *base);
+                    u32le(b, dead.len() as u32);
+                    for r in dead {
+                        u32le(b, r.as_u32());
+                    }
+                }
+                LbMsg::Td(TdMsg::Token {
+                    epoch,
+                    wave,
+                    sent,
+                    recv,
+                }) => {
+                    b.push(10);
+                    u64le(b, *epoch);
+                    u64le(b, *wave);
+                    u64le(b, *sent);
+                    u64le(b, *recv);
+                }
+                LbMsg::Td(TdMsg::Terminated { epoch, sent }) => {
+                    b.push(11);
+                    u64le(b, *epoch);
+                    u64le(b, *sent);
+                }
+            }
+        }
+        let mut b = Vec::new();
+        match self {
+            LbWire::Raw(m) => {
+                b.push(0x20);
+                msg(&mut b, m);
+            }
+            LbWire::Data { seq, msg: m } => {
+                b.push(0x21);
+                u64le(&mut b, *seq);
+                msg(&mut b, m);
+            }
+            LbWire::Ack { seq } => {
+                b.push(0x22);
+                u64le(&mut b, *seq);
+            }
+            LbWire::Heartbeat => b.push(0x23),
+            LbWire::Damaged { crc, bytes } => {
+                b.push(0x24);
+                u32le(&mut b, *crc);
+                b.extend_from_slice(bytes);
+            }
+            LbWire::RetryTimer { to, seq } => {
+                b.push(0x25);
+                u32le(&mut b, to.as_u32());
+                u64le(&mut b, *seq);
+            }
+            LbWire::StageTimer { stage_seq } => {
+                b.push(0x26);
+                u64le(&mut b, *stage_seq);
+            }
+            LbWire::HeartbeatTimer => b.push(0x27),
+            LbWire::ParkTimer { park_seq } => {
+                b.push(0x28);
+                u64le(&mut b, *park_seq);
+            }
+        }
+        b
+    }
+
+    /// CRC32 over the canonical encoding.
+    pub fn checksum(&self) -> u32 {
+        crc32(&self.encode())
+    }
+
+    /// The frame as it arrives after in-flight corruption: its canonical
+    /// bytes with one deterministically chosen bit flipped, paired with
+    /// the checksum of the *original* bytes. Verification at the receiver
+    /// is guaranteed to fail (CRC32 detects every single-bit error).
+    pub fn damaged(&self) -> LbWire {
+        let bytes = self.encode();
+        let crc = crc32(&bytes);
+        let mut bytes = bytes;
+        // Derive the flipped position from the checksum: deterministic
+        // under a seed (the frame contents are), varied across frames.
+        let bit = crc as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        LbWire::Damaged { crc, bytes }
+    }
+
+    /// Receiver-side integrity check for a [`LbWire::Damaged`] frame:
+    /// `true` when the stored checksum matches the received bytes. Other
+    /// frames trivially verify (the model only wraps frames in `Damaged`
+    /// when corruption actually struck).
+    pub fn verify(&self) -> bool {
+        match self {
+            LbWire::Damaged { crc, bytes } => crc32(bytes) == *crc,
+            _ => true,
         }
     }
 }
@@ -156,13 +364,35 @@ pub enum LbMsg {
         /// Task ids delivered.
         tasks: Vec<TaskId>,
     },
-    /// Membership view-change propagation: the sender's full dead set.
-    /// Control traffic (never TD-counted, never buffered): a receiver
-    /// merges the set into its own view and, if the union grew, restarts
-    /// its protocol on the survivors and re-broadcasts — a convergent
-    /// flood, since dead sets only ever grow (crash-stop).
+    /// Membership view-change propagation: the sender's full
+    /// `(base, dead)` view. Control traffic (never TD-counted, never
+    /// buffered): a receiver merges it via
+    /// [`crate::membership::View::merge_full`] and, if its view changed,
+    /// restarts its protocol on the survivors (or parks, if the quorum
+    /// gate is on and the live component lost its majority) and
+    /// re-broadcasts — a convergent flood, since merge_full is
+    /// order-insensitive.
     View {
+        /// The sender's heal-fence base generation (0 until the first
+        /// partition heal; see [`crate::membership::View::base_gen`]).
+        base: u64,
         /// Every rank the sender's view has declared dead.
+        dead: Vec<RankId>,
+    },
+    /// Beacon a *parked* (quorum-less) rank sends to ranks it has fenced
+    /// off: "I am alive and reachable — if you fenced me because of a
+    /// partition, it has healed." Control traffic, best-effort; the
+    /// receiving side's leader answers with a healed [`LbMsg::View`]
+    /// (mid-run) or a [`LbMsg::Heal`] offer (post-commit).
+    Knock,
+    /// Post-commit heal offer: the majority component finished its run
+    /// and its leader hands the parked rank the healed `(base, dead)`
+    /// view so it can stand down read-only in agreement with the
+    /// majority's committed outcome.
+    Heal {
+        /// Healed base generation (dominates every pre-heal generation).
+        base: u64,
+        /// Dead set of the healed view.
         dead: Vec<RankId>,
     },
     /// Termination-detection control traffic.
@@ -194,7 +424,12 @@ impl LbMsg {
             LbMsg::ProposeReply { rejected, .. } => 16 + 20 * rejected.len(),
             LbMsg::Fetch { tasks, .. } => 16 + 8 * tasks.len(),
             LbMsg::TaskData { tasks, .. } => 16 + 8 * tasks.len(),
-            LbMsg::View { dead } => 8 + 4 * dead.len(),
+            // The heal-fence base rides inside the existing 8-byte view
+            // header: keeping the modeled size unchanged keeps crash-stop
+            // runs (base always 0) bit-identical to the pre-heal protocol.
+            LbMsg::View { dead, .. } => 8 + 4 * dead.len(),
+            LbMsg::Knock => 8,
+            LbMsg::Heal { dead, .. } => 16 + 4 * dead.len(),
             LbMsg::Td(_) => crate::termination::TD_MSG_BYTES,
         }
     }
@@ -269,6 +504,7 @@ mod tests {
         );
         assert_eq!(LbWire::StageTimer { stage_seq: 3 }.wire_bytes(), 0);
         assert_eq!(LbWire::HeartbeatTimer.wire_bytes(), 0);
+        assert_eq!(LbWire::ParkTimer { park_seq: 1 }.wire_bytes(), 0);
         assert!(
             LbWire::Heartbeat.wire_bytes() > 0,
             "heartbeats cross the wire"
@@ -278,10 +514,105 @@ mod tests {
     #[test]
     fn view_changes_are_control_traffic() {
         let msg = LbMsg::View {
+            base: 0,
             dead: vec![RankId::new(3), RankId::new(5)],
         };
         assert_eq!(msg.basic_epoch(), None, "views must never be TD-counted");
-        assert!(msg.wire_bytes() > LbMsg::View { dead: vec![] }.wire_bytes());
+        assert!(
+            msg.wire_bytes()
+                > LbMsg::View {
+                    base: 0,
+                    dead: vec![]
+                }
+                .wire_bytes()
+        );
+        assert_eq!(LbMsg::Knock.basic_epoch(), None);
+        assert_eq!(
+            LbMsg::Heal {
+                base: 9,
+                dead: vec![]
+            }
+            .basic_epoch(),
+            None
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_distinguishes_frames() {
+        let a = LbWire::Data {
+            seq: 4,
+            msg: LbMsg::Gossip {
+                epoch: 1,
+                round: 2,
+                pairs: vec![(RankId::new(3), 0.5)],
+            },
+        };
+        assert_eq!(a.encode(), a.encode());
+        assert_eq!(a.checksum(), a.checksum());
+        let b = LbWire::Data {
+            seq: 5,
+            msg: LbMsg::Gossip {
+                epoch: 1,
+                round: 2,
+                pairs: vec![(RankId::new(3), 0.5)],
+            },
+        };
+        assert_ne!(a.checksum(), b.checksum(), "seq is covered by the crc");
+    }
+
+    #[test]
+    fn single_flipped_bit_fails_verification() {
+        let frames = [
+            LbWire::Raw(LbMsg::View {
+                base: 7,
+                dead: vec![RankId::new(1)],
+            }),
+            LbWire::Data {
+                seq: 12,
+                msg: LbMsg::Propose {
+                    epoch: 3,
+                    tasks: vec![TaskEntry {
+                        id: TaskId::new(9),
+                        load: 1.25,
+                        home: RankId::new(2),
+                    }],
+                },
+            },
+            LbWire::Ack { seq: 1 },
+            LbWire::Heartbeat,
+        ];
+        for frame in frames {
+            assert!(frame.verify(), "intact frames verify");
+            let dam = frame.damaged();
+            assert!(!dam.verify(), "one flipped bit must fail the crc");
+            let LbWire::Damaged { bytes, .. } = &dam else {
+                panic!("damaged() wraps in Damaged");
+            };
+            assert_eq!(
+                bytes.len(),
+                frame.encode().len(),
+                "corruption flips bits, it does not truncate"
+            );
+            assert_eq!(dam.wire_bytes(), bytes.len());
+        }
+    }
+
+    #[test]
+    fn every_flipped_bit_position_is_caught() {
+        // Exhaustive over a small frame: whichever bit the model flips,
+        // the receiver-side check must catch it.
+        let frame = LbWire::Raw(LbMsg::Knock);
+        let bytes = frame.encode();
+        let crc = frame.checksum();
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupted = bytes.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            let dam = LbWire::Damaged {
+                crc,
+                bytes: corrupted,
+            };
+            assert!(!dam.verify(), "bit {bit} slipped through");
+        }
     }
 
     #[test]

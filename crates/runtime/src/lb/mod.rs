@@ -26,7 +26,7 @@ mod messages;
 mod rank;
 pub mod transport;
 
-pub use config::LbProtocolConfig;
+pub use config::{LbProtocolConfig, PartitionConfig};
 pub use driver::{run_local_lb, LocalLbResult, LocalRunner};
 pub use engine::{AsyncIterationRecord, Command, EngineConfig, GossipEngine, Stage};
 pub use messages::{LbMsg, LbWire, TaskEntry};
@@ -61,6 +61,11 @@ pub struct DistLbResult {
     /// stage deadline missed) and reverted to a safe assignment. Always
     /// 0 on a fault-free run.
     pub degraded_ranks: usize,
+    /// Ranks that sat out the run parked — quorum-less under a partition
+    /// — and finished read-only on their original placement. Always 0
+    /// unless [`LbProtocolConfig::partition`] is set and the fault plan
+    /// actually split the network.
+    pub parked_ranks: usize,
     /// Delivery-layer counters summed over ranks (all zero unless
     /// [`LbProtocolConfig::reliability`] is set).
     pub reliable: ReliableStats,
@@ -124,12 +129,12 @@ pub fn run_distributed_lb_traced(
         })
         .collect();
 
-    let crash_free = plan.crashes.is_empty();
+    let fault_free = plan.crashes.is_empty() && plan.links_zero();
     let mut sim = Simulator::new(ranks, model, factory);
     sim.set_recorder(recorder);
     sim.set_fault_plan(plan);
     let report = sim.run();
-    if crash_free {
+    if fault_free {
         assert!(
             report.completed,
             "protocol must reach Done on every rank (faults without \
@@ -139,7 +144,8 @@ pub fn run_distributed_lb_traced(
 
     let ranks = sim.into_ranks();
     let degraded_ranks = ranks.iter().filter(|r| r.degraded()).count();
-    let strict = degraded_ranks == 0 && crash_free;
+    let parked_ranks = ranks.iter().filter(|r| r.parked()).count();
+    let strict = degraded_ranks == 0 && fault_free;
     let mut reliable = ReliableStats::default();
     let mut out = Distribution::new(num_ranks);
     let mut tasks_migrated = 0usize;
@@ -171,10 +177,13 @@ pub fn run_distributed_lb_traced(
     }
 
     // Records and the agreed imbalances come from a rank that finished
-    // the protocol normally — with crashes, rank 0 may be a corpse.
+    // the protocol normally — with crashes, rank 0 may be a corpse, and
+    // under a partition a parked rank's records reflect a run it sat
+    // out, so prefer a rank from the committing (majority) component.
     let reporter = ranks
         .iter()
-        .position(|r| r.finished() && !r.degraded())
+        .position(|r| r.finished() && !r.degraded() && !r.parked())
+        .or_else(|| ranks.iter().position(|r| r.finished() && !r.degraded()))
         .unwrap_or(0);
     DistLbResult {
         initial_imbalance: ranks[reporter].initial_imbalance(),
@@ -182,6 +191,7 @@ pub fn run_distributed_lb_traced(
         tasks_migrated,
         records: ranks[reporter].records().to_vec(),
         degraded_ranks,
+        parked_ranks,
         reliable,
         distribution: out,
         report,
@@ -688,6 +698,216 @@ mod tests {
             assert_eq!(out.distribution.num_tasks(), 60);
             assert_eq!(out.distribution.tasks_on(RankId::new(3)).len(), 0);
             assert!(out.final_imbalance < out.initial_imbalance);
+        }
+    }
+
+    mod partition {
+        use super::*;
+        use crate::fault::PartitionWindow;
+        use crate::health::HealthConfig;
+        use crate::reliable::RetryConfig;
+
+        fn partition_cfg() -> LbProtocolConfig {
+            quick_cfg()
+                .hardened(RetryConfig::default())
+                .crash_tolerant(HealthConfig::default())
+                .partition_tolerant(PartitionConfig {
+                    park_deadline: 0.05,
+                })
+        }
+
+        fn split(side: &[u32], start: f64, end: Option<f64>) -> FaultPlan {
+            FaultPlan {
+                partitions: vec![PartitionWindow {
+                    side: side.iter().map(|&r| RankId::new(r)).collect(),
+                    start,
+                    end,
+                }],
+                ..FaultPlan::none()
+            }
+        }
+
+        /// A permanent 12/4 split: the majority detects the minority
+        /// dead, restarts, and commits; the minority loses quorum, parks
+        /// read-only, and finishes on its original placement at the park
+        /// deadline. No task is lost and no rank touches a task across
+        /// the cut.
+        #[test]
+        fn minority_parks_majority_commits_on_clean_split() {
+            let dist = concentrated(16, 4, 20);
+            let side = [1u32, 5, 9, 13]; // includes hot rank 1
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                partition_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(17),
+                split(&side, 2e-4, None),
+            );
+            assert!(out.report.completed, "every rank must finish");
+            assert_eq!(out.degraded_ranks, 0);
+            assert_eq!(out.parked_ranks, 4, "the whole minority parks");
+            assert_eq!(out.distribution.num_tasks(), dist.num_tasks());
+            // The parked hot rank kept its original tasks: split-brain
+            // prevention means the minority moved nothing.
+            assert_eq!(out.distribution.tasks_on(RankId::new(1)).len(), 20);
+            // The majority still balanced its own side (the parked hot
+            // rank pins the *global* max, so look at migrations, not the
+            // global imbalance).
+            assert!(out.tasks_migrated > 0);
+            assert!(
+                out.distribution.tasks_on(RankId::new(0)).len() < 20,
+                "majority hot ranks shed load to their own component"
+            );
+        }
+
+        /// A 50/50 split leaves *neither* side with a strict majority:
+        /// both park, nobody commits, and the input placement survives
+        /// untouched — the conservative outcome when no component can
+        /// prove it owns the run.
+        #[test]
+        fn even_split_parks_everyone_and_commits_nothing() {
+            let dist = concentrated(16, 4, 20);
+            let side = [0u32, 1, 2, 3, 4, 5, 6, 7];
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                partition_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(19),
+                split(&side, 2e-4, None),
+            );
+            assert!(out.report.completed);
+            assert_eq!(out.parked_ranks, 16, "no quorum on either side");
+            assert_eq!(out.tasks_migrated, 0, "nobody committed");
+            for r in dist.rank_ids() {
+                assert_eq!(
+                    out.distribution.tasks_on(r).len(),
+                    dist.tasks_on(r).len(),
+                    "parked ranks keep their original placement"
+                );
+            }
+        }
+
+        /// The partition heals mid-run: parked ranks knock, the majority
+        /// leader re-admits them under a heal-fenced view, and every rank
+        /// finishes un-parked — either re-joined into a restarted run or
+        /// standing down in agreement with the majority's commit.
+        #[test]
+        fn healed_partition_unparks_the_minority() {
+            let dist = concentrated(16, 4, 20);
+            let side = [1u32, 5, 9, 13];
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                partition_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(23),
+                split(&side, 2e-4, Some(0.02)),
+            );
+            assert!(out.report.completed);
+            assert_eq!(out.degraded_ranks, 0);
+            assert_eq!(out.parked_ranks, 0, "the heal re-admitted every rank");
+            assert_eq!(out.distribution.num_tasks(), dist.num_tasks());
+        }
+
+        /// Same seed, same plan ⇒ bit-identical outcome, parked set and
+        /// event count included: partitions and heals route through the
+        /// same deterministic machinery as everything else.
+        #[test]
+        fn partitioned_runs_are_deterministic() {
+            let dist = concentrated(16, 4, 20);
+            let run = || {
+                run_distributed_lb_with_faults(
+                    &dist,
+                    partition_cfg(),
+                    NetworkModel::default(),
+                    &RngFactory::new(29),
+                    split(&[1u32, 5, 9, 13], 2e-4, Some(0.02)),
+                )
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.final_imbalance.to_bits(), b.final_imbalance.to_bits());
+            assert_eq!(a.report.events_delivered, b.report.events_delivered);
+            assert_eq!(a.parked_ranks, b.parked_ranks);
+            for r in a.distribution.rank_ids() {
+                assert_eq!(
+                    a.distribution.rank_load(r).get().to_bits(),
+                    b.distribution.rank_load(r).get().to_bits()
+                );
+            }
+        }
+
+        /// Stacking the partition layer on a fault-free run must not
+        /// change the committed assignment: the quorum gate only
+        /// activates on a view change, and no knock or park timer ever
+        /// fires without one.
+        #[test]
+        fn partition_layer_is_assignment_neutral_without_faults() {
+            let dist = concentrated(16, 2, 30);
+            let crash_only = run_distributed_lb(
+                &dist,
+                quick_cfg()
+                    .hardened(RetryConfig::default())
+                    .crash_tolerant(HealthConfig::default()),
+                NetworkModel::default(),
+                &RngFactory::new(31),
+            );
+            let tolerant = run_distributed_lb(
+                &dist,
+                partition_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(31),
+            );
+            assert_eq!(tolerant.parked_ranks, 0);
+            assert_eq!(tolerant.degraded_ranks, 0);
+            for r in crash_only.distribution.rank_ids() {
+                let mut a: Vec<_> = crash_only
+                    .distribution
+                    .tasks_on(r)
+                    .iter()
+                    .map(|t| t.id)
+                    .collect();
+                let mut b: Vec<_> = tolerant
+                    .distribution
+                    .tasks_on(r)
+                    .iter()
+                    .map(|t| t.id)
+                    .collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "the partition layer must be inert without faults");
+            }
+        }
+
+        /// A lossy (gray) link between two ranks is absorbed by the
+        /// reliable layer and the link-suspect attribution: nobody is
+        /// declared dead over a path that still mostly works, and the
+        /// run commits on all ranks.
+        #[test]
+        fn gray_link_does_not_kill_a_live_peer() {
+            use crate::fault::{LinkFault, LinkFaultKind};
+            let dist = concentrated(16, 2, 30);
+            let plan = FaultPlan {
+                links: vec![LinkFault {
+                    src: vec![RankId::new(0)],
+                    dst: vec![RankId::new(7)],
+                    start: 0.0,
+                    end: None,
+                    kind: LinkFaultKind::Lossy { p: 0.4 },
+                }],
+                ..FaultPlan::none()
+            };
+            let out = run_distributed_lb_with_faults(
+                &dist,
+                partition_cfg(),
+                NetworkModel::default(),
+                &RngFactory::new(37),
+                plan,
+            );
+            assert!(out.report.completed);
+            assert_eq!(out.degraded_ranks, 0, "a lossy link is not a dead peer");
+            assert_eq!(out.parked_ranks, 0);
+            assert_eq!(out.distribution.num_tasks(), dist.num_tasks());
+            assert!(out.reliable.retransmitted > 0, "the loss was real");
         }
     }
 

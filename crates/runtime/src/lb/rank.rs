@@ -54,6 +54,13 @@ pub struct LbRank {
     health: Option<HealthDetector>,
     fenced: BTreeSet<RankId>,
 
+    // Partition tolerance (active iff `cfg.partition` is set): driver-side
+    // mirror of the engine's parked flag, plus the park-deadline sequence
+    // number that tells a live deadline from a stale one — same discipline
+    // as the stage watchdog's `stage_seq`.
+    parked_seen: bool,
+    park_seq: u64,
+
     // Observability.
     rec: Recorder,
     /// Currently open stage/round span: `(start ts, kind)`. Closed (and
@@ -81,6 +88,8 @@ impl LbRank {
             done: false,
             health: None,
             fenced: BTreeSet::new(),
+            parked_seen: false,
+            park_seq: 0,
             rec: Recorder::disabled(),
             open_span: None,
         }
@@ -118,6 +127,13 @@ impl LbRank {
     /// whatever it held when it died.
     pub fn finished(&self) -> bool {
         self.done
+    }
+
+    /// Whether this rank sat out the run parked (quorum-less under a
+    /// partition) and finished read-only on its original placement via
+    /// the park deadline. `false` once a heal re-admitted it.
+    pub fn parked(&self) -> bool {
+        self.engine.is_parked()
     }
 
     /// Per-iteration records (symmetrically identical across ranks except
@@ -184,10 +200,12 @@ impl LbRank {
             m.counter_add("lb.reliable.acked", s.acked);
             m.counter_add("lb.reliable.duplicates_suppressed", s.duplicates_suppressed);
             m.counter_add("lb.reliable.gave_up", s.gave_up);
+            m.counter_add("lb.reliable.revived", s.revived);
             m.counter_add("lb.migrations_in", self.engine.migrations_in() as u64);
             m.counter_add("lb.migrations_out", self.engine.migrations_out() as u64);
             m.counter_add("lb.nacks_received", self.engine.nacks_received() as u64);
             m.counter_add("lb.degraded_ranks", self.degraded as u64);
+            m.counter_add("lb.parked_ranks", self.engine.is_parked() as u64);
             m.gauge_max("lb.initial_imbalance", self.engine.initial_imbalance());
             if self.engine.best_imbalance().is_finite() {
                 m.gauge_max("lb.best_imbalance", self.engine.best_imbalance());
@@ -238,18 +256,30 @@ impl LbRank {
             return;
         }
         let Some(hc) = self.cfg.health else { return };
+        let parked = self.engine.is_parked();
         for r in (0..self.num_ranks).map(RankId::from) {
             if r == self.me {
                 continue;
             }
-            if self.fenced.contains(&r) {
+            if parked && (self.fenced.contains(&r) || self.fenced.is_empty()) {
+                // Parked: knock at the other side of the partition — or,
+                // parked on hearsay with nobody fenced locally (a zombie
+                // that heard of its own death), at everyone. A knock that
+                // gets through proves the path works again; the
+                // quorum-holding component's leader answers with a heal.
+                ctx.send(r, LbWire::Raw(LbMsg::Knock), LbMsg::Knock.wire_bytes());
+            } else if self.fenced.contains(&r) {
                 // Periodic stand-down nudge instead of a heartbeat: a
                 // warm-restarted zombie wakes with no timers and (being
                 // fenced) receives no protocol traffic, so this is the
-                // only way it ever learns of its own death and degrades
-                // instead of idling forever.
-                let dead: Vec<RankId> = self.fenced.iter().copied().collect();
-                let msg = LbMsg::View { dead };
+                // only way it ever learns of its own death and stands
+                // down — degrading, or parking under partition tolerance
+                // — instead of idling forever.
+                let v = self.engine.view();
+                let msg = LbMsg::View {
+                    base: v.base_gen(),
+                    dead: v.dead().iter().copied().collect(),
+                };
                 let bytes = payload_bytes(&msg, self.cfg.bytes_per_task);
                 ctx.send(r, LbWire::Raw(msg), bytes);
             } else {
@@ -284,26 +314,65 @@ impl LbRank {
         }
         let set: BTreeSet<RankId> = dead.iter().copied().collect();
         let commands = self.engine.on_view(&set);
-        self.apply_view();
+        self.apply_view(ctx.now());
         self.run_commands(ctx, commands);
+        self.sync_park(ctx);
     }
 
-    /// Sync driver-side fencing with the engine's membership view: drop
-    /// transport state toward newly dead ranks (so orphaned retry timers
-    /// settle instead of degrading us) and pin them suspected in the
-    /// detector.
-    fn apply_view(&mut self) {
-        if self.engine.view().generation() as usize == self.fenced.len() {
-            return;
-        }
-        let dead: Vec<RankId> = self.engine.view().dead().iter().copied().collect();
-        for r in dead {
+    /// Sync driver-side fencing with the engine's membership view, both
+    /// ways. Newly dead ranks: drop transport state toward them (so
+    /// orphaned retry timers settle instead of degrading us) and pin
+    /// them suspected in the detector. Newly live ranks (a heal
+    /// re-admitted them): lift the fence and reset their detector
+    /// history — their silence during the partition must not instantly
+    /// re-suspect them.
+    fn apply_view(&mut self, now: f64) {
+        let view_dead = self.engine.view().dead();
+        for r in view_dead.iter().copied() {
             if self.fenced.insert(r) {
                 self.transport.fence(r);
                 if let Some(d) = &mut self.health {
                     d.force_suspect(r);
                 }
             }
+        }
+        let healed: Vec<RankId> = self
+            .fenced
+            .iter()
+            .copied()
+            .filter(|r| !view_dead.contains(r))
+            .collect();
+        for r in healed {
+            self.fenced.remove(&r);
+            if let Some(d) = &mut self.health {
+                d.reinstate(r, now);
+            }
+        }
+    }
+
+    /// Mirror the engine's parked state into driver-side policy. Entering
+    /// a park arms the park deadline and retires the stage watchdog — a
+    /// quorum-less stall is deliberate, not a delivery failure. Leaving
+    /// one (a heal restarted or finished us) invalidates any armed
+    /// deadline by bumping the sequence number. Call after every batch of
+    /// engine commands that could change the parked state.
+    fn sync_park(&mut self, ctx: &mut Ctx<'_, LbWire>) {
+        let parked = self.engine.is_parked() && !self.done;
+        if parked && !self.parked_seen {
+            self.parked_seen = true;
+            self.park_seq += 1;
+            self.stage_seq += 1;
+            if let Some(pc) = self.cfg.partition {
+                ctx.schedule(
+                    pc.park_deadline,
+                    LbWire::ParkTimer {
+                        park_seq: self.park_seq,
+                    },
+                );
+            }
+        } else if !parked && self.parked_seen {
+            self.parked_seen = false;
+            self.park_seq += 1;
         }
     }
 
@@ -389,16 +458,50 @@ impl Protocol for LbRank {
             }
             return;
         }
-        // Network traffic from a fenced rank is a zombie talking; ignore
-        // it entirely (in particular, don't let it prove liveness).
-        if self.fenced.contains(&from) {
+        // The park deadline: no heal arrived in time, finish read-only on
+        // the original placement. A stale sequence number means a heal
+        // un-parked (or re-parked) us since the timer was armed.
+        if let LbWire::ParkTimer { park_seq } = wire {
+            if !self.done && self.parked_seen && park_seq == self.park_seq {
+                let commands = self.engine.finish_parked();
+                self.run_commands(ctx, commands);
+            }
             return;
         }
+        // Network traffic from a fenced rank is a zombie talking; ignore
+        // it entirely (in particular, don't let it prove liveness). Under
+        // partition tolerance, membership traffic is the one exception: a
+        // Knock is precisely a fenced rank calling (the heal trigger),
+        // and a healed View flood or a Heal offer reaches a parked rank
+        // *from* ranks it fenced on its own side of the split. The
+        // engine's heal fence (view base) decides staleness; hearsay
+        // still can't prove liveness, so the detector is not fed.
+        let from_fenced = self.fenced.contains(&from);
+        if from_fenced {
+            let membership = self.cfg.partition.is_some()
+                && matches!(
+                    &wire,
+                    LbWire::Raw(LbMsg::Knock | LbMsg::View { .. } | LbMsg::Heal { .. })
+                        | LbWire::Data {
+                            msg: LbMsg::Knock | LbMsg::View { .. } | LbMsg::Heal { .. },
+                            ..
+                        }
+                );
+            if !membership {
+                return;
+            }
+        }
         // Any frame that crossed the network proves the sender was alive
-        // when it sent — cheaper and tighter than heartbeats alone.
-        if from != self.me {
+        // when it sent — cheaper and tighter than heartbeats alone. An
+        // ack additionally proves the *outbound* path to the sender
+        // delivered a frame, which is the direction the link-quality
+        // score tracks.
+        if from != self.me && !from_fenced {
             if let Some(d) = &mut self.health {
                 d.on_heartbeat(from, ctx.now());
+                if self.cfg.partition.is_some() && matches!(wire, LbWire::Ack { .. }) {
+                    d.on_link_outcome(from, true);
+                }
             }
         }
         if matches!(wire, LbWire::Heartbeat) {
@@ -409,18 +512,35 @@ impl Protocol for LbRank {
             RxEvent::Deliver(msg) => {
                 self.apply_actions(ctx, actions);
                 // Self-death valve: a View naming *this* rank dead means
-                // the survivors moved on without us (we were warm-
-                // restarted, or falsely suspected during a long stall).
-                // Stand down rather than disrupt the new view.
-                if let LbMsg::View { dead } = &msg {
+                // some component fenced us out and moved on (we were
+                // warm-restarted, falsely suspected during a long stall,
+                // or on the wrong side of a partition).
+                if let LbMsg::View { base, dead } = &msg {
                     if dead.contains(&self.me) {
-                        self.degrade(ctx.now());
+                        if self.cfg.partition.is_some() {
+                            // Partition mode: never self-destruct on
+                            // hearsay — a current view fencing us out is
+                            // partition evidence, so park read-only and
+                            // knock; a stale one (lower heal fence) is a
+                            // crossing flood from before a heal that
+                            // already re-admitted us.
+                            if *base >= self.engine.view().base_gen() {
+                                let commands = self.engine.park_self();
+                                self.run_commands(ctx, commands);
+                                self.sync_park(ctx);
+                            }
+                        } else {
+                            // Crash-stop mode: stand down rather than
+                            // disrupt the survivors' new view.
+                            self.degrade(ctx.now());
+                        }
                         return;
                     }
                 }
                 let commands = self.engine.on_message(from, msg);
-                self.apply_view();
+                self.apply_view(ctx.now());
                 self.run_commands(ctx, commands);
+                self.sync_park(ctx);
             }
             RxEvent::Duplicate { from, seq } => {
                 self.apply_actions(ctx, actions);
@@ -444,13 +564,36 @@ impl Protocol for LbRank {
                 );
                 self.apply_actions(ctx, actions);
             }
-            RxEvent::GaveUp { to } => {
+            RxEvent::GaveUp { to, seq, msg } => {
                 self.rec.instant(
                     self.me.as_u32(),
                     ctx.now(),
                     EventKind::GaveUp { to: to.as_u32() },
                 );
-                if self.health.is_some() {
+                let vouched = self.cfg.partition.is_some()
+                    && !self.fenced.contains(&to)
+                    && self.health.as_ref().is_some_and(|d| !d.is_suspected(to));
+                if vouched {
+                    // Gray-link attribution: the failure detector still
+                    // vouches for the peer — its frames keep arriving —
+                    // so the *path* ate this payload, not the peer.
+                    // Debit the link's quality score and reinstate the
+                    // message with a fresh retry budget instead of
+                    // declaring a live peer dead. A link that never
+                    // recovers stalls the stage, and the stage deadline
+                    // backstops that.
+                    if let Some(d) = &mut self.health {
+                        d.on_link_outcome(to, false);
+                    }
+                    self.rec.instant(
+                        self.me.as_u32(),
+                        ctx.now(),
+                        EventKind::LinkSuspect { to: to.as_u32() },
+                    );
+                    let mut actions = Vec::new();
+                    self.transport.reinstate(to, seq, msg, &mut actions);
+                    self.apply_actions(ctx, actions);
+                } else if self.health.is_some() {
                     // Retry exhaustion toward one peer under crash
                     // tolerance means that peer is gone, not that we
                     // are: declare it dead and restart on the survivors
@@ -462,11 +605,34 @@ impl Protocol for LbRank {
                     self.degrade(ctx.now());
                 }
             }
+            RxEvent::Corrupt { from } => {
+                // Checksum mismatch: the frame was damaged in flight and
+                // is dropped *without an ack*, so the sender's reliable
+                // channel re-delivers the original. Best-effort frames
+                // are simply lost — same contract as a drop.
+                self.apply_actions(ctx, actions);
+                self.rec.instant(
+                    self.me.as_u32(),
+                    ctx.now(),
+                    EventKind::CorruptDropped {
+                        from: from.as_u32(),
+                    },
+                );
+            }
             RxEvent::Nothing => self.apply_actions(ctx, actions),
         }
     }
 
     fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// The LB wire format checksums its frames (CRC32 over the canonical
+    /// encoding), so in-flight corruption is modeled faithfully: the
+    /// damaged frame still *arrives* and the receiver detects and drops
+    /// it (see [`LbWire::damaged`]), rather than the executor silently
+    /// treating damage as loss.
+    fn corrupted(msg: &LbWire) -> Option<LbWire> {
+        Some(msg.damaged())
     }
 }

@@ -70,10 +70,25 @@ pub enum RxEvent {
         /// Its sequence number.
         seq: u64,
     },
-    /// The retry budget for `to` is exhausted; the rank should degrade.
+    /// The retry budget for `to` is exhausted. The rank decides what the
+    /// exhaustion *means*: peer death (degrade or declare dead) or — when
+    /// membership still vouches for the peer — a bad link, in which case
+    /// it hands `(to, seq, msg)` back to [`Transport::reinstate`].
     GaveUp {
         /// Unreachable destination.
         to: RankId,
+        /// Sequence number of the abandoned message.
+        seq: u64,
+        /// The abandoned payload.
+        msg: LbMsg,
+    },
+    /// An incoming frame failed its integrity check (in-flight bit
+    /// corruption, [`crate::fault::LinkFaultKind::Corrupt`]) and was
+    /// dropped undelivered. No ack is sent, so a reliable sender
+    /// retransmits — corruption is masked exactly like loss.
+    Corrupt {
+        /// The rank whose frame arrived damaged.
+        from: RankId,
     },
     /// Internal bookkeeping only (e.g. an ack); nothing to deliver.
     Nothing,
@@ -100,6 +115,13 @@ pub trait Transport: std::fmt::Debug + Send {
     /// the budget (and eventually degrading *this* rank) on a corpse.
     /// No-op for best-effort transports.
     fn fence(&mut self, _dead: RankId) {}
+
+    /// Revive a message previously reported via [`RxEvent::GaveUp`]:
+    /// re-arm it with a fresh retry budget and retransmit. Used when the
+    /// rank attributes the give-up to a degraded link rather than a dead
+    /// peer (the membership view still vouches for the destination).
+    /// No-op for best-effort transports, which never give up.
+    fn reinstate(&mut self, _to: RankId, _seq: u64, _msg: LbMsg, _out: &mut Vec<TxAction>) {}
 }
 
 /// Best-effort transport: frames pass through untouched.
@@ -125,14 +147,19 @@ impl Transport for Raw {
         });
     }
 
-    fn receive(&mut self, _from: RankId, wire: LbWire, _out: &mut Vec<TxAction>) -> RxEvent {
+    fn receive(&mut self, from: RankId, wire: LbWire, _out: &mut Vec<TxAction>) -> RxEvent {
         match wire {
             LbWire::Raw(msg) | LbWire::Data { msg, .. } => RxEvent::Deliver(msg),
+            dam @ LbWire::Damaged { .. } => {
+                debug_assert!(!dam.verify(), "damaged frames carry a mismatched crc");
+                RxEvent::Corrupt { from }
+            }
             LbWire::Ack { .. }
             | LbWire::RetryTimer { .. }
             | LbWire::StageTimer { .. }
             | LbWire::Heartbeat
-            | LbWire::HeartbeatTimer => RxEvent::Nothing,
+            | LbWire::HeartbeatTimer
+            | LbWire::ParkTimer { .. } => RxEvent::Nothing,
         }
     }
 
@@ -227,12 +254,19 @@ impl Transport for Reliable {
                     });
                     RxEvent::Retransmitted { to, seq }
                 }
-                RetryAction::GaveUp { to, .. } => RxEvent::GaveUp { to },
+                RetryAction::GaveUp { to, msg } => RxEvent::GaveUp { to, seq, msg },
                 RetryAction::Settled => RxEvent::Nothing,
             },
-            LbWire::StageTimer { .. } | LbWire::Heartbeat | LbWire::HeartbeatTimer => {
-                RxEvent::Nothing
+            // A corrupted data frame is dropped without an ack: the
+            // sender's retry timer re-delivers the intact original.
+            dam @ LbWire::Damaged { .. } => {
+                debug_assert!(!dam.verify(), "damaged frames carry a mismatched crc");
+                RxEvent::Corrupt { from }
             }
+            LbWire::StageTimer { .. }
+            | LbWire::Heartbeat
+            | LbWire::HeartbeatTimer
+            | LbWire::ParkTimer { .. } => RxEvent::Nothing,
         }
     }
 
@@ -242,6 +276,20 @@ impl Transport for Reliable {
 
     fn fence(&mut self, dead: RankId) {
         self.channel.forget_peer(dead);
+    }
+
+    fn reinstate(&mut self, to: RankId, seq: u64, msg: LbMsg, out: &mut Vec<TxAction>) {
+        let delay = self.channel.reinstate(to, seq, msg.clone());
+        let bytes = payload_bytes(&msg, self.bytes_per_task) + SEQ_OVERHEAD_BYTES;
+        out.push(TxAction::Wire {
+            to,
+            wire: LbWire::Data { seq, msg },
+            bytes,
+        });
+        out.push(TxAction::Timer {
+            delay,
+            wire: LbWire::RetryTimer { to, seq },
+        });
     }
 }
 
@@ -291,6 +339,13 @@ impl<T: Transport> Transport for Faulty<T> {
 
     fn fence(&mut self, dead: RankId) {
         self.inner.fence(dead);
+    }
+
+    fn reinstate(&mut self, to: RankId, seq: u64, msg: LbMsg, out: &mut Vec<TxAction>) {
+        // The revived retransmission crosses the same faulty network.
+        let mut inner_out = Vec::new();
+        self.inner.reinstate(to, seq, msg, &mut inner_out);
+        self.apply_fates(inner_out, out);
     }
 }
 
@@ -454,8 +509,10 @@ mod tests {
         let mut gave_up = false;
         for _ in 0..4 {
             match sender.receive(RankId::new(0), timer.clone(), &mut Vec::new()) {
-                RxEvent::GaveUp { to } => {
+                RxEvent::GaveUp { to, seq, msg } => {
                     assert_eq!(to, RankId::new(1));
+                    assert_eq!(seq, 1);
+                    assert!(matches!(msg, LbMsg::Gossip { epoch: 1, .. }));
                     gave_up = true;
                     break;
                 }
@@ -464,6 +521,77 @@ mod tests {
             }
         }
         assert!(gave_up, "retry budget must eventually run out");
+    }
+
+    #[test]
+    fn reinstate_retransmits_with_a_fresh_budget() {
+        let retry = RetryConfig {
+            max_retries: 1,
+            jitter: 0.0,
+            ..RetryConfig::default()
+        };
+        let mut sender = Reliable::new(retry, 0);
+        let mut out = Vec::new();
+        sender.send(RankId::new(1), gossip(1), &mut out);
+        let TxAction::Timer { wire: timer, .. } = out.pop().unwrap() else {
+            panic!("expected retry timer");
+        };
+        // Exhaust the budget.
+        let mut gave = None;
+        for _ in 0..3 {
+            if let RxEvent::GaveUp { to, seq, msg } =
+                sender.receive(RankId::new(0), timer.clone(), &mut Vec::new())
+            {
+                gave = Some((to, seq, msg));
+                break;
+            }
+        }
+        let (to, seq, msg) = gave.expect("budget must run out");
+        // Link-suspect verdict: revive. The transport retransmits the
+        // same (to, seq) frame and re-arms the timer.
+        let mut out = Vec::new();
+        sender.reinstate(to, seq, msg, &mut out);
+        assert_eq!(out.len(), 2, "frame + retry timer");
+        assert!(matches!(
+            &out[0],
+            TxAction::Wire {
+                wire: LbWire::Data { seq: 1, .. },
+                ..
+            }
+        ));
+        assert_eq!(sender.stats().revived, 1);
+        // An ack now settles it like any first-class send.
+        sender.receive(RankId::new(1), LbWire::Ack { seq }, &mut Vec::new());
+        assert!(matches!(
+            sender.receive(RankId::new(0), timer, &mut Vec::new()),
+            RxEvent::Nothing
+        ));
+    }
+
+    #[test]
+    fn corrupted_frames_are_dropped_then_masked_by_retransmission() {
+        let mut sender = Reliable::new(RetryConfig::default(), 0);
+        let mut receiver = Reliable::new(RetryConfig::default(), 0);
+        let mut out = Vec::new();
+        sender.send(RankId::new(1), gossip(1), &mut out);
+        let TxAction::Wire { wire, .. } = out.remove(0) else {
+            panic!("expected data frame");
+        };
+        let TxAction::Timer { wire: timer, .. } = out.pop().unwrap() else {
+            panic!("expected retry timer");
+        };
+
+        // The frame arrives bit-flipped: dropped, and crucially NOT acked.
+        let mut rx_out = Vec::new();
+        let ev = receiver.receive(RankId::new(0), wire.damaged(), &mut rx_out);
+        assert!(matches!(ev, RxEvent::Corrupt { from } if from == RankId::new(0)));
+        assert!(rx_out.is_empty(), "corrupt frames must not be acked");
+
+        // The sender's retry timer re-delivers the intact original.
+        let ev = sender.receive(RankId::new(0), timer, &mut Vec::new());
+        assert!(matches!(ev, RxEvent::Retransmitted { .. }));
+        let ev = receiver.receive(RankId::new(0), wire, &mut Vec::new());
+        assert!(matches!(ev, RxEvent::Deliver(LbMsg::Gossip { .. })));
     }
 
     #[test]

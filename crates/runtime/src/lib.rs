@@ -36,23 +36,27 @@
 #![warn(rust_2018_idioms)]
 
 pub mod collective;
+pub mod crc;
 pub mod fault;
 pub mod health;
 pub mod lb;
 pub mod membership;
 pub mod parallel;
 pub mod phase;
+pub mod planfile;
 pub mod rdma;
 pub mod reliable;
 pub mod sim;
 pub mod termination;
 
-pub use fault::{CrashEvent, FaultPlan, FaultPlanError, FaultStats};
+pub use fault::{
+    CrashEvent, FaultPlan, FaultPlanError, FaultStats, LinkFault, LinkFaultKind, PartitionWindow,
+};
 pub use health::{HealthConfig, HealthDetector};
 pub use lb::{
     run_distributed_lb, run_distributed_lb_traced, run_distributed_lb_with_faults, run_local_lb,
     DistLbResult, DistributedGrapevineLb, DistributedTemperedLb, GossipEngine, LbProtocolConfig,
-    LocalLbResult,
+    LocalLbResult, PartitionConfig,
 };
 pub use membership::View;
 pub use reliable::{ReliableStats, RetryConfig};

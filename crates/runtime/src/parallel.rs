@@ -23,7 +23,7 @@
 //! termination condition (as the LB protocol does); an actor that never
 //! reports done hangs the run, which tests guard with a wall-clock bound.
 
-use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats};
+use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats, LinkFate};
 use crate::sim::{Ctx, Protocol};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cmp::Reverse;
@@ -224,6 +224,9 @@ where
         m.counter_add("fault.straggled", faults.straggled);
         m.counter_add("fault.paused", faults.paused);
         m.counter_add("fault.crash_dropped", faults.crash_dropped);
+        m.counter_add("fault.link_cut", faults.link_cut);
+        m.counter_add("fault.link_delayed", faults.link_delayed);
+        m.counter_add("fault.corrupted", faults.corrupted);
         m.gauge_max("parallel.wall_time_s", start.elapsed().as_secs_f64());
     });
     ParallelReport {
@@ -311,8 +314,17 @@ where
             } else {
                 Fate::clean()
             };
+            // Link-level fates use wall-clock seconds since run start as
+            // the window clock — the threaded analogue of the simulator's
+            // virtual send time (same convention as pause windows).
+            let send_now = self.start.elapsed().as_secs_f64();
+            let link = if faultable {
+                inj.link_fate(from, to, send_now)
+            } else {
+                LinkFate::clean()
+            };
             if faultable && self.recorder.is_enabled() {
-                let now = self.start.elapsed().as_secs_f64();
+                let now = send_now;
                 let fault = |kind| EventKind::Fault {
                     kind,
                     to: to.as_u32(),
@@ -326,9 +338,31 @@ where
                 if fate.delay_factor > 1.0 {
                     self.recorder.instant(from.as_u32(), now, fault("delay"));
                 }
+                if link.cut {
+                    self.recorder.instant(from.as_u32(), now, fault("link_cut"));
+                }
+                if link.delay_factor > 1.0 {
+                    self.recorder
+                        .instant(from.as_u32(), now, fault("link_delay"));
+                }
+                if link.corrupt {
+                    self.recorder.instant(from.as_u32(), now, fault("corrupt"));
+                }
             }
+            if link.cut {
+                continue;
+            }
+            let msg = if link.corrupt {
+                match P::corrupted(&msg) {
+                    Some(bad) => bad,
+                    None => continue,
+                }
+            } else {
+                msg
+            };
             for copy in 0..fate.copies {
-                let extra = (fate.delay_factor - 1.0).max(0.0) * (copy + 1) as f64;
+                let extra =
+                    (fate.delay_factor * link.delay_factor - 1.0).max(0.0) * (copy + 1) as f64;
                 let mut not_before = if extra > 0.0 {
                     Some(Instant::now() + PARALLEL_DELAY_UNIT.mul_f64(extra))
                 } else {

@@ -1,0 +1,657 @@
+//! JSON (de)serialization for [`FaultPlan`] files.
+//!
+//! The vendored `serde` is a marker-trait facade with no data formats
+//! behind it, so chaos-plan files get a small hand-rolled JSON codec
+//! instead: a tolerant recursive-descent parser for the JSON subset a
+//! plan needs (objects, arrays, numbers, strings, booleans, `null`) and
+//! a canonical writer whose output round-trips bit-exactly through
+//! [`FaultPlan::from_json`]. Omitted fields take their
+//! [`FaultPlan::none`] defaults, so checked-in plan files only state
+//! what they perturb.
+
+use crate::fault::{CrashEvent, FaultPlan, LinkFault, LinkFaultKind, PartitionWindow, PauseWindow};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tempered_core::ids::RankId;
+
+/// A parsed JSON value (the subset plan files use).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> PResult<T> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> PResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> PResult<Json> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> PResult<Json> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn number(&mut self) -> PResult<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("malformed number at byte {start}"))
+    }
+
+    fn string(&mut self) -> PResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return self.err("unsupported escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> PResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> PResult<Json> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+// ---- Json -> FaultPlan -----------------------------------------------------
+
+fn as_num(v: &Json, what: &str) -> PResult<f64> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        other => Err(format!("{what}: expected a number, got {other:?}")),
+    }
+}
+
+fn as_rank(v: &Json, what: &str) -> PResult<RankId> {
+    let n = as_num(v, what)?;
+    if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+        return Err(format!("{what}: {n} is not a rank id"));
+    }
+    Ok(RankId::new(n as u32))
+}
+
+fn as_ranks(v: &Json, what: &str) -> PResult<Vec<RankId>> {
+    match v {
+        Json::Arr(items) => items.iter().map(|i| as_rank(i, what)).collect(),
+        other => Err(format!("{what}: expected an array, got {other:?}")),
+    }
+}
+
+fn as_opt_num(v: &Json, what: &str) -> PResult<Option<f64>> {
+    match v {
+        Json::Null => Ok(None),
+        other => as_num(other, what).map(Some),
+    }
+}
+
+fn obj<'a>(v: &'a Json, what: &str) -> PResult<&'a BTreeMap<String, Json>> {
+    match v {
+        Json::Obj(map) => Ok(map),
+        other => Err(format!("{what}: expected an object, got {other:?}")),
+    }
+}
+
+fn arr<'a>(v: &'a Json, what: &str) -> PResult<&'a [Json]> {
+    match v {
+        Json::Arr(items) => Ok(items),
+        other => Err(format!("{what}: expected an array, got {other:?}")),
+    }
+}
+
+fn field<'a>(map: &'a BTreeMap<String, Json>, key: &str, what: &str) -> PResult<&'a Json> {
+    map.get(key)
+        .ok_or_else(|| format!("{what}: missing field \"{key}\""))
+}
+
+fn link_kind(map: &BTreeMap<String, Json>) -> PResult<LinkFaultKind> {
+    let kind = obj(field(map, "kind", "link")?, "link.kind")?;
+    let ty = match field(kind, "type", "link.kind")? {
+        Json::Str(s) => s.as_str(),
+        other => return Err(format!("link.kind.type: expected a string, got {other:?}")),
+    };
+    match ty {
+        "cut" => Ok(LinkFaultKind::Cut),
+        "lossy" => Ok(LinkFaultKind::Lossy {
+            p: as_num(field(kind, "p", "link.kind")?, "link.kind.p")?,
+        }),
+        "delay" => Ok(LinkFaultKind::Delay {
+            factor: as_num(field(kind, "factor", "link.kind")?, "link.kind.factor")?,
+        }),
+        "flap" => Ok(LinkFaultKind::Flap {
+            period: as_num(field(kind, "period", "link.kind")?, "link.kind.period")?,
+            duty: as_num(field(kind, "duty", "link.kind")?, "link.kind.duty")?,
+        }),
+        "corrupt" => Ok(LinkFaultKind::Corrupt {
+            p: as_num(field(kind, "p", "link.kind")?, "link.kind.p")?,
+        }),
+        other => Err(format!("link.kind.type: unknown kind \"{other}\"")),
+    }
+}
+
+fn plan_from_json(root: &Json) -> PResult<FaultPlan> {
+    let map = obj(root, "plan")?;
+    let mut plan = FaultPlan::none();
+    for (key, value) in map {
+        match key.as_str() {
+            "seed" => {
+                let n = as_num(value, "seed")?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(format!("seed: {n} is not a u64"));
+                }
+                plan.seed = n as u64;
+            }
+            "drop" => plan.drop = as_num(value, "drop")?,
+            "duplicate" => plan.duplicate = as_num(value, "duplicate")?,
+            "delay_spike" => plan.delay_spike = as_num(value, "delay_spike")?,
+            "delay_spike_scale" => plan.delay_spike_scale = as_num(value, "delay_spike_scale")?,
+            "reorder" => plan.reorder = as_num(value, "reorder")?,
+            "reorder_factor" => plan.reorder_factor = as_num(value, "reorder_factor")?,
+            "stragglers" => {
+                for item in arr(value, "stragglers")? {
+                    let pair = arr(item, "stragglers[]")?;
+                    if pair.len() != 2 {
+                        return Err("stragglers[]: expected [rank, factor]".to_string());
+                    }
+                    plan.stragglers.push((
+                        as_rank(&pair[0], "stragglers[].rank")?,
+                        as_num(&pair[1], "stragglers[].factor")?,
+                    ));
+                }
+            }
+            "pauses" => {
+                for item in arr(value, "pauses")? {
+                    let w = obj(item, "pauses[]")?;
+                    plan.pauses.push(PauseWindow {
+                        rank: as_rank(field(w, "rank", "pause")?, "pause.rank")?,
+                        from: as_num(field(w, "from", "pause")?, "pause.from")?,
+                        until: as_num(field(w, "until", "pause")?, "pause.until")?,
+                    });
+                }
+            }
+            "crashes" => {
+                for item in arr(value, "crashes")? {
+                    let c = obj(item, "crashes[]")?;
+                    plan.crashes.push(CrashEvent {
+                        rank: as_rank(field(c, "rank", "crash")?, "crash.rank")?,
+                        at: as_num(field(c, "at", "crash")?, "crash.at")?,
+                        restart_after: match c.get("restart_after") {
+                            None => None,
+                            Some(v) => as_opt_num(v, "crash.restart_after")?,
+                        },
+                    });
+                }
+            }
+            "links" => {
+                for item in arr(value, "links")? {
+                    let l = obj(item, "links[]")?;
+                    plan.links.push(LinkFault {
+                        src: as_ranks(field(l, "src", "link")?, "link.src")?,
+                        dst: as_ranks(field(l, "dst", "link")?, "link.dst")?,
+                        start: as_num(field(l, "start", "link")?, "link.start")?,
+                        end: match l.get("end") {
+                            None => None,
+                            Some(v) => as_opt_num(v, "link.end")?,
+                        },
+                        kind: link_kind(l)?,
+                    });
+                }
+            }
+            "partitions" => {
+                for item in arr(value, "partitions")? {
+                    let p = obj(item, "partitions[]")?;
+                    plan.partitions.push(PartitionWindow {
+                        side: as_ranks(field(p, "side", "partition")?, "partition.side")?,
+                        start: as_num(field(p, "start", "partition")?, "partition.start")?,
+                        end: match p.get("end") {
+                            None => None,
+                            Some(v) => as_opt_num(v, "partition.end")?,
+                        },
+                    });
+                }
+            }
+            other => return Err(format!("plan: unknown field \"{other}\"")),
+        }
+    }
+    Ok(plan)
+}
+
+// ---- FaultPlan -> Json text ------------------------------------------------
+
+/// Write `x` the way `f64::to_string` does but keep integral values
+/// readable (`2` not `2.0` would not re-parse differently; both are
+/// fine) — plain `{}` formatting round-trips through `str::parse::<f64>`
+/// exactly for every finite value.
+fn num(x: f64) -> String {
+    format!("{x}")
+}
+
+fn ranks(out: &mut String, ranks: &[RankId]) {
+    out.push('[');
+    for (i, r) in ranks.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}", r.as_u32());
+    }
+    out.push(']');
+}
+
+fn opt_end(out: &mut String, end: Option<f64>) {
+    match end {
+        Some(e) => {
+            let _ = write!(out, "\"end\": {}", num(e));
+        }
+        None => out.push_str("\"end\": null"),
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from JSON text. Omitted fields default as in
+    /// [`FaultPlan::none`]; unknown fields are rejected so typos in plan
+    /// files fail loudly. The parsed plan is *not* validated — callers
+    /// should [`FaultPlan::validate`] before use.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let mut parser = Parser::new(text);
+        let root = parser.value()?;
+        if parser.peek().is_some() {
+            return parser.err("trailing content after plan");
+        }
+        plan_from_json(&root)
+    }
+
+    /// Render the plan as pretty-printed JSON that [`FaultPlan::from_json`]
+    /// parses back to an equal plan.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"drop\": {},", num(self.drop));
+        let _ = writeln!(out, "  \"duplicate\": {},", num(self.duplicate));
+        let _ = writeln!(out, "  \"delay_spike\": {},", num(self.delay_spike));
+        let _ = writeln!(
+            out,
+            "  \"delay_spike_scale\": {},",
+            num(self.delay_spike_scale)
+        );
+        let _ = writeln!(out, "  \"reorder\": {},", num(self.reorder));
+        let _ = writeln!(out, "  \"reorder_factor\": {},", num(self.reorder_factor));
+
+        out.push_str("  \"stragglers\": [");
+        for (i, (r, f)) in self.stragglers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    [{}, {}]", r.as_u32(), num(*f));
+        }
+        out.push_str(if self.stragglers.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"pauses\": [");
+        for (i, w) in self.pauses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rank\": {}, \"from\": {}, \"until\": {}}}",
+                w.rank.as_u32(),
+                num(w.from),
+                num(w.until)
+            );
+        }
+        out.push_str(if self.pauses.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"crashes\": [");
+        for (i, c) in self.crashes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rank\": {}, \"at\": {}, ",
+                c.rank.as_u32(),
+                num(c.at)
+            );
+            match c.restart_after {
+                Some(d) => {
+                    let _ = write!(out, "\"restart_after\": {}}}", num(d));
+                }
+                None => out.push_str("\"restart_after\": null}"),
+            }
+        }
+        out.push_str(if self.crashes.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"links\": [");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"src\": ");
+            ranks(&mut out, &l.src);
+            out.push_str(", \"dst\": ");
+            ranks(&mut out, &l.dst);
+            let _ = write!(out, ", \"start\": {}, ", num(l.start));
+            opt_end(&mut out, l.end);
+            out.push_str(", \"kind\": ");
+            match l.kind {
+                LinkFaultKind::Cut => out.push_str("{\"type\": \"cut\"}"),
+                LinkFaultKind::Lossy { p } => {
+                    let _ = write!(out, "{{\"type\": \"lossy\", \"p\": {}}}", num(p));
+                }
+                LinkFaultKind::Delay { factor } => {
+                    let _ = write!(out, "{{\"type\": \"delay\", \"factor\": {}}}", num(factor));
+                }
+                LinkFaultKind::Flap { period, duty } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"flap\", \"period\": {}, \"duty\": {}}}",
+                        num(period),
+                        num(duty)
+                    );
+                }
+                LinkFaultKind::Corrupt { p } => {
+                    let _ = write!(out, "{{\"type\": \"corrupt\", \"p\": {}}}", num(p));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str(if self.links.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+
+        out.push_str("  \"partitions\": [");
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"side\": ");
+            ranks(&mut out, &p.side);
+            let _ = write!(out, ", \"start\": {}, ", num(p.start));
+            opt_end(&mut out, p.end);
+            out.push('}');
+        }
+        out.push_str(if self.partitions.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 77,
+            drop: 0.05,
+            duplicate: 0.02,
+            delay_spike: 0.01,
+            delay_spike_scale: 8.0,
+            reorder: 0.1,
+            reorder_factor: 4.0,
+            stragglers: vec![(RankId::new(3), 2.5)],
+            pauses: vec![PauseWindow {
+                rank: RankId::new(1),
+                from: 0.001,
+                until: 0.002,
+            }],
+            crashes: vec![
+                CrashEvent::fatal(RankId::new(5), 0.01),
+                CrashEvent::with_restart(RankId::new(6), 0.02, 0.005),
+            ],
+            links: vec![
+                LinkFault {
+                    src: vec![RankId::new(0)],
+                    dst: vec![RankId::new(1), RankId::new(2)],
+                    start: 0.0,
+                    end: Some(0.01),
+                    kind: LinkFaultKind::Lossy { p: 0.3 },
+                },
+                LinkFault {
+                    src: vec![],
+                    dst: vec![RankId::new(4)],
+                    start: 0.005,
+                    end: None,
+                    kind: LinkFaultKind::Flap {
+                        period: 0.001,
+                        duty: 0.5,
+                    },
+                },
+                LinkFault {
+                    src: vec![RankId::new(2)],
+                    dst: vec![],
+                    start: 0.0,
+                    end: None,
+                    kind: LinkFaultKind::Corrupt { p: 0.25 },
+                },
+            ],
+            partitions: vec![PartitionWindow {
+                side: vec![RankId::new(0), RankId::new(1)],
+                start: 0.002,
+                end: Some(0.004),
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let plan = busy_plan();
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("round trip parses");
+        assert_eq!(back, plan);
+        // And serializing again is byte-stable.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = FaultPlan::none();
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert!(back.is_zero());
+    }
+
+    #[test]
+    fn sparse_files_take_defaults() {
+        let plan = FaultPlan::from_json(
+            r#"{"seed": 9, "partitions": [{"side": [0, 1], "start": 0.001, "end": 0.002}]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.drop, 0.0);
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(plan.links.is_empty());
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn typos_and_malformed_text_fail_loudly() {
+        assert!(FaultPlan::from_json(r#"{"sed": 9}"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"seed": }"#).is_err());
+        assert!(FaultPlan::from_json(r#"{"seed": 1} trailing"#).is_err());
+        assert!(FaultPlan::from_json(
+            r#"{"links": [{"src": [], "dst": [], "start": 0, "kind": {"type": "meteor"}}]}"#
+        )
+        .is_err());
+    }
+
+    /// The shipped example plans (`examples/plans/*.json`, the files
+    /// `chaos --plan` advertises) must parse, validate, and round-trip.
+    #[test]
+    fn shipped_example_plans_parse_and_validate() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/plans");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(&dir).expect("examples/plans exists") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            seen += 1;
+            let text = std::fs::read_to_string(&path).unwrap();
+            let plan = FaultPlan::from_json(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            plan.validate()
+                .unwrap_or_else(|e| panic!("{} is invalid: {e}", path.display()));
+            let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(back, plan, "{} must round-trip", path.display());
+        }
+        assert!(seen >= 2, "at least two example plans ship with the repo");
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        let plan =
+            FaultPlan::from_json(r#"{"pauses": [{"rank": 0, "from": 1e-3, "until": 2.5E-3}]}"#)
+                .unwrap();
+        assert_eq!(plan.pauses[0].from, 1e-3);
+        assert_eq!(plan.pauses[0].until, 2.5e-3);
+    }
+}

@@ -78,6 +78,10 @@ pub struct ReliableStats {
     pub duplicates_suppressed: u64,
     /// Messages abandoned after exhausting the retry budget.
     pub gave_up: u64,
+    /// Abandoned messages re-armed with a fresh retry budget because the
+    /// failure was judged a link problem, not a dead peer (see
+    /// [`ReliableChannel::reinstate`]).
+    pub revived: u64,
 }
 
 impl ReliableStats {
@@ -88,6 +92,7 @@ impl ReliableStats {
         self.acked += other.acked;
         self.duplicates_suppressed += other.duplicates_suppressed;
         self.gave_up += other.gave_up;
+        self.revived += other.revived;
     }
 }
 
@@ -106,10 +111,16 @@ pub enum RetryAction<M> {
         /// Delay for the next retry timer.
         next_delay: f64,
     },
-    /// Retry budget exhausted; the message is abandoned.
+    /// Retry budget exhausted; the message is abandoned. The payload is
+    /// returned so the embedding protocol can decide between declaring
+    /// the peer dead and reviving the message via
+    /// [`ReliableChannel::reinstate`] when the failure looks like a bad
+    /// link rather than a dead peer.
     GaveUp {
         /// Destination of the abandoned message.
         to: RankId,
+        /// The abandoned payload.
+        msg: M,
     },
     /// The message was acknowledged in the meantime; nothing to do.
     Settled,
@@ -244,7 +255,10 @@ impl<M: Clone> ReliableChannel<M> {
         if p.attempts >= self.cfg.max_retries {
             let p = self.pending.remove(&(to, seq)).expect("just seen");
             self.stats.gave_up += 1;
-            return RetryAction::GaveUp { to: p.to };
+            return RetryAction::GaveUp {
+                to: p.to,
+                msg: p.msg,
+            };
         }
         p.attempts += 1;
         self.stats.retransmitted += 1;
@@ -255,6 +269,25 @@ impl<M: Clone> ReliableChannel<M> {
             msg,
             next_delay: self.armed_delay(attempts),
         }
+    }
+
+    /// Revive an abandoned message: re-insert `(to, seq, msg)` as pending
+    /// with a fresh retry budget and return the delay for its first retry
+    /// timer (the caller retransmits and re-arms). Used when a give-up is
+    /// attributed to a degraded *link* rather than a dead peer — the
+    /// membership layer still vouches for the destination, so abandoning
+    /// the payload would wedge the protocol once the path recovers.
+    pub fn reinstate(&mut self, to: RankId, seq: u64, msg: M) -> f64 {
+        self.pending.insert(
+            (to, seq),
+            Pending {
+                to,
+                msg,
+                attempts: 0,
+            },
+        );
+        self.stats.revived += 1;
+        self.armed_delay(0)
     }
 
     /// Drop every pending message addressed to `to` — the peer was
@@ -331,10 +364,52 @@ mod tests {
         }
         assert_eq!(
             c.on_retry_timer(RankId::new(3), seq),
-            RetryAction::GaveUp { to: RankId::new(3) }
+            RetryAction::GaveUp {
+                to: RankId::new(3),
+                msg: "x",
+            }
         );
         assert_eq!(c.stats.gave_up, 1);
         assert_eq!(c.stats.retransmitted, 2);
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn reinstate_revives_an_abandoned_message_with_fresh_budget() {
+        let cfg = RetryConfig {
+            timeout: 1.0,
+            backoff: 2.0,
+            max_retries: 1,
+            stage_deadline: 10.0,
+            jitter: 0.0,
+        };
+        let mut c: ReliableChannel<&str> = ReliableChannel::new(cfg);
+        let (seq, _) = c.send(RankId::new(2), "y");
+        assert!(matches!(
+            c.on_retry_timer(RankId::new(2), seq),
+            RetryAction::Resend { .. }
+        ));
+        let RetryAction::GaveUp { to, msg } = c.on_retry_timer(RankId::new(2), seq) else {
+            panic!("expected give-up");
+        };
+        assert_eq!(c.pending_count(), 0);
+        // Link-suspect verdict: put it back with a full retry budget.
+        let delay = c.reinstate(to, seq, msg);
+        assert_eq!(delay, 1.0, "restarts the backoff schedule");
+        assert_eq!(c.pending_count(), 1);
+        assert_eq!(c.stats.revived, 1);
+        // The revived message retries again from attempt zero...
+        match c.on_retry_timer(RankId::new(2), seq) {
+            RetryAction::Resend {
+                msg, next_delay, ..
+            } => {
+                assert_eq!(msg, "y");
+                assert_eq!(next_delay, 2.0);
+            }
+            other => panic!("expected resend, got {other:?}"),
+        }
+        // ...and an ack settles it for good.
+        c.on_ack(RankId::new(2), seq);
         assert_eq!(c.pending_count(), 0);
     }
 

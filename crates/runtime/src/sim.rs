@@ -24,7 +24,7 @@
 //!   simulator hook exists to *validate* the detector against ground
 //!   truth.
 
-use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats};
+use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats, LinkFate};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tempered_core::ids::RankId;
@@ -112,6 +112,17 @@ pub trait Protocol: Sized {
     /// their hardening actually protects.
     fn faultable(_msg: &Self::Msg) -> bool {
         true
+    }
+
+    /// The damaged form `msg` takes when a link-level `Corrupt` fault
+    /// hits it in flight, or `None` when the protocol has no corruption
+    /// model — the executors then treat the damage as loss (detection is
+    /// assumed perfect). Protocols that checksum their frames return a
+    /// frame whose stored checksum no longer matches its bytes, so the
+    /// *receiver* detects the damage and drops it (see
+    /// `lb::messages::LbWire::damaged`).
+    fn corrupted(_msg: &Self::Msg) -> Option<Self::Msg> {
+        None
     }
 }
 
@@ -360,6 +371,15 @@ impl<P: Protocol> Simulator<P> {
             } else {
                 Fate::clean()
             };
+            // The link layer rules on the same send: a cut severs every
+            // copy, a delay compounds with the per-message fate, a
+            // corruption damages the payload in flight. Send time (virtual
+            // `now`) decides which windows are open.
+            let link = if faultable {
+                inj.link_fate(from, to, self.now)
+            } else {
+                LinkFate::clean()
+            };
             if faultable && self.recorder.is_enabled() {
                 let fault = |kind| EventKind::Fault {
                     kind,
@@ -376,11 +396,37 @@ impl<P: Protocol> Simulator<P> {
                     self.recorder
                         .instant(from.as_u32(), self.now, fault("delay"));
                 }
+                if link.cut {
+                    self.recorder
+                        .instant(from.as_u32(), self.now, fault("link_cut"));
+                }
+                if link.delay_factor > 1.0 {
+                    self.recorder
+                        .instant(from.as_u32(), self.now, fault("link_delay"));
+                }
+                if link.corrupt {
+                    self.recorder
+                        .instant(from.as_u32(), self.now, fault("corrupt"));
+                }
             }
+            if link.cut {
+                continue;
+            }
+            let msg = if link.corrupt {
+                match P::corrupted(&msg) {
+                    Some(bad) => bad,
+                    // No corruption model: the damage is indistinguishable
+                    // from loss.
+                    None => continue,
+                }
+            } else {
+                msg
+            };
             for copy in 0..fate.copies {
                 // A duplicated copy trails the original at double latency,
                 // like a retransmission overlapping the first delivery.
-                let mut arrival = self.now + latency * fate.delay_factor * (copy + 1) as f64;
+                let mut arrival =
+                    self.now + latency * fate.delay_factor * link.delay_factor * (copy + 1) as f64;
                 if faultable {
                     if let Some(until) = inj.deferred_until(to, arrival) {
                         arrival = until;
@@ -521,6 +567,9 @@ impl<P: Protocol> Simulator<P> {
             m.counter_add("fault.straggled", faults.straggled);
             m.counter_add("fault.paused", faults.paused);
             m.counter_add("fault.crash_dropped", faults.crash_dropped);
+            m.counter_add("fault.link_cut", faults.link_cut);
+            m.counter_add("fault.link_delayed", faults.link_delayed);
+            m.counter_add("fault.corrupted", faults.corrupted);
         });
         SimReport {
             finish_time: self.now,

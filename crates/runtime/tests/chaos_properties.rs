@@ -213,7 +213,7 @@ proptest! {
 
 fn arb_fault_stats() -> impl Strategy<Value = FaultStats> {
     // u32 counters so triple sums cannot overflow the u64 fields.
-    prop::collection::vec(any::<u32>(), 8).prop_map(|v| FaultStats {
+    prop::collection::vec(any::<u32>(), 11).prop_map(|v| FaultStats {
         faultable: v[0] as u64,
         dropped: v[1] as u64,
         duplicated: v[2] as u64,
@@ -222,6 +222,9 @@ fn arb_fault_stats() -> impl Strategy<Value = FaultStats> {
         straggled: v[5] as u64,
         paused: v[6] as u64,
         crash_dropped: v[7] as u64,
+        link_cut: v[8] as u64,
+        link_delayed: v[9] as u64,
+        corrupted: v[10] as u64,
     })
 }
 
