@@ -1,0 +1,541 @@
+//! Multi-process chaos orchestrator: run the sockets chaos grid with one
+//! OS process per rank over loopback TCP and check the committed
+//! assignments against the deterministic simulator, bit for bit.
+//!
+//! For every (scenario × balancer) cell the orchestrator
+//!
+//! 1. writes the cell's [`FaultPlan`] to `results/plans/` (round-tripping
+//!    it through the plan-file codec the rank processes load it with),
+//! 2. computes the simulator reference with the *same* distribution,
+//!    configuration, seed, and plan,
+//! 3. launches `lb_rank` processes, collects their listener ports,
+//!    broadcasts the port map, and waits for every surviving rank to
+//!    report `DONE` under a hard deadline (killing the grid on overrun),
+//! 4. optionally SIGKILLs one rank process mid-run (the `kill_rank`
+//!    scenario — a real crash, not an emulated one), and
+//! 5. tears down gracefully and audits the per-rank `RESULT` lines:
+//!    timing-robust scenarios must match the simulator's committed
+//!    assignment exactly; the kill scenario must finish on the survivor
+//!    set via the quorum-restart path with no task owned twice.
+//!
+//! Writes `results/chaos_sockets.csv` and exits non-zero on any
+//! violation.
+//!
+//! Usage: `orchestrate [--ranks N] [--scenario NAME] [--balancer NAME]
+//!                     [--deadline secs] [--plans-dir DIR]`
+//!
+//! Defaults to 8 ranks (4 with `TEMPERED_QUICK=1`); `--scenario` /
+//! `--balancer` restrict the grid (repeatable). The `lb_rank` binary is
+//! expected next to this one (`cargo build -p tempered-bench --bins`);
+//! set `TEMPERED_LB_RANK_BIN` to point elsewhere.
+
+use lbaf::Table;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+use tempered_bench::{sockets, write_results};
+use tempered_core::rng::RngFactory;
+use tempered_runtime::run_distributed_lb_with_faults;
+use tempered_runtime::sim::NetworkModel;
+
+struct Args {
+    ranks: usize,
+    scenarios: Vec<String>,
+    balancers: Vec<String>,
+    deadline: f64,
+    plans_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ranks: if tempered_bench::quick_mode() { 4 } else { 8 },
+        scenarios: Vec::new(),
+        balancers: Vec::new(),
+        deadline: 30.0,
+        plans_dir: PathBuf::from("examples/plans"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--ranks" => args.ranks = value()?.parse().map_err(|e| format!("--ranks: {e}"))?,
+            "--scenario" => args.scenarios.push(value()?),
+            "--balancer" => args.balancers.push(value()?),
+            "--deadline" => {
+                args.deadline = value()?.parse().map_err(|e| format!("--deadline: {e}"))?
+            }
+            "--plans-dir" => args.plans_dir = PathBuf::from(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.ranks < 4 {
+        return Err("--ranks must be at least 4 (quorum math needs a real majority)".into());
+    }
+    Ok(args)
+}
+
+/// Where the rank-process binary lives: next to us unless overridden.
+fn lb_rank_bin() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var("TEMPERED_LB_RANK_BIN") {
+        return Ok(PathBuf::from(path));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = me.with_file_name(if cfg!(windows) {
+        "lb_rank.exe"
+    } else {
+        "lb_rank"
+    });
+    if sibling.exists() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "{} not found — build it with `cargo build -p tempered-bench --bins` \
+             or set TEMPERED_LB_RANK_BIN",
+            sibling.display()
+        ))
+    }
+}
+
+/// One rank's parsed RESULT line.
+#[derive(Debug, Default)]
+struct RankResult {
+    finished: bool,
+    degraded: bool,
+    parked: bool,
+    msgs: u64,
+    bytes: u64,
+    retransmits: u64,
+    wall_ms: f64,
+    tasks: Vec<u64>,
+}
+
+fn parse_result(line: &str) -> Result<(usize, RankResult), String> {
+    let mut rank = None;
+    let mut out = RankResult::default();
+    for field in line.split_whitespace() {
+        let (key, val) = field
+            .split_once('=')
+            .ok_or_else(|| format!("bad RESULT field {field:?}"))?;
+        let as_u64 = || val.parse::<u64>().map_err(|e| format!("{key}: {e}"));
+        match key {
+            "rank" => rank = Some(val.parse().map_err(|e| format!("rank: {e}"))?),
+            "finished" => out.finished = val == "1",
+            "degraded" => out.degraded = val == "1",
+            "parked" => out.parked = val == "1",
+            "msgs" => out.msgs = as_u64()?,
+            "bytes" => out.bytes = as_u64()?,
+            "retransmits" => out.retransmits = as_u64()?,
+            "wall_ms" => out.wall_ms = val.parse().map_err(|e| format!("wall_ms: {e}"))?,
+            "tasks" => {
+                out.tasks = if val.is_empty() {
+                    Vec::new()
+                } else {
+                    val.split(',')
+                        .map(|t| t.parse().map_err(|e| format!("tasks: {e}")))
+                        .collect::<Result<_, String>>()?
+                }
+            }
+            other => return Err(format!("unknown RESULT key {other}")),
+        }
+    }
+    Ok((rank.ok_or("RESULT missing rank=")?, out))
+}
+
+/// What one cell of the grid produced.
+struct CellOutcome {
+    results: Vec<Option<RankResult>>,
+    failures: Vec<String>,
+}
+
+/// Run one cell: launch the processes, drive the stdio protocol, kill
+/// the designated victim if any, and collect per-rank results.
+fn run_cell(
+    bin: &PathBuf,
+    ranks: usize,
+    balancer: &str,
+    plan_path: &std::path::Path,
+    kill: Option<usize>,
+    deadline: Duration,
+) -> CellOutcome {
+    let mut failures = Vec::new();
+    let mut results: Vec<Option<RankResult>> = (0..ranks).map(|_| None).collect();
+    let cutoff = Instant::now() + deadline;
+
+    let mut children: Vec<Child> = Vec::new();
+    for r in 0..ranks {
+        let spawned = Command::new(bin)
+            .arg("--rank")
+            .arg(r.to_string())
+            .arg("--ranks")
+            .arg(ranks.to_string())
+            .arg("--balancer")
+            .arg(balancer)
+            .arg("--seed")
+            .arg(sockets::SOCKETS_SEED.to_string())
+            .arg("--plan")
+            .arg(plan_path)
+            .arg("--deadline")
+            .arg(deadline.as_secs_f64().to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match spawned {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                failures.push(format!("spawn rank {r}: {e}"));
+                for c in &mut children {
+                    let _ = c.kill();
+                }
+                return CellOutcome { results, failures };
+            }
+        }
+    }
+
+    // One reader thread per child funnels (rank, line) into a single
+    // channel so the main loop can wait on everyone with one deadline.
+    let (tx, rx) = channel::<(usize, String)>();
+    for (r, child) in children.iter_mut().enumerate() {
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send((r, l)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+    }
+    drop(tx);
+
+    let teardown = |children: &mut Vec<Child>| {
+        for c in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    };
+
+    // Phase 1: collect every rank's PORT.
+    let mut ports: Vec<Option<u16>> = vec![None; ranks];
+    let mut seen = 0;
+    while seen < ranks {
+        match recv_until(&rx, cutoff) {
+            Ok((r, line)) => match line.strip_prefix("PORT ") {
+                Some(p) => match p.trim().parse() {
+                    Ok(port) => {
+                        if ports[r].replace(port).is_none() {
+                            seen += 1;
+                        }
+                    }
+                    Err(e) => failures.push(format!("rank {r}: bad PORT: {e}")),
+                },
+                None => failures.push(format!("rank {r}: expected PORT, got {line:?}")),
+            },
+            Err(e) => {
+                failures.push(format!("waiting for ports: {e}"));
+                teardown(&mut children);
+                return CellOutcome { results, failures };
+            }
+        }
+    }
+    let peers = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{}", p.unwrap()))
+        .collect::<Vec<_>>()
+        .join(",");
+    for (r, child) in children.iter_mut().enumerate() {
+        let stdin = child.stdin.as_mut().expect("stdin was piped");
+        if writeln!(stdin, "PEERS {peers}")
+            .and_then(|_| stdin.flush())
+            .is_err()
+        {
+            failures.push(format!("rank {r}: lost stdin before PEERS"));
+        }
+    }
+
+    // Phase 2: the injected process crash, once the protocol is in
+    // flight but (with overwhelming likelihood) not yet committed.
+    if let Some(victim) = kill {
+        std::thread::sleep(Duration::from_millis(25));
+        let _ = children[victim].kill();
+        let _ = children[victim].wait();
+    }
+
+    // Phase 3: every surviving rank must report DONE before the
+    // deadline (parked ranks finish read-only via the park deadline, so
+    // they report DONE too).
+    let expected: BTreeSet<usize> = (0..ranks).filter(|r| Some(*r) != kill).collect();
+    let mut done: BTreeSet<usize> = BTreeSet::new();
+    while !done.is_superset(&expected) {
+        match recv_until(&rx, cutoff) {
+            Ok((r, line)) if line.trim() == "DONE" => {
+                done.insert(r);
+            }
+            Ok((r, line)) => failures.push(format!("rank {r}: unexpected {line:?}")),
+            Err(e) => {
+                let missing: Vec<usize> = expected.difference(&done).copied().collect();
+                failures.push(format!("waiting for DONE from {missing:?}: {e}"));
+                teardown(&mut children);
+                return CellOutcome { results, failures };
+            }
+        }
+    }
+
+    // Phase 4: graceful teardown — ask everyone to exit and collect the
+    // RESULT lines.
+    for (r, child) in children.iter_mut().enumerate() {
+        if Some(r) == kill {
+            continue;
+        }
+        if let Some(stdin) = child.stdin.as_mut() {
+            let _ = writeln!(stdin, "EXIT").and_then(|_| stdin.flush());
+        }
+    }
+    let mut reported = 0;
+    while reported < expected.len() {
+        match recv_until(&rx, cutoff) {
+            Ok((r, line)) => {
+                if let Some(rest) = line.strip_prefix("RESULT ") {
+                    match parse_result(rest) {
+                        Ok((rr, res)) if rr == r => {
+                            if results[r].replace(res).is_none() {
+                                reported += 1;
+                            }
+                        }
+                        Ok((rr, _)) => failures.push(format!("rank {r} reported as rank {rr}")),
+                        Err(e) => failures.push(format!("rank {r}: {e}")),
+                    }
+                }
+            }
+            Err(e) => {
+                failures.push(format!("waiting for RESULT: {e}"));
+                break;
+            }
+        }
+    }
+    teardown(&mut children);
+    CellOutcome { results, failures }
+}
+
+fn recv_until(rx: &Receiver<(usize, String)>, cutoff: Instant) -> Result<(usize, String), String> {
+    let now = Instant::now();
+    if now >= cutoff {
+        return Err("deadline exceeded".into());
+    }
+    match rx.recv_timeout(cutoff - now) {
+        Ok(msg) => Ok(msg),
+        Err(RecvTimeoutError::Timeout) => Err("deadline exceeded".into()),
+        Err(RecvTimeoutError::Disconnected) => Err("all rank processes exited".into()),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("orchestrate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bin = match lb_rank_bin() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("orchestrate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scenarios = match sockets::scenarios(args.ranks, &args.plans_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("orchestrate: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let dist = sockets::scenario_dist(args.ranks);
+    let total_tasks = dist.num_tasks();
+    let plans_out = PathBuf::from("results/plans");
+    if let Err(e) = std::fs::create_dir_all(&plans_out) {
+        eprintln!("orchestrate: create {}: {e}", plans_out.display());
+        std::process::exit(1);
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Sockets chaos grid: {} rank processes over loopback TCP",
+            args.ranks
+        ),
+        &[
+            "scenario",
+            "balancer",
+            "ranks",
+            "finished",
+            "parked",
+            "degraded",
+            "tasks",
+            "msgs",
+            "bytes",
+            "retransmits",
+            "max_wall_ms",
+            "sim_match",
+            "outcome",
+        ],
+    );
+    let mut violations = 0usize;
+
+    for scenario in &scenarios {
+        if !args.scenarios.is_empty() && !args.scenarios.iter().any(|s| s == scenario.name) {
+            continue;
+        }
+        // The rank processes re-load the plan from disk: write the
+        // canonical rendering once per scenario (round-tripping the
+        // codec in anger, shipped plans included).
+        let plan_path = plans_out.join(format!("sockets_{}_{}.json", scenario.name, args.ranks));
+        if let Err(e) = std::fs::write(&plan_path, scenario.plan.to_json()) {
+            eprintln!("orchestrate: write {}: {e}", plan_path.display());
+            std::process::exit(1);
+        }
+
+        for balancer in ["tempered", "grapevine"] {
+            if !args.balancers.is_empty() && !args.balancers.iter().any(|b| b == balancer) {
+                continue;
+            }
+            let cfg = sockets::balancer_config(balancer).expect("known balancer");
+            let reference = run_distributed_lb_with_faults(
+                &dist,
+                cfg,
+                NetworkModel::default(),
+                &RngFactory::new(sockets::SOCKETS_SEED),
+                scenario.plan.clone(),
+            );
+            let ref_assignment = sockets::assignment(&reference.distribution);
+
+            println!("== {} / {balancer} ==", scenario.name);
+            let cell = run_cell(
+                &bin,
+                args.ranks,
+                balancer,
+                &plan_path,
+                scenario.kill.map(|r| r.as_usize()),
+                Duration::from_secs_f64(args.deadline),
+            );
+            let mut failures = cell.failures;
+
+            let mut finished = 0usize;
+            let mut parked = 0usize;
+            let mut degraded = 0usize;
+            let mut msgs = 0u64;
+            let mut bytes = 0u64;
+            let mut retransmits = 0u64;
+            let mut max_wall = 0.0f64;
+            let mut all_tasks: Vec<u64> = Vec::new();
+            let mut matched = true;
+            for (r, slot) in cell.results.iter().enumerate() {
+                if Some(r) == scenario.kill.map(|k| k.as_usize()) {
+                    continue;
+                }
+                let Some(res) = slot else {
+                    failures.push(format!("rank {r}: no RESULT"));
+                    matched = false;
+                    continue;
+                };
+                finished += usize::from(res.finished);
+                parked += usize::from(res.parked);
+                degraded += usize::from(res.degraded);
+                msgs += res.msgs;
+                bytes += res.bytes;
+                retransmits += res.retransmits;
+                max_wall = max_wall.max(res.wall_ms);
+                all_tasks.extend(&res.tasks);
+                if !res.finished {
+                    failures.push(format!("rank {r} never finished"));
+                }
+                if res.degraded {
+                    failures.push(format!("rank {r} degraded"));
+                }
+                if scenario.bit_compare && res.tasks != ref_assignment[r] {
+                    failures.push(format!(
+                        "rank {r} diverged from the simulator: {:?} vs {:?}",
+                        res.tasks, ref_assignment[r]
+                    ));
+                    matched = false;
+                }
+            }
+
+            // No task may be owned twice, kill scenario included (the
+            // restart path re-homes from the original placement, it
+            // never clones).
+            let unique: BTreeSet<u64> = all_tasks.iter().copied().collect();
+            if unique.len() != all_tasks.len() {
+                failures.push("a task is owned by two ranks".into());
+            }
+            if scenario.kill.is_some() {
+                // Quorum-restart survival: the survivors committed a
+                // real assignment without parking, and no tasks beyond
+                // the victim's could vanish.
+                if parked != 0 {
+                    failures.push(format!("{parked} survivors parked after the kill"));
+                }
+                if all_tasks.len() > total_tasks {
+                    failures.push("more tasks than the input holds".into());
+                }
+            } else if scenario.bit_compare {
+                if parked != reference.parked_ranks {
+                    failures.push(format!(
+                        "parked {} ranks, simulator parked {}",
+                        parked, reference.parked_ranks
+                    ));
+                }
+                if all_tasks.len() != total_tasks {
+                    failures.push(format!(
+                        "{} tasks accounted for, input had {total_tasks}",
+                        all_tasks.len()
+                    ));
+                }
+            }
+
+            let ok = failures.is_empty();
+            if !ok {
+                violations += 1;
+                for f in &failures {
+                    eprintln!("VIOLATION [{} / {balancer}] {f}", scenario.name);
+                }
+            }
+            table.push_row(vec![
+                scenario.name.to_string(),
+                balancer.to_string(),
+                args.ranks.to_string(),
+                finished.to_string(),
+                parked.to_string(),
+                degraded.to_string(),
+                all_tasks.len().to_string(),
+                msgs.to_string(),
+                bytes.to_string(),
+                retransmits.to_string(),
+                format!("{max_wall:.1}"),
+                if scenario.bit_compare {
+                    if matched { "yes" } else { "NO" }.to_string()
+                } else {
+                    "-".to_string()
+                },
+                if ok { "ok" } else { "VIOLATION" }.to_string(),
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    write_results("chaos_sockets.csv", &table.to_csv());
+    if violations > 0 {
+        eprintln!("orchestrate: {violations} cell(s) violated their invariants");
+        std::process::exit(1);
+    }
+    println!("all sockets chaos cells match the simulator within their guarantees");
+}

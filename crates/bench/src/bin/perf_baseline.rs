@@ -1,0 +1,156 @@
+//! Perf baseline: time the distributed LB protocol on the deterministic
+//! simulator at a few rank counts and emit `results/BENCH_lb.json` —
+//! the first point of the perf trajectory the ROADMAP asks for, so
+//! hot-path work has a number to move and regressions have a number to
+//! trip.
+//!
+//! Each cell runs the hardened protocol (reliable delivery on the
+//! simulated network, the configuration the chaos grid uses) on a
+//! hot-spot distribution, three times, and keeps the fastest wall
+//! clock — the standard way to strip scheduler noise from a baseline.
+//! Alongside wall time it records the modeled cost (messages, bytes,
+//! events, virtual makespan), which must be *identical* run to run:
+//! any drift there is a determinism bug, and the binary fails loudly.
+//!
+//! Run with: `cargo run --release -p tempered-bench --bin perf_baseline`
+//! (`TEMPERED_QUICK=1` shrinks the rank counts for smoke testing).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tempered_bench::write_results;
+use tempered_core::distribution::Distribution;
+use tempered_core::rng::RngFactory;
+use tempered_runtime::lb::LbProtocolConfig;
+use tempered_runtime::sim::NetworkModel;
+use tempered_runtime::{run_distributed_lb, DistLbResult, RetryConfig};
+
+const SEED: u64 = 4242;
+const REPEATS: usize = 3;
+
+fn concentrated(num_ranks: usize, hot: usize, tasks_per_hot: usize) -> Distribution {
+    let per_rank: Vec<Vec<f64>> = (0..num_ranks)
+        .map(|r| {
+            if r < hot {
+                vec![1.0; tasks_per_hot]
+            } else {
+                vec![]
+            }
+        })
+        .collect();
+    Distribution::from_loads(per_rank)
+}
+
+fn config(balancer: &str) -> LbProtocolConfig {
+    let base = match balancer {
+        "tempered" => LbProtocolConfig {
+            trials: 2,
+            iters: 3,
+            fanout: 4,
+            rounds: 5,
+            ..Default::default()
+        },
+        _ => LbProtocolConfig::grapevine(),
+    };
+    base.hardened(RetryConfig {
+        timeout: 200e-6,
+        backoff: 1.5,
+        max_retries: 30,
+        stage_deadline: 30.0,
+        ..Default::default()
+    })
+}
+
+struct Cell {
+    balancer: &'static str,
+    ranks: usize,
+    tasks: usize,
+    wall_ms: f64,
+    out: DistLbResult,
+}
+
+fn main() {
+    let rank_counts: &[usize] = if tempered_bench::quick_mode() {
+        &[8, 16]
+    } else {
+        &[8, 32, 128]
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &ranks in rank_counts {
+        let hot = (ranks / 8).max(2);
+        let dist = concentrated(ranks, hot, 40);
+        for balancer in ["tempered", "grapevine"] {
+            let cfg = config(balancer);
+            let mut best: Option<(f64, DistLbResult)> = None;
+            for _ in 0..REPEATS {
+                let t0 = Instant::now();
+                let out =
+                    run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(SEED));
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(out.degraded_ranks, 0, "fault-free run must not degrade");
+                if let Some((_, prev)) = &best {
+                    assert_eq!(
+                        (prev.report.network.messages, prev.report.network.bytes),
+                        (out.report.network.messages, out.report.network.bytes),
+                        "modeled cost must be deterministic ({balancer}, {ranks} ranks)"
+                    );
+                }
+                match &mut best {
+                    Some((w, _)) if *w <= wall_ms => {}
+                    _ => best = Some((wall_ms, out)),
+                }
+            }
+            let (wall_ms, out) = best.expect("at least one repeat ran");
+            println!(
+                "{balancer:>9} ranks={ranks:<4} wall={wall_ms:>8.2}ms msgs={} bytes={}",
+                out.report.network.messages, out.report.network.bytes
+            );
+            cells.push(Cell {
+                balancer,
+                ranks,
+                tasks: dist.num_tasks(),
+                wall_ms,
+                out,
+            });
+        }
+    }
+
+    // Hand-rolled JSON (the vendored serde has no formats behind it),
+    // one object per cell under a stable schema.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"lb\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if tempered_bench::quick_mode() {
+            "quick"
+        } else {
+            "full"
+        }
+    );
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    json.push_str("  \"runs\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.out.report;
+        let _ = write!(
+            json,
+            "    {{\"balancer\": \"{}\", \"ranks\": {}, \"tasks\": {}, \
+             \"wall_ms\": {:.3}, \"messages\": {}, \"bytes\": {}, \"events\": {}, \
+             \"virtual_s\": {:.6}, \"initial_imbalance\": {:.4}, \"final_imbalance\": {:.4}}}",
+            c.balancer,
+            c.ranks,
+            c.tasks,
+            c.wall_ms,
+            r.network.messages,
+            r.network.bytes,
+            r.events_delivered,
+            r.finish_time,
+            c.out.initial_imbalance,
+            c.out.final_imbalance,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    write_results("BENCH_lb.json", &json);
+}

@@ -10,6 +10,8 @@
 //! ×24 overdecomposition, 1400 steps) by default; set
 //! `TEMPERED_QUICK=1` to run a reduced configuration for smoke testing.
 
+pub mod sockets;
+
 use empire_pic::{run_timeline, BdotScenario, ExecutionMode, LbStrategy, Timeline, TimelineConfig};
 use tempered_core::ordering::OrderingKind;
 use tempered_obs::MetricsRegistry;

@@ -1,0 +1,420 @@
+//! Userspace link emulator: one [`FaultPlan`] interpreter shared by the
+//! real-I/O drivers.
+//!
+//! The deterministic simulator applies fault fates inside its own event
+//! loop (it owns virtual time and can multiply latencies); the threaded
+//! executor and the TCP socket driver instead face *real* clocks and
+//! real transports, and both need the exact same send-time decision
+//! procedure: per-message fate (drop / duplicate / delay spike), then
+//! directed link fate (cut / lossy / delay / flap / corrupt + partition
+//! windows), then receiver pause deferral — all drawn from the plan's
+//! seeded hash streams so the n-th message on a link suffers the same
+//! fate under every driver.
+//!
+//! This module factors that procedure out of the drivers. The emulator
+//! is pure with respect to time: callers pass `now` (seconds since run
+//! start — wall-clock for the real drivers) and get back zero or more
+//! [`Delivery`] values with an optional earliest-delivery time in the
+//! same clock. How a "delivery" travels afterwards (crossbeam channel,
+//! TCP frame) is the driver's business, which is exactly what lets the
+//! chaos grids rerun over real sockets and commit bit-for-bit what the
+//! simulator commits (see `DESIGN.md` §12).
+
+use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats, LinkFate};
+use crate::sim::Protocol;
+use tempered_core::ids::RankId;
+use tempered_obs::{EventKind, Recorder};
+
+/// One surviving copy of an emulated send.
+#[derive(Clone, Debug)]
+pub struct Delivery<M> {
+    /// The message (possibly corrupted in flight via
+    /// [`Protocol::corrupted`]).
+    pub msg: M,
+    /// Earliest delivery time in seconds since run start (`None` =
+    /// deliver immediately). Produced by delay-style fates and pause
+    /// windows; the driver holds the message until this time passes.
+    pub not_before: Option<f64>,
+}
+
+/// Send-time and delivery-time fault interpreter for real-I/O drivers.
+///
+/// Construct once per rank process (or per worker thread — per-link
+/// ordinal streams are keyed by the *sending* rank, so any partitioning
+/// of the emulator that keeps all of a rank's sends on one instance
+/// reproduces the single-injector simulator exactly).
+pub struct LinkEmulator {
+    injector: Option<FaultInjector>,
+    crash_sched: CrashSchedule,
+    recorder: Recorder,
+    /// Deliveries discarded because the destination was crashed.
+    crash_dropped: u64,
+    /// Seconds of hold-back per unit of injected latency factor.
+    delay_unit: f64,
+}
+
+impl LinkEmulator {
+    /// Build an emulator for `plan`. A [`FaultPlan::is_zero`] plan is
+    /// validated and discarded outright (the fast path then touches no
+    /// hash stream at all), mirroring both executors' behavior. The
+    /// recorder receives one instant event per injected fault;
+    /// `delay_unit` is the driver's wall-clock hold-back per unit of
+    /// latency factor (e.g. [`crate::parallel::PARALLEL_DELAY_UNIT`]).
+    pub fn new(plan: FaultPlan, recorder: Recorder, delay_unit: f64) -> Self {
+        let crash_sched = CrashSchedule::new(&plan.crashes);
+        let injector = if plan.is_zero() {
+            plan.validate_or_panic();
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+        LinkEmulator {
+            injector,
+            crash_sched,
+            recorder,
+            crash_dropped: 0,
+            delay_unit,
+        }
+    }
+
+    /// Whether the plan injects nothing (the passthrough fast path).
+    pub fn is_passthrough(&self) -> bool {
+        self.injector.is_none() && self.crash_sched.is_empty()
+    }
+
+    /// Apply send-time fates to one outgoing message at time `now`
+    /// (seconds since run start): the surviving copies, in delivery
+    /// order. An empty vector means the message was severed (dropped,
+    /// cut, or corrupted with no corruption model).
+    pub fn outgoing<P: Protocol>(
+        &mut self,
+        from: RankId,
+        to: RankId,
+        msg: P::Msg,
+        now: f64,
+    ) -> Vec<Delivery<P::Msg>> {
+        let Some(inj) = &mut self.injector else {
+            return vec![Delivery {
+                msg,
+                not_before: None,
+            }];
+        };
+        if !P::faultable(&msg) {
+            return vec![Delivery {
+                msg,
+                not_before: None,
+            }];
+        }
+        let fate = inj.fate(from, to);
+        let link = inj.link_fate(from, to, now);
+        if self.recorder.is_enabled() {
+            record_fates(&self.recorder, from, to, now, &fate, &link);
+        }
+        if link.cut {
+            return Vec::new();
+        }
+        let msg = if link.corrupt {
+            match P::corrupted(&msg) {
+                Some(bad) => bad,
+                // No corruption model: indistinguishable from loss.
+                None => return Vec::new(),
+            }
+        } else {
+            msg
+        };
+        let mut out = Vec::with_capacity(fate.copies as usize);
+        for copy in 0..fate.copies {
+            // A duplicated copy trails the original, like a
+            // retransmission overlapping the first delivery.
+            let extra = (fate.delay_factor * link.delay_factor - 1.0).max(0.0) * (copy + 1) as f64;
+            let mut not_before = if extra > 0.0 {
+                Some(now + extra * self.delay_unit)
+            } else {
+                None
+            };
+            let arrival = not_before.unwrap_or(now);
+            if let Some(until) = inj.deferred_until(to, arrival) {
+                not_before = Some(until);
+                self.recorder.instant(
+                    from.as_u32(),
+                    now,
+                    EventKind::Fault {
+                        kind: "pause",
+                        to: to.as_u32(),
+                    },
+                );
+            }
+            out.push(Delivery {
+                msg: msg.clone(),
+                not_before,
+            });
+        }
+        out
+    }
+
+    /// Delivery-time crash check: whether `to` is up at `now`. A `false`
+    /// verdict counts the discarded delivery (and records it), mirroring
+    /// the simulator's pop-time crash drop.
+    pub fn admit(&mut self, from: RankId, to: RankId, now: f64) -> bool {
+        if !self.crash_sched.is_down(to, now) {
+            return true;
+        }
+        self.crash_dropped += 1;
+        if self.recorder.is_enabled() {
+            self.recorder.instant(
+                from.as_u32(),
+                now,
+                EventKind::Fault {
+                    kind: "crash_drop",
+                    to: to.as_u32(),
+                },
+            );
+        }
+        false
+    }
+
+    /// Whether `rank` is crashed at `now` with no restart ever coming —
+    /// such a rank can never report done, so executors count it as
+    /// finished instead of hanging (the `sweep_crashed` rule).
+    pub fn down_forever(&self, rank: RankId, now: f64) -> bool {
+        self.crash_sched.is_down_forever(rank, now)
+    }
+
+    /// Whether the plan contains any crash events at all (lets drivers
+    /// skip the sweep entirely).
+    pub fn has_crashes(&self) -> bool {
+        !self.crash_sched.is_empty()
+    }
+
+    /// Injected-fault accounting so far, including crash drops.
+    pub fn stats(&self) -> FaultStats {
+        let mut stats = self.injector.as_ref().map(|i| i.stats).unwrap_or_default();
+        stats.crash_dropped += self.crash_dropped;
+        stats
+    }
+}
+
+/// Emit one recorder instant per fault decision that struck.
+fn record_fates(
+    recorder: &Recorder,
+    from: RankId,
+    to: RankId,
+    now: f64,
+    fate: &Fate,
+    link: &LinkFate,
+) {
+    let fault = |kind| EventKind::Fault {
+        kind,
+        to: to.as_u32(),
+    };
+    if fate.copies == 0 {
+        recorder.instant(from.as_u32(), now, fault("drop"));
+    } else if fate.copies > 1 {
+        recorder.instant(from.as_u32(), now, fault("duplicate"));
+    }
+    if fate.delay_factor > 1.0 {
+        recorder.instant(from.as_u32(), now, fault("delay"));
+    }
+    if link.cut {
+        recorder.instant(from.as_u32(), now, fault("link_cut"));
+    }
+    if link.delay_factor > 1.0 {
+        recorder.instant(from.as_u32(), now, fault("link_delay"));
+    }
+    if link.corrupt {
+        recorder.instant(from.as_u32(), now, fault("corrupt"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{CrashEvent, LinkFault, LinkFaultKind, PartitionWindow};
+    use crate::sim::Ctx;
+
+    /// Minimal protocol for exercising the emulator generically.
+    struct Echo;
+    impl Protocol for Echo {
+        type Msg = u32;
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, u32>) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, _from: RankId, _msg: u32) {}
+        fn corrupted(msg: &u32) -> Option<u32> {
+            Some(msg ^ 1)
+        }
+    }
+
+    /// A protocol with no corruption model: corrupt faults become loss.
+    struct NoModel;
+    impl Protocol for NoModel {
+        type Msg = u32;
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, u32>) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, _from: RankId, _msg: u32) {}
+    }
+
+    fn emu(plan: FaultPlan) -> LinkEmulator {
+        LinkEmulator::new(plan, Recorder::disabled(), 1e-4)
+    }
+
+    #[test]
+    fn zero_plan_is_a_passthrough() {
+        let mut e = emu(FaultPlan::none());
+        assert!(e.is_passthrough());
+        let out = e.outgoing::<Echo>(RankId::new(0), RankId::new(1), 7, 0.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, 7);
+        assert!(out[0].not_before.is_none());
+        assert!(e.admit(RankId::new(0), RankId::new(1), 0.0));
+        assert_eq!(e.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn cut_link_severs_and_counts() {
+        let mut e = emu(FaultPlan {
+            links: vec![LinkFault {
+                src: vec![RankId::new(0)],
+                dst: vec![RankId::new(1)],
+                start: 0.0,
+                end: None,
+                kind: LinkFaultKind::Cut,
+            }],
+            ..FaultPlan::none()
+        });
+        assert!(e
+            .outgoing::<Echo>(RankId::new(0), RankId::new(1), 7, 0.0)
+            .is_empty());
+        // The reverse direction is untouched.
+        assert_eq!(
+            e.outgoing::<Echo>(RankId::new(1), RankId::new(0), 7, 0.0)
+                .len(),
+            1
+        );
+        assert_eq!(e.stats().link_cut, 1);
+    }
+
+    #[test]
+    fn corruption_uses_the_protocol_model_or_becomes_loss() {
+        let plan = || FaultPlan {
+            seed: 5,
+            links: vec![LinkFault {
+                src: vec![RankId::new(0)],
+                dst: vec![RankId::new(1)],
+                start: 0.0,
+                end: None,
+                kind: LinkFaultKind::Corrupt { p: 1.0 },
+            }],
+            ..FaultPlan::none()
+        };
+        let mut with_model = emu(plan());
+        let out = with_model.outgoing::<Echo>(RankId::new(0), RankId::new(1), 6, 0.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, 7, "corruption model applied in flight");
+
+        let mut without = emu(plan());
+        assert!(
+            without
+                .outgoing::<NoModel>(RankId::new(0), RankId::new(1), 6, 0.0)
+                .is_empty(),
+            "no corruption model: damage is loss"
+        );
+    }
+
+    #[test]
+    fn delay_fates_hold_back_in_driver_units() {
+        let mut e = emu(FaultPlan {
+            links: vec![LinkFault {
+                src: vec![RankId::new(0)],
+                dst: vec![RankId::new(1)],
+                start: 0.0,
+                end: None,
+                kind: LinkFaultKind::Delay { factor: 5.0 },
+            }],
+            ..FaultPlan::none()
+        });
+        let out = e.outgoing::<Echo>(RankId::new(0), RankId::new(1), 7, 2.0);
+        assert_eq!(out.len(), 1);
+        // (5 − 1) × delay_unit past `now`.
+        let expected = 2.0 + 4.0 * 1e-4;
+        assert!((out[0].not_before.unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_are_delivered_in_order() {
+        let mut e = emu(FaultPlan {
+            seed: 3,
+            duplicate: 1.0,
+            ..FaultPlan::none()
+        });
+        let out = e.outgoing::<Echo>(RankId::new(0), RankId::new(1), 7, 0.0);
+        assert_eq!(out.len(), 2);
+        // Without a delay fate both copies travel back-to-back (the
+        // wall-clock drivers have no base latency to multiply); a delay
+        // fate staggers them via the `(copy + 1)` factor.
+        assert!(out[0].not_before.is_none());
+        assert!(out[1].not_before.is_none());
+        assert_eq!(e.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn partitions_cut_send_time_windows() {
+        let mut e = emu(FaultPlan {
+            partitions: vec![PartitionWindow {
+                side: vec![RankId::new(1)],
+                start: 1.0,
+                end: Some(2.0),
+            }],
+            ..FaultPlan::none()
+        });
+        let send = |e: &mut LinkEmulator, now| {
+            e.outgoing::<Echo>(RankId::new(0), RankId::new(1), 7, now)
+                .len()
+        };
+        assert_eq!(send(&mut e, 0.5), 1, "before the window");
+        assert_eq!(send(&mut e, 1.5), 0, "inside the window");
+        assert_eq!(send(&mut e, 2.5), 1, "after the heal");
+    }
+
+    #[test]
+    fn crash_windows_gate_admission_and_count_drops() {
+        let mut e = emu(FaultPlan {
+            crashes: vec![CrashEvent::fatal(RankId::new(2), 1.0)],
+            ..FaultPlan::none()
+        });
+        assert!(e.has_crashes());
+        assert!(e.admit(RankId::new(0), RankId::new(2), 0.5));
+        assert!(!e.admit(RankId::new(0), RankId::new(2), 1.5));
+        assert_eq!(e.stats().crash_dropped, 1);
+        assert!(!e.down_forever(RankId::new(2), 0.5));
+        assert!(e.down_forever(RankId::new(2), 1.5));
+        assert!(!e.down_forever(RankId::new(0), 99.0));
+    }
+
+    #[test]
+    fn ordinal_streams_match_across_instances() {
+        // Two emulators over the same plan must draw identical per-link
+        // fates — the property that lets every rank process run its own
+        // instance and still reproduce the single-injector simulator.
+        let plan = || FaultPlan {
+            seed: 11,
+            links: vec![LinkFault {
+                src: vec![RankId::new(0)],
+                dst: vec![RankId::new(1)],
+                start: 0.0,
+                end: None,
+                kind: LinkFaultKind::Lossy { p: 0.5 },
+            }],
+            ..FaultPlan::none()
+        };
+        let mut a = emu(plan());
+        let mut b = emu(plan());
+        for i in 0..64 {
+            let sa = a
+                .outgoing::<Echo>(RankId::new(0), RankId::new(1), i, 0.0)
+                .len();
+            let sb = b
+                .outgoing::<Echo>(RankId::new(0), RankId::new(1), i, 0.0)
+                .len();
+            assert_eq!(sa, sb, "message {i} diverged");
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+}

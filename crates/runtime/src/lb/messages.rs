@@ -35,7 +35,7 @@ pub struct TaskEntry {
 /// deduplicated by a [`crate::reliable::ReliableChannel`]; the two timer
 /// variants are scheduled by a rank *to itself* via
 /// [`crate::sim::Ctx::schedule`] and never cross the network.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LbWire {
     /// Best-effort transmission (legacy mode; no delivery guarantee).
     Raw(LbMsg),
@@ -271,6 +271,31 @@ impl LbWire {
         b
     }
 
+    /// Decode a frame from its canonical encoding — the exact inverse of
+    /// [`LbWire::encode`]. The in-process executors never need this (they
+    /// pass `LbWire` values by move), but the TCP socket driver
+    /// ([`crate::lb::socket`]) ships the canonical bytes across real
+    /// streams and reconstructs the frame on the receiving side.
+    ///
+    /// Every byte must be consumed: trailing garbage is a framing bug
+    /// upstream and is reported, not ignored.
+    pub fn decode(bytes: &[u8]) -> Result<LbWire, WireDecodeError> {
+        let mut cur = Cursor {
+            bytes,
+            pos: 0,
+            what: "frame",
+        };
+        let wire = cur.wire()?;
+        if cur.pos != bytes.len() {
+            return Err(WireDecodeError {
+                what: "frame",
+                offset: cur.pos,
+                kind: WireDecodeErrorKind::TrailingBytes(bytes.len() - cur.pos),
+            });
+        }
+        Ok(wire)
+    }
+
     /// CRC32 over the canonical encoding.
     pub fn checksum(&self) -> u32 {
         crc32(&self.encode())
@@ -303,8 +328,245 @@ impl LbWire {
     }
 }
 
+/// A malformed canonical frame encoding (see [`LbWire::decode`]).
+///
+/// Carries enough context to name the offending spot: what was being
+/// decoded, the byte offset where decoding failed, and the failure kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDecodeError {
+    /// What was being decoded when the error struck ("frame", "gossip
+    /// pair", ...).
+    pub what: &'static str,
+    /// Byte offset into the frame at which the error was detected.
+    pub offset: usize,
+    /// The failure itself.
+    pub kind: WireDecodeErrorKind,
+}
+
+/// The ways a canonical frame encoding can be malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireDecodeErrorKind {
+    /// The frame ended before the field could be read.
+    Truncated,
+    /// An unknown frame or message tag byte.
+    BadTag(u8),
+    /// Bytes left over after a complete frame was decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            WireDecodeErrorKind::Truncated => {
+                write!(f, "truncated {} at byte {}", self.what, self.offset)
+            }
+            WireDecodeErrorKind::BadTag(tag) => write!(
+                f,
+                "unknown {} tag {tag:#04x} at byte {}",
+                self.what, self.offset
+            ),
+            WireDecodeErrorKind::TrailingBytes(n) => write!(
+                f,
+                "{n} trailing byte(s) after {} ending at byte {}",
+                self.what, self.offset
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+/// Byte-reader over a frame, tracking position for error context.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl Cursor<'_> {
+    fn fail(&self, kind: WireDecodeErrorKind) -> WireDecodeError {
+        WireDecodeError {
+            what: self.what,
+            offset: self.pos,
+            kind,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireDecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(self.fail(WireDecodeErrorKind::Truncated));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireDecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireDecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireDecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn rank(&mut self) -> Result<RankId, WireDecodeError> {
+        Ok(RankId::new(self.u32()?))
+    }
+
+    /// Length prefix for a repeated field. Bounded by the bytes actually
+    /// remaining (each element is at least one byte), so a corrupt length
+    /// cannot provoke a huge allocation.
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize, WireDecodeError> {
+        let n = self.u32()? as usize;
+        if n * min_elem_bytes > self.bytes.len() - self.pos {
+            return Err(self.fail(WireDecodeErrorKind::Truncated));
+        }
+        Ok(n)
+    }
+
+    fn summary(&mut self) -> Result<LoadSummary, WireDecodeError> {
+        Ok(LoadSummary {
+            total: self.f64()?,
+            max: self.f64()?,
+            count: self.u64()?,
+        })
+    }
+
+    fn task_entries(&mut self) -> Result<Vec<TaskEntry>, WireDecodeError> {
+        let n = self.len(20)?;
+        (0..n)
+            .map(|_| {
+                Ok(TaskEntry {
+                    id: TaskId::new(self.u64()?),
+                    load: self.f64()?,
+                    home: self.rank()?,
+                })
+            })
+            .collect()
+    }
+
+    fn task_ids(&mut self) -> Result<Vec<TaskId>, WireDecodeError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| Ok(TaskId::new(self.u64()?))).collect()
+    }
+
+    fn ranks(&mut self) -> Result<Vec<RankId>, WireDecodeError> {
+        let n = self.len(4)?;
+        (0..n).map(|_| self.rank()).collect()
+    }
+
+    fn msg(&mut self) -> Result<LbMsg, WireDecodeError> {
+        self.what = "message";
+        let tag = self.u8()?;
+        Ok(match tag {
+            0 => LbMsg::ReduceUp {
+                slot: self.u32()?,
+                summary: self.summary()?,
+            },
+            1 => LbMsg::ReduceDown {
+                slot: self.u32()?,
+                summary: self.summary()?,
+            },
+            2 => {
+                let epoch = self.u64()?;
+                let round = self.u32()?;
+                let n = self.len(12)?;
+                let pairs = (0..n)
+                    .map(|_| Ok((self.rank()?, self.f64()?)))
+                    .collect::<Result<_, _>>()?;
+                LbMsg::Gossip {
+                    epoch,
+                    round,
+                    pairs,
+                }
+            }
+            3 => LbMsg::Propose {
+                epoch: self.u64()?,
+                tasks: self.task_entries()?,
+            },
+            4 => LbMsg::ProposeReply {
+                epoch: self.u64()?,
+                rejected: self.task_entries()?,
+            },
+            5 => LbMsg::Fetch {
+                epoch: self.u64()?,
+                tasks: self.task_ids()?,
+            },
+            6 => LbMsg::TaskData {
+                epoch: self.u64()?,
+                tasks: self.task_ids()?,
+            },
+            7 => LbMsg::View {
+                base: self.u64()?,
+                dead: self.ranks()?,
+            },
+            8 => LbMsg::Knock,
+            9 => LbMsg::Heal {
+                base: self.u64()?,
+                dead: self.ranks()?,
+            },
+            10 => LbMsg::Td(TdMsg::Token {
+                epoch: self.u64()?,
+                wave: self.u64()?,
+                sent: self.u64()?,
+                recv: self.u64()?,
+            }),
+            11 => LbMsg::Td(TdMsg::Terminated {
+                epoch: self.u64()?,
+                sent: self.u64()?,
+            }),
+            other => {
+                self.pos -= 1;
+                return Err(self.fail(WireDecodeErrorKind::BadTag(other)));
+            }
+        })
+    }
+
+    fn wire(&mut self) -> Result<LbWire, WireDecodeError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            0x20 => LbWire::Raw(self.msg()?),
+            0x21 => LbWire::Data {
+                seq: self.u64()?,
+                msg: self.msg()?,
+            },
+            0x22 => LbWire::Ack { seq: self.u64()? },
+            0x23 => LbWire::Heartbeat,
+            0x24 => {
+                let crc = self.u32()?;
+                let bytes = self.bytes[self.pos..].to_vec();
+                self.pos = self.bytes.len();
+                LbWire::Damaged { crc, bytes }
+            }
+            0x25 => LbWire::RetryTimer {
+                to: self.rank()?,
+                seq: self.u64()?,
+            },
+            0x26 => LbWire::StageTimer {
+                stage_seq: self.u64()?,
+            },
+            0x27 => LbWire::HeartbeatTimer,
+            0x28 => LbWire::ParkTimer {
+                park_seq: self.u64()?,
+            },
+            other => {
+                self.pos -= 1;
+                return Err(self.fail(WireDecodeErrorKind::BadTag(other)));
+            }
+        })
+    }
+}
+
 /// Protocol messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LbMsg {
     /// Reduction partial flowing child → parent for collective `slot`.
     ReduceUp {
@@ -613,6 +875,156 @@ mod tests {
             };
             assert!(!dam.verify(), "bit {bit} slipped through");
         }
+    }
+
+    /// One frame of every variant, exercising every field shape.
+    fn exhaustive_frames() -> Vec<LbWire> {
+        let entries = vec![
+            TaskEntry {
+                id: TaskId::new(9),
+                load: 1.25,
+                home: RankId::new(2),
+            },
+            TaskEntry {
+                id: TaskId::new(u64::MAX),
+                load: -0.0,
+                home: RankId::new(u32::MAX),
+            },
+        ];
+        let msgs = vec![
+            LbMsg::ReduceUp {
+                slot: 3,
+                summary: LoadSummary {
+                    total: 7.5,
+                    max: 2.5,
+                    count: 4,
+                },
+            },
+            LbMsg::ReduceDown {
+                slot: 0,
+                summary: LoadSummary::default(),
+            },
+            LbMsg::Gossip {
+                epoch: 1,
+                round: 2,
+                pairs: vec![(RankId::new(3), 0.5), (RankId::new(0), f64::INFINITY)],
+            },
+            LbMsg::Propose {
+                epoch: 3,
+                tasks: entries.clone(),
+            },
+            LbMsg::ProposeReply {
+                epoch: 4,
+                rejected: entries,
+            },
+            LbMsg::Fetch {
+                epoch: 5,
+                tasks: vec![TaskId::new(1), TaskId::new(2)],
+            },
+            LbMsg::TaskData {
+                epoch: 6,
+                tasks: vec![],
+            },
+            LbMsg::View {
+                base: 7,
+                dead: vec![RankId::new(1), RankId::new(30)],
+            },
+            LbMsg::Knock,
+            LbMsg::Heal {
+                base: 9,
+                dead: vec![],
+            },
+            LbMsg::Td(TdMsg::Token {
+                epoch: 1,
+                wave: 2,
+                sent: 3,
+                recv: 4,
+            }),
+            LbMsg::Td(TdMsg::Terminated { epoch: 2, sent: 9 }),
+        ];
+        let mut frames = vec![
+            LbWire::Ack { seq: 17 },
+            LbWire::Heartbeat,
+            LbWire::RetryTimer {
+                to: RankId::new(4),
+                seq: 8,
+            },
+            LbWire::StageTimer { stage_seq: 11 },
+            LbWire::HeartbeatTimer,
+            LbWire::ParkTimer { park_seq: 5 },
+            LbWire::Raw(LbMsg::Knock).damaged(),
+        ];
+        for m in msgs {
+            frames.push(LbWire::Raw(m.clone()));
+            frames.push(LbWire::Data { seq: 42, msg: m });
+        }
+        frames
+    }
+
+    #[test]
+    fn decode_inverts_encode_for_every_variant() {
+        for frame in exhaustive_frames() {
+            let bytes = frame.encode();
+            let back = LbWire::decode(&bytes).unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+            assert_eq!(
+                back.encode(),
+                bytes,
+                "decode∘encode must be the identity on canonical bytes ({frame:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        for frame in exhaustive_frames() {
+            // A Damaged frame's tail is variable-length by design (the
+            // corrupted bytes run to the end of the frame), so a prefix
+            // of one is itself a well-formed Damaged frame — its
+            // integrity failure is caught by `verify`, not by framing.
+            if matches!(frame, LbWire::Damaged { .. }) {
+                continue;
+            }
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                let err = LbWire::decode(&bytes[..cut])
+                    .expect_err("a strict prefix of a frame must not decode");
+                assert!(
+                    err.offset <= cut,
+                    "error offset {} past the {cut}-byte prefix",
+                    err.offset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_tags() {
+        let mut bytes = LbWire::Heartbeat.encode();
+        bytes.push(0xFF);
+        let err = LbWire::decode(&bytes).unwrap_err();
+        assert_eq!(err.kind, WireDecodeErrorKind::TrailingBytes(1));
+
+        let err = LbWire::decode(&[0x7F]).unwrap_err();
+        assert_eq!(err.kind, WireDecodeErrorKind::BadTag(0x7F));
+        assert_eq!(err.offset, 0);
+
+        // Unknown *message* tag inside a Raw envelope.
+        let err = LbWire::decode(&[0x20, 0xEE]).unwrap_err();
+        assert_eq!(err.kind, WireDecodeErrorKind::BadTag(0xEE));
+        assert_eq!(err.offset, 1);
+        assert!(err.to_string().contains("0xee"), "{err}");
+    }
+
+    #[test]
+    fn decode_bounds_length_prefixes_by_remaining_bytes() {
+        // A Gossip claiming 2^31 pairs with a 0-byte body must fail as
+        // truncated without attempting the allocation.
+        let mut bytes = vec![0x20, 2]; // Raw + Gossip tag
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // epoch
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // round
+        bytes.extend_from_slice(&0x8000_0000u32.to_le_bytes()); // pair count
+        let err = LbWire::decode(&bytes).unwrap_err();
+        assert_eq!(err.kind, WireDecodeErrorKind::Truncated);
     }
 
     #[test]

@@ -15,22 +15,29 @@
 //!   messages into wire frames and back.
 //! - [`rank`] — the thin actor ([`LbRank`]) binding engine + transport
 //!   to an executor via the [`crate::sim::Protocol`] trait.
+//! - [`emulator`] — the userspace link emulator interpreting a
+//!   [`crate::fault::FaultPlan`] for the real-I/O drivers (send-time
+//!   fates, crash windows), shared by `parallel` and [`socket`].
 //! - drivers — the deterministic discrete-event [`crate::sim::Simulator`],
-//!   the threaded `parallel` executor, and the zero-latency in-process
-//!   [`LocalRunner`].
+//!   the threaded `parallel` executor, the zero-latency in-process
+//!   [`LocalRunner`], and the multi-process TCP [`socket`] driver.
 
 mod config;
 pub mod driver;
+pub mod emulator;
 pub mod engine;
 mod messages;
 mod rank;
+pub mod socket;
 pub mod transport;
 
 pub use config::{LbProtocolConfig, PartitionConfig};
 pub use driver::{run_local_lb, LocalLbResult, LocalRunner};
+pub use emulator::{Delivery, LinkEmulator};
 pub use engine::{AsyncIterationRecord, Command, EngineConfig, GossipEngine, Stage};
-pub use messages::{LbMsg, LbWire, TaskEntry};
+pub use messages::{LbMsg, LbWire, TaskEntry, WireDecodeError, WireDecodeErrorKind};
 pub use rank::LbRank;
+pub use socket::{encode_frame, run_socket_rank, FrameReader, SocketConfig, SocketRankReport};
 
 use crate::fault::FaultPlan;
 use crate::reliable::ReliableStats;

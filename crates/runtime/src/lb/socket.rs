@@ -1,0 +1,836 @@
+//! TCP socket driver: the LB protocol over real OS sockets.
+//!
+//! The third driver in the sans-I/O stack (after the discrete-event
+//! [`crate::sim::Simulator`] and the threaded `parallel` executor): one
+//! OS process per rank, [`LbWire`] frames over length-prefixed TCP
+//! streams, the same [`LbRank`] actor and the same
+//! [`LinkEmulator`]-interpreted [`FaultPlan`] as everywhere else.
+//!
+//! Layout per rank process (see `DESIGN.md` §12):
+//!
+//! ```text
+//! accept thread     nonblocking accept + handshake, spawns readers
+//! reader threads    stream → FrameReader → (from, LbWire) channel
+//! writer threads    per-peer frame queue → connect/reconnect → stream
+//! main loop         LbRank + LinkEmulator + timer heap (this file)
+//! ```
+//!
+//! The main loop mirrors the parallel executor's worker exactly: sends
+//! pass through the emulator at send time (per-link fault ordinals are
+//! keyed by the sending rank, so per-process emulators reproduce the
+//! single-injector simulator), delay fates hold frames back on the
+//! *sender* side, and crash windows gate admission at delivery time.
+//! Real TCP loss — a reset mid-run, a peer not yet listening — is
+//! absorbed by reconnect-with-backoff below and the `Reliable`
+//! transport above, the same contract as an injected drop.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes = LbWire::encode()]
+//! ```
+//!
+//! `crc` is [`crc32`] over the payload. A frame whose CRC does not
+//! match is *not* discarded silently: it surfaces as
+//! [`LbWire::Damaged`] so the receive path drops it unacked (the
+//! [`super::transport::Reliable`] layer then re-delivers the original)
+//! — in-flight damage and injected corruption take the same path.
+
+use super::messages::LbWire;
+use super::rank::LbRank;
+use crate::crc::crc32;
+use crate::fault::{FaultPlan, FaultStats};
+use crate::lb::emulator::LinkEmulator;
+use crate::sim::{Ctx, Protocol};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tempered_core::ids::RankId;
+use tempered_core::rng::RngFactory;
+use tempered_obs::NetworkStats;
+
+/// Handshake preamble: magic, then the sender's rank id (both u32 LE).
+const HANDSHAKE_MAGIC: u32 = 0x544C_4231; // "TLB1"
+
+/// Upper bound on a frame payload; anything larger is a protocol error
+/// (the largest legitimate frame is a `TaskData` batch, well under 1 MiB
+/// at realistic task counts).
+const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Serialize one wire frame: length prefix, payload CRC, payload.
+pub fn encode_frame(wire: &LbWire) -> Vec<u8> {
+    let payload = wire.encode();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Incremental frame reassembler for one TCP stream.
+///
+/// Feed raw bytes with [`FrameReader::push`] in whatever chunks the
+/// socket produces; [`FrameReader::next`] pops complete frames. Frames
+/// that fail the CRC or do not decode are returned as
+/// [`LbWire::Damaged`] (with a failing checksum) rather than dropped,
+/// so the receive path counts and handles them like injected
+/// corruption.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet assembled into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, if one has fully arrived.
+    ///
+    /// Returns `None` while the frame is still partial. A payload whose
+    /// CRC mismatches arrives as `LbWire::Damaged { crc: <expected>,
+    /// bytes: <received> }`, whose [`LbWire::verify`] fails — exactly
+    /// the shape injected corruption takes. A CRC-valid payload that
+    /// does not decode (a peer speaking a different dialect) is wrapped
+    /// the same way, with the checksum inverted so verification still
+    /// fails.
+    pub fn next_frame(&mut self) -> Option<LbWire> {
+        if self.buf.len() < 8 {
+            return None;
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(self.buf[4..8].try_into().unwrap());
+        if len > MAX_FRAME_BYTES {
+            // Desynchronized or hostile stream: surface one damaged
+            // frame and resynchronize by discarding the buffer.
+            let bytes = std::mem::take(&mut self.buf);
+            return Some(LbWire::Damaged {
+                crc: !crc32(&bytes),
+                bytes,
+            });
+        }
+        if self.buf.len() < 8 + len {
+            return None;
+        }
+        let payload: Vec<u8> = self.buf[8..8 + len].to_vec();
+        self.buf.drain(..8 + len);
+        if crc32(&payload) != crc {
+            return Some(LbWire::Damaged {
+                crc,
+                bytes: payload,
+            });
+        }
+        match LbWire::decode(&payload) {
+            Ok(wire) => Some(wire),
+            Err(_) => Some(LbWire::Damaged {
+                crc: !crc,
+                bytes: payload,
+            }),
+        }
+    }
+}
+
+/// Knobs for [`run_socket_rank`].
+#[derive(Clone, Debug)]
+pub struct SocketConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout — also the cadence at which reader/writer
+    /// threads notice shutdown.
+    pub read_timeout: Duration,
+    /// First reconnect backoff; doubles per failed attempt.
+    pub initial_backoff: Duration,
+    /// Reconnect backoff ceiling.
+    pub max_backoff: Duration,
+    /// Hard wall-clock bound on the whole run; exceeding it abandons
+    /// the run (`finished` may still be true if the protocol was done).
+    pub deadline: Duration,
+    /// Seed for the reconnect jitter streams (derive it from the run
+    /// seed so retries are reproducible, not protocol-coupled).
+    pub seed: u64,
+    /// Faults to emulate in userspace between engine and socket.
+    pub fault_plan: FaultPlan,
+    /// Seconds of sender-side hold-back per unit of injected latency
+    /// factor (the socket analogue of
+    /// [`crate::parallel::PARALLEL_DELAY_UNIT`]).
+    pub delay_unit: f64,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(50),
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(60),
+            seed: 0,
+            fault_plan: FaultPlan::none(),
+            delay_unit: crate::parallel::PARALLEL_DELAY_UNIT.as_secs_f64(),
+        }
+    }
+}
+
+/// Outcome of one rank process's run.
+#[derive(Debug)]
+pub struct SocketRankReport {
+    /// The actor in its final state (assignment, stats, stage).
+    pub rank: LbRank,
+    /// Messages/bytes this rank sent (modeled payload bytes, matching
+    /// the other drivers' accounting).
+    pub network: NetworkStats,
+    /// Injected-fault accounting from this rank's emulator (send-side
+    /// fates for its own traffic plus crash drops on delivery).
+    pub faults: FaultStats,
+    /// Whether the protocol reached Done here before stop/deadline.
+    pub finished: bool,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_s: f64,
+}
+
+/// A held-back event in the main loop: an inbound delivery (timers,
+/// self-sends) or an outbound frame delayed by an emulated fate.
+enum HeldItem {
+    Deliver { from: RankId, msg: LbWire },
+    Send { to: RankId, msg: LbWire },
+}
+
+struct Held {
+    when: Instant,
+    seq: u64,
+    item: HeldItem,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Held {}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.when
+            .cmp(&other.when)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Run one rank of the LB protocol over TCP until `stop` is raised or
+/// the deadline passes.
+///
+/// `listener` must already be bound (bind to port 0 and distribute the
+/// resulting map to avoid races); `peers[r]` is rank `r`'s address
+/// (`peers[me]` is ignored). `on_done` fires exactly once, the first
+/// time the protocol reaches Done locally — or when the fault plan has
+/// permanently crashed this rank, which can never finish — so an
+/// orchestrator can collect doneness before telling everyone to exit.
+///
+/// The function returns once `stop` is observed (normal teardown) or
+/// the deadline expires; it keeps serving acks, heartbeats, and heal
+/// traffic in between, which is what lets peers finish after we do.
+pub fn run_socket_rank(
+    me: RankId,
+    mut rank: LbRank,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    cfg: SocketConfig,
+    stop: Arc<AtomicBool>,
+    mut on_done: impl FnMut(),
+) -> SocketRankReport {
+    let num_ranks = peers.len();
+    let start = Instant::now();
+    let halt = Arc::new(AtomicBool::new(false));
+    let mut emulator = LinkEmulator::new(
+        cfg.fault_plan.clone(),
+        tempered_obs::Recorder::disabled(),
+        cfg.delay_unit,
+    );
+    let (in_tx, in_rx) = unbounded::<(RankId, LbWire)>();
+
+    // Per-peer outbound frame queues, drained by writer threads.
+    let mut out_tx: Vec<Option<Sender<Vec<u8>>>> = (0..num_ranks).map(|_| None).collect();
+    let mut out_rx: Vec<(usize, Receiver<Vec<u8>>)> = Vec::new();
+    for (r, slot) in out_tx.iter_mut().enumerate() {
+        if r != me.as_usize() {
+            let (tx, rx) = unbounded();
+            *slot = Some(tx);
+            out_rx.push((r, rx));
+        }
+    }
+
+    let mut stats = NetworkStats::default();
+    let mut held: BinaryHeap<Reverse<Held>> = BinaryHeap::new();
+    let mut hseq = 0u64;
+    let mut outbox: Vec<(RankId, LbWire, usize)> = Vec::new();
+    let mut done_notified = false;
+
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+
+    std::thread::scope(|scope| {
+        // Accept thread: handshake inbound connections and spawn one
+        // reader per peer stream.
+        {
+            let halt = Arc::clone(&halt);
+            let stop = Arc::clone(&stop);
+            let in_tx = in_tx.clone();
+            let read_timeout = cfg.read_timeout;
+            scope.spawn(move || {
+                accept_loop(
+                    &listener,
+                    num_ranks,
+                    read_timeout,
+                    &halt,
+                    &stop,
+                    &in_tx,
+                    scope,
+                );
+            });
+        }
+
+        // Writer threads: own connect/reconnect with seeded backoff
+        // jitter, drain the peer's frame queue.
+        for (peer, rx) in out_rx {
+            let halt = Arc::clone(&halt);
+            let stop = Arc::clone(&stop);
+            let addr = peers[peer];
+            let jitter = RngFactory::new(cfg.seed).rank_stream(
+                b"sockrtry",
+                me.as_usize() as u64,
+                peer as u64,
+            );
+            let wcfg = cfg.clone();
+            scope.spawn(move || {
+                writer_loop(me, addr, rx, wcfg, jitter, &halt, &stop);
+            });
+        }
+
+        // ---- main loop: the socket analogue of the parallel worker ----
+
+        macro_rules! flush {
+            () => {{
+                let batch = std::mem::take(&mut outbox);
+                for (to, msg, bytes) in batch {
+                    stats.record(bytes);
+                    let send_now = start.elapsed().as_secs_f64();
+                    for d in emulator.outgoing::<LbRank>(me, to, msg, send_now) {
+                        let due = d
+                            .not_before
+                            .map(|s| start + Duration::from_secs_f64(s))
+                            .filter(|when| *when > Instant::now());
+                        match due {
+                            Some(when) => {
+                                hseq += 1;
+                                held.push(Reverse(Held {
+                                    when,
+                                    seq: hseq,
+                                    item: if to == me {
+                                        HeldItem::Deliver {
+                                            from: me,
+                                            msg: d.msg,
+                                        }
+                                    } else {
+                                        HeldItem::Send { to, msg: d.msg }
+                                    },
+                                }));
+                            }
+                            None if to == me => {
+                                // Rare self-send: deliver next loop turn.
+                                let _ = in_tx.send((me, d.msg));
+                            }
+                            None => {
+                                if let Some(tx) = &out_tx[to.as_usize()] {
+                                    let _ = tx.send(encode_frame(&d.msg));
+                                }
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+
+        macro_rules! deliver {
+            ($from:expr, $msg:expr) => {{
+                let now = start.elapsed().as_secs_f64();
+                // Crash windows gate delivery, mirroring the simulator's
+                // pop-time check (real process kills are the orchestrator's
+                // job; plan-driven windows keep single-process parity).
+                if emulator.admit($from, me, now) {
+                    let mut ctx = Ctx::for_executor(me, now, &mut outbox);
+                    rank.on_message(&mut ctx, $from, $msg);
+                    let timers = ctx.take_timers();
+                    flush!();
+                    arm_timers(&mut held, &mut hseq, me, timers);
+                }
+            }};
+        }
+
+        // Start the actor.
+        {
+            let now = start.elapsed().as_secs_f64();
+            let mut ctx = Ctx::for_executor(me, now, &mut outbox);
+            rank.on_start(&mut ctx);
+            let timers = ctx.take_timers();
+            flush!();
+            arm_timers(&mut held, &mut hseq, me, timers);
+        }
+
+        let tick = Duration::from_millis(1);
+        loop {
+            if stop.load(Ordering::SeqCst) || start.elapsed() >= cfg.deadline {
+                break;
+            }
+            // Fire every held event whose time has come.
+            loop {
+                match held.peek() {
+                    Some(Reverse(h)) if h.when <= Instant::now() => {
+                        let Reverse(h) = held.pop().expect("just peeked");
+                        match h.item {
+                            HeldItem::Deliver { from, msg } => deliver!(from, msg),
+                            HeldItem::Send { to, msg } => {
+                                if let Some(tx) = &out_tx[to.as_usize()] {
+                                    let _ = tx.send(encode_frame(&msg));
+                                }
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if !done_notified
+                && (rank.is_done() || emulator.down_forever(me, start.elapsed().as_secs_f64()))
+            {
+                // A plan-crashed rank can never finish; report it done so
+                // the orchestrator's barrier does not hang on a corpse.
+                done_notified = true;
+                on_done();
+            }
+            let wait = match held.peek() {
+                Some(Reverse(h)) => h.when.saturating_duration_since(Instant::now()).min(tick),
+                None => tick,
+            };
+            match in_rx.recv_timeout(wait) {
+                Ok((from, msg)) => deliver!(from, msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        halt.store(true, Ordering::SeqCst);
+    });
+
+    let finished = rank.is_done();
+    SocketRankReport {
+        rank,
+        network: stats,
+        faults: emulator.stats(),
+        finished,
+        wall_time_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Arm protocol timers as held self-deliveries (virtual seconds map 1:1
+/// onto wall-clock seconds, the parallel executor's convention).
+fn arm_timers(
+    held: &mut BinaryHeap<Reverse<Held>>,
+    hseq: &mut u64,
+    me: RankId,
+    timers: Vec<(f64, LbWire)>,
+) {
+    let now = Instant::now();
+    for (delay, msg) in timers {
+        *hseq += 1;
+        held.push(Reverse(Held {
+            when: now + Duration::from_secs_f64(delay),
+            seq: *hseq,
+            item: HeldItem::Deliver { from: me, msg },
+        }));
+    }
+}
+
+/// Accept inbound connections, handshake them, and spawn a reader per
+/// stream. Nonblocking accept polled on a short sleep so shutdown is
+/// prompt.
+fn accept_loop<'scope>(
+    listener: &TcpListener,
+    num_ranks: usize,
+    read_timeout: Duration,
+    halt: &Arc<AtomicBool>,
+    stop: &Arc<AtomicBool>,
+    in_tx: &Sender<(RankId, LbWire)>,
+    scope: &'scope std::thread::Scope<'scope, '_>,
+) {
+    loop {
+        if halt.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_nonblocking(false);
+                // Handshake: magic + sender rank, else drop the stream.
+                let mut hs = [0u8; 8];
+                if read_exact_patient(&mut stream, &mut hs, halt, stop).is_err() {
+                    continue;
+                }
+                let magic = u32::from_le_bytes(hs[0..4].try_into().unwrap());
+                let from = u32::from_le_bytes(hs[4..8].try_into().unwrap());
+                if magic != HANDSHAKE_MAGIC || from as usize >= num_ranks {
+                    continue;
+                }
+                let from = RankId::new(from);
+                let in_tx = in_tx.clone();
+                let halt = Arc::clone(halt);
+                let stop = Arc::clone(stop);
+                scope.spawn(move || reader_loop(stream, from, &in_tx, &halt, &stop));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// `read_exact` that tolerates read timeouts while watching shutdown.
+fn read_exact_patient(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    halt: &AtomicBool,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if halt.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
+            return Err(ErrorKind::Interrupted.into());
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Drain one peer's stream into the inbound channel, frame by frame.
+fn reader_loop(
+    mut stream: TcpStream,
+    from: RankId,
+    in_tx: &Sender<(RankId, LbWire)>,
+    halt: &AtomicBool,
+    stop: &AtomicBool,
+) {
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if halt.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed; it reconnects if it has more
+            Ok(n) => {
+                reader.push(&buf[..n]);
+                while let Some(wire) = reader.next_frame() {
+                    if in_tx.send((from, wire)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Own the outbound stream to one peer: connect (and reconnect) with
+/// seeded exponential backoff jitter, handshake, then write queued
+/// frames. A frame that fails mid-write is retried on the next
+/// connection — duplicate delivery is fine (the transport dedups), and
+/// the `Reliable` layer covers anything genuinely lost.
+fn writer_loop(
+    me: RankId,
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+    cfg: SocketConfig,
+    mut jitter: rand::rngs::SmallRng,
+    halt: &AtomicBool,
+    stop: &AtomicBool,
+) {
+    let shutting_down = || halt.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst);
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = cfg.initial_backoff;
+    let mut pending: Option<Vec<u8>> = None;
+    loop {
+        if shutting_down() {
+            return;
+        }
+        // (Re)connect if needed.
+        if stream.is_none() {
+            if let Ok(mut s) = TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+                let _ = s.set_nodelay(true);
+                let mut hs = [0u8; 8];
+                hs[0..4].copy_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+                hs[4..8].copy_from_slice(&me.as_u32().to_le_bytes());
+                if s.write_all(&hs).is_ok() {
+                    stream = Some(s);
+                    backoff = cfg.initial_backoff;
+                }
+            }
+            if stream.is_none() {
+                // Jittered exponential backoff: deterministic per
+                // (seed, me, peer) stream, uncorrelated across links.
+                let sleep = backoff.mul_f64(0.5 + jitter.gen::<f64>());
+                let step = Duration::from_millis(5);
+                let mut slept = Duration::ZERO;
+                while slept < sleep && !shutting_down() {
+                    std::thread::sleep(step.min(sleep - slept));
+                    slept += step;
+                }
+                backoff = (backoff * 2).min(cfg.max_backoff);
+                continue;
+            }
+        }
+        // Next frame: the one that failed last time, or a fresh one.
+        let frame = match pending.take() {
+            Some(f) => f,
+            None => match rx.recv_timeout(cfg.read_timeout) {
+                Ok(f) => f,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+        };
+        let s = stream.as_mut().expect("connected above");
+        if s.write_all(&frame).is_err() {
+            stream = None;
+            pending = Some(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthConfig;
+    use crate::lb::{LbProtocolConfig, PartitionConfig};
+    use crate::reliable::RetryConfig;
+    use crate::sim::{NetworkModel, Simulator};
+    use std::net::Ipv4Addr;
+    use tempered_core::distribution::Distribution;
+    use tempered_core::ids::TaskId;
+
+    #[test]
+    fn frame_roundtrips_through_the_reader() {
+        let wires = vec![
+            LbWire::Heartbeat,
+            LbWire::Ack { seq: 42 },
+            LbWire::Raw(super::super::messages::LbMsg::Knock),
+        ];
+        let mut reader = FrameReader::new();
+        for w in &wires {
+            reader.push(&encode_frame(w));
+        }
+        for w in &wires {
+            let got = reader.next_frame().expect("frame complete");
+            assert_eq!(got.encode(), w.encode());
+            assert!(got.verify());
+        }
+        assert!(reader.next_frame().is_none());
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn partial_reads_reassemble() {
+        let wire = LbWire::Ack { seq: 7 };
+        let frame = encode_frame(&wire);
+        let mut reader = FrameReader::new();
+        for b in &frame[..frame.len() - 1] {
+            reader.push(&[*b]);
+            assert!(
+                reader.next_frame().is_none(),
+                "must wait for the full frame"
+            );
+        }
+        reader.push(&frame[frame.len() - 1..]);
+        let got = reader.next_frame().expect("complete now");
+        assert_eq!(got.encode(), wire.encode());
+    }
+
+    #[test]
+    fn crc_mismatch_surfaces_as_damaged() {
+        let wire = LbWire::Ack { seq: 9 };
+        let mut frame = encode_frame(&wire);
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40; // flip a payload bit
+        let mut reader = FrameReader::new();
+        reader.push(&frame);
+        let got = reader.next_frame().expect("frame complete");
+        assert!(matches!(got, LbWire::Damaged { .. }));
+        assert!(!got.verify(), "damage must be detectable");
+    }
+
+    #[test]
+    fn oversize_length_prefix_resynchronizes_as_damage() {
+        let mut reader = FrameReader::new();
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&u32::MAX.to_le_bytes());
+        junk.extend_from_slice(&0u32.to_le_bytes());
+        junk.extend_from_slice(b"garbage");
+        reader.push(&junk);
+        let got = reader.next_frame().expect("surfaced");
+        assert!(matches!(got, LbWire::Damaged { .. }));
+        assert!(!got.verify());
+        assert_eq!(reader.pending(), 0, "buffer resynchronized");
+    }
+
+    /// End-to-end over real loopback sockets, one thread per "process":
+    /// the committed assignment must be bit-for-bit the simulator's.
+    #[test]
+    fn loopback_run_matches_simulator_assignment() {
+        let num_ranks = 4usize;
+        let seed = 4242u64;
+        let per_rank: Vec<Vec<f64>> = (0..num_ranks)
+            .map(|r| if r == 0 { vec![1.0; 12] } else { vec![] })
+            .collect();
+        let dist = Distribution::from_loads(per_rank);
+        let cfg = LbProtocolConfig {
+            trials: 1,
+            iters: 2,
+            fanout: 2,
+            rounds: 3,
+            ..Default::default()
+        }
+        .hardened(RetryConfig {
+            timeout: 2e-3,
+            backoff: 2.0,
+            max_retries: 12,
+            stage_deadline: 10.0,
+            ..Default::default()
+        })
+        .crash_tolerant(HealthConfig {
+            period: 5e-3,
+            suspicion_threshold: 8.0,
+            startup_grace: 0.05,
+        })
+        .partition_tolerant(PartitionConfig { park_deadline: 1.0 });
+        let factory = RngFactory::new(seed);
+        let build = |r: usize| {
+            let tasks: Vec<(TaskId, f64)> = dist
+                .tasks_on(RankId::from(r))
+                .iter()
+                .map(|t| (t.id, t.load.get()))
+                .collect();
+            LbRank::new(RankId::from(r), num_ranks, tasks, cfg, factory)
+        };
+
+        // Reference: the deterministic simulator.
+        let mut sim = Simulator::new(
+            (0..num_ranks).map(build).collect(),
+            NetworkModel::default(),
+            &factory,
+        );
+        let report = sim.run();
+        assert!(report.completed);
+        let reference: Vec<Vec<u64>> = sim
+            .into_ranks()
+            .iter()
+            .map(|r| {
+                let mut ids: Vec<u64> = r.final_tasks().iter().map(|t| t.id.as_u64()).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+
+        // Real sockets on loopback.
+        let listeners: Vec<TcpListener> = (0..num_ranks)
+            .map(|_| TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).expect("bind"))
+            .collect();
+        let peers: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut reports: Vec<Option<SocketRankReport>> = (0..num_ranks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (r, listener) in listeners.into_iter().enumerate() {
+                let peers = peers.clone();
+                let stop = Arc::clone(&stop);
+                let done = Arc::clone(&done);
+                let rank = build(r);
+                handles.push(scope.spawn(move || {
+                    run_socket_rank(
+                        RankId::from(r),
+                        rank,
+                        listener,
+                        peers,
+                        SocketConfig {
+                            seed,
+                            deadline: Duration::from_secs(30),
+                            ..Default::default()
+                        },
+                        stop,
+                        || {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        },
+                    )
+                }));
+            }
+            // Orchestrate in miniature: wait for everyone, then stop.
+            let t0 = Instant::now();
+            while done.load(Ordering::SeqCst) < num_ranks {
+                assert!(t0.elapsed() < Duration::from_secs(30), "ranks hung");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            stop.store(true, Ordering::SeqCst);
+            for (r, h) in handles.into_iter().enumerate() {
+                reports[r] = Some(h.join().expect("rank thread"));
+            }
+        });
+
+        let mut total = 0usize;
+        for (r, report) in reports.iter().enumerate() {
+            let report = report.as_ref().expect("collected");
+            assert!(report.finished, "rank {r} must finish");
+            assert!(!report.rank.degraded(), "rank {r} degraded");
+            let mut ids: Vec<u64> = report
+                .rank
+                .final_tasks()
+                .iter()
+                .map(|t| t.id.as_u64())
+                .collect();
+            ids.sort_unstable();
+            total += ids.len();
+            assert_eq!(ids, reference[r], "rank {r} assignment diverged");
+        }
+        assert_eq!(total, dist.num_tasks());
+    }
+}

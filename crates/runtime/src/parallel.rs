@@ -23,7 +23,8 @@
 //! termination condition (as the LB protocol does); an actor that never
 //! reports done hangs the run, which tests guard with a wall-clock bound.
 
-use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats, LinkFate};
+use crate::fault::{FaultPlan, FaultStats};
+use crate::lb::emulator::LinkEmulator;
 use crate::sim::{Ctx, Protocol};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cmp::Reverse;
@@ -32,7 +33,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tempered_core::ids::RankId;
 use tempered_obs::NetworkStats;
-use tempered_obs::{EventKind, Recorder};
+use tempered_obs::Recorder;
 
 /// Wall-clock hold-back per unit of injected latency factor: a message
 /// with fate `delay_factor = f` is held for `(f − 1) ×` this duration.
@@ -140,18 +141,12 @@ where
     let workers = num_threads.clamp(1, num_ranks.max(1));
     let done_count = AtomicUsize::new(0);
     let start = Instant::now();
-    // Per-worker injectors share the plan: sends from a rank are always
+    // Per-worker emulators share the plan: sends from a rank are always
     // processed by its owning worker, so per-link ordinals — and hence
     // fault decisions — match the single-injector simulator exactly.
     // Crash windows count wall-clock seconds from run start, mirroring
     // the pause-window convention.
-    let crash_sched = CrashSchedule::new(&options.fault_plan.crashes);
-    let plan = if options.fault_plan.is_zero() {
-        options.fault_plan.validate_or_panic();
-        None
-    } else {
-        Some(options.fault_plan)
-    };
+    let plan = options.fault_plan;
 
     let (senders, receivers): Endpoints<P::Msg> = (0..workers).map(|_| unbounded()).unzip();
 
@@ -172,9 +167,11 @@ where
             let senders = senders.clone();
             let rx = receivers[w].clone();
             let done_count = &done_count;
-            let injector = plan.clone().map(FaultInjector::new);
-            let crash_sched = crash_sched.clone();
-            let recorder = options.recorder.clone();
+            let emulator = LinkEmulator::new(
+                plan.clone(),
+                options.recorder.clone(),
+                PARALLEL_DELAY_UNIT.as_secs_f64(),
+            );
             handles.push(scope.spawn(move || {
                 let mut worker = Worker {
                     shard,
@@ -182,17 +179,14 @@ where
                     done_count,
                     done_flags: Vec::new(),
                     stats: NetworkStats::default(),
-                    injector,
-                    crash_sched,
-                    crash_dropped: 0,
-                    recorder,
+                    emulator,
                     start,
                     held: BinaryHeap::new(),
                     outbox: Vec::new(),
                     hseq: 0,
                 };
                 let ok = worker.run(rx, num_ranks, idle_timeout);
-                let fstats = worker.fault_stats();
+                let fstats = worker.emulator.stats();
                 (worker.shard, worker.stats, fstats, ok)
             }));
         }
@@ -243,10 +237,7 @@ struct Worker<'a, P: Protocol> {
     done_count: &'a AtomicUsize,
     done_flags: Vec<bool>,
     stats: NetworkStats,
-    injector: Option<FaultInjector>,
-    crash_sched: CrashSchedule,
-    crash_dropped: u64,
-    recorder: Recorder,
+    emulator: LinkEmulator,
     start: Instant,
     /// Protocol timers and delay-faulted envelopes awaiting their time.
     held: BinaryHeap<Reverse<Held<P::Msg>>>,
@@ -259,12 +250,6 @@ where
     P: Protocol + Send,
     P::Msg: Send,
 {
-    fn fault_stats(&self) -> FaultStats {
-        let mut stats = self.injector.as_ref().map(|i| i.stats).unwrap_or_default();
-        stats.crash_dropped += self.crash_dropped;
-        stats
-    }
-
     fn mark_done(&mut self, slot: usize) {
         if self.shard[slot].1.is_done() && !self.done_flags[slot] {
             self.done_flags[slot] = true;
@@ -276,13 +261,13 @@ where
     /// report done themselves, and waiting on them would turn every fatal
     /// crash into an idle-timeout failure.
     fn sweep_crashed(&mut self) {
-        if self.crash_sched.is_empty() {
+        if !self.emulator.has_crashes() {
             return;
         }
         let now = self.start.elapsed().as_secs_f64();
         for slot in 0..self.shard.len() {
             let me = RankId::from(self.shard[slot].0);
-            if !self.done_flags[slot] && self.crash_sched.is_down_forever(me, now) {
+            if !self.done_flags[slot] && self.emulator.down_forever(me, now) {
                 self.done_flags[slot] = true;
                 self.done_count.fetch_add(1, Ordering::SeqCst);
             }
@@ -299,89 +284,18 @@ where
         for (to, msg, bytes) in outbox {
             self.stats.record(bytes);
             let t = to.as_usize();
-            let Some(inj) = &mut self.injector else {
-                let _ = self.senders[t % workers].send(Envelope {
-                    to: t,
-                    from,
-                    msg,
-                    not_before: None,
-                });
-                continue;
-            };
-            let faultable = P::faultable(&msg);
-            let fate = if faultable {
-                inj.fate(from, to)
-            } else {
-                Fate::clean()
-            };
             // Link-level fates use wall-clock seconds since run start as
             // the window clock — the threaded analogue of the simulator's
             // virtual send time (same convention as pause windows).
             let send_now = self.start.elapsed().as_secs_f64();
-            let link = if faultable {
-                inj.link_fate(from, to, send_now)
-            } else {
-                LinkFate::clean()
-            };
-            if faultable && self.recorder.is_enabled() {
-                let now = send_now;
-                let fault = |kind| EventKind::Fault {
-                    kind,
-                    to: to.as_u32(),
-                };
-                if fate.copies == 0 {
-                    self.recorder.instant(from.as_u32(), now, fault("drop"));
-                } else if fate.copies > 1 {
-                    self.recorder
-                        .instant(from.as_u32(), now, fault("duplicate"));
-                }
-                if fate.delay_factor > 1.0 {
-                    self.recorder.instant(from.as_u32(), now, fault("delay"));
-                }
-                if link.cut {
-                    self.recorder.instant(from.as_u32(), now, fault("link_cut"));
-                }
-                if link.delay_factor > 1.0 {
-                    self.recorder
-                        .instant(from.as_u32(), now, fault("link_delay"));
-                }
-                if link.corrupt {
-                    self.recorder.instant(from.as_u32(), now, fault("corrupt"));
-                }
-            }
-            if link.cut {
-                continue;
-            }
-            let msg = if link.corrupt {
-                match P::corrupted(&msg) {
-                    Some(bad) => bad,
-                    None => continue,
-                }
-            } else {
-                msg
-            };
-            for copy in 0..fate.copies {
-                let extra =
-                    (fate.delay_factor * link.delay_factor - 1.0).max(0.0) * (copy + 1) as f64;
-                let mut not_before = if extra > 0.0 {
-                    Some(Instant::now() + PARALLEL_DELAY_UNIT.mul_f64(extra))
-                } else {
-                    None
-                };
-                if faultable {
-                    let arrival = not_before
-                        .unwrap_or_else(Instant::now)
-                        .duration_since(self.start)
-                        .as_secs_f64();
-                    if let Some(until) = inj.deferred_until(to, arrival) {
-                        not_before = Some(self.start + Duration::from_secs_f64(until));
-                    }
-                }
+            for delivery in self.emulator.outgoing::<P>(from, to, msg, send_now) {
                 let _ = self.senders[t % workers].send(Envelope {
                     to: t,
                     from,
-                    msg: msg.clone(),
-                    not_before,
+                    msg: delivery.msg,
+                    not_before: delivery
+                        .not_before
+                        .map(|s| self.start + Duration::from_secs_f64(s)),
                 });
             }
         }
@@ -414,18 +328,7 @@ where
         let now = self.start.elapsed().as_secs_f64();
         // Crash-stop: deliveries (messages and timers) to a down rank are
         // discarded at arrival, mirroring the simulator's pop-time check.
-        if self.crash_sched.is_down(me, now) {
-            self.crash_dropped += 1;
-            if self.recorder.is_enabled() {
-                self.recorder.instant(
-                    from.as_u32(),
-                    now,
-                    EventKind::Fault {
-                        kind: "crash_drop",
-                        to: me.as_u32(),
-                    },
-                );
-            }
+        if !self.emulator.admit(from, me, now) {
             return;
         }
         let mut outbox = std::mem::take(&mut self.outbox);

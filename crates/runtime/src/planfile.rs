@@ -389,6 +389,19 @@ impl FaultPlan {
         plan_from_json(&root)
     }
 
+    /// Read, parse, *and validate* a plan file, prefixing every error
+    /// with the offending path so a bad `--plan` flag (or a typo inside
+    /// the file) is reported as `plans/foo.json: link.kind.p must be a
+    /// probability` rather than a bare field name — or a panic.
+    pub fn load(path: &std::path::Path) -> Result<FaultPlan, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: cannot read plan file: {e}", path.display()))?;
+        let plan = FaultPlan::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        plan.validate()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(plan)
+    }
+
     /// Render the plan as pretty-printed JSON that [`FaultPlan::from_json`]
     /// parses back to an equal plan.
     pub fn to_json(&self) -> String {
@@ -635,15 +648,43 @@ mod tests {
                 continue;
             }
             seen += 1;
-            let text = std::fs::read_to_string(&path).unwrap();
-            let plan = FaultPlan::from_json(&text)
-                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
-            plan.validate()
-                .unwrap_or_else(|e| panic!("{} is invalid: {e}", path.display()));
+            let plan =
+                FaultPlan::load(&path).unwrap_or_else(|e| panic!("shipped plan rejected: {e}"));
             let back = FaultPlan::from_json(&plan.to_json()).unwrap();
             assert_eq!(back, plan, "{} must round-trip", path.display());
         }
         assert!(seen >= 2, "at least two example plans ship with the repo");
+    }
+
+    #[test]
+    fn load_names_the_file_in_every_error() {
+        let missing = std::path::Path::new("/nonexistent/plan.json");
+        let err = FaultPlan::load(missing).unwrap_err();
+        assert!(err.starts_with("/nonexistent/plan.json: "), "{err}");
+        assert!(err.contains("cannot read"), "{err}");
+
+        let dir = std::env::temp_dir().join("tempered-planfile-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let bad_syntax = dir.join("bad_syntax.json");
+        std::fs::write(&bad_syntax, r#"{"drop": }"#).unwrap();
+        let err = FaultPlan::load(&bad_syntax).unwrap_err();
+        assert!(
+            err.starts_with(&format!("{}: ", bad_syntax.display())),
+            "{err}"
+        );
+
+        let bad_value = dir.join("bad_value.json");
+        std::fs::write(&bad_value, r#"{"drop": 1.5}"#).unwrap();
+        let err = FaultPlan::load(&bad_value).unwrap_err();
+        assert!(
+            err.contains("drop"),
+            "validation error names the field: {err}"
+        );
+        assert!(
+            err.starts_with(&format!("{}: ", bad_value.display())),
+            "{err}"
+        );
     }
 
     #[test]
