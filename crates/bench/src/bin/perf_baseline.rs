@@ -5,8 +5,10 @@
 //! trip.
 //!
 //! Each cell runs the hardened protocol (reliable delivery on the
-//! simulated network, the configuration the chaos grid uses) on a
-//! hot-spot distribution, three times, and keeps the fastest wall
+//! simulated network, the configuration the chaos grid uses) on one of
+//! two input shapes — the synthetic hot-spot distribution and the
+//! service flash-crowd workload (`tempered-svc`) frozen mid-ramp —
+//! three times, and keeps the fastest wall
 //! clock — the standard way to strip scheduler noise from a baseline.
 //! Alongside wall time it records the modeled cost (messages, bytes,
 //! events, virtual makespan), which must be *identical* run to run:
@@ -23,6 +25,7 @@ use tempered_core::rng::RngFactory;
 use tempered_runtime::lb::LbProtocolConfig;
 use tempered_runtime::sim::NetworkModel;
 use tempered_runtime::{run_distributed_lb, DistLbResult, RetryConfig};
+use tempered_svc::SvcScenario;
 
 const SEED: u64 = 4242;
 const REPEATS: usize = 3;
@@ -60,7 +63,20 @@ fn config(balancer: &str) -> LbProtocolConfig {
     })
 }
 
+/// The service flash-crowd workload frozen at the steepest point of its
+/// ramp: dyadic per-shard loads on the block placement — a realistic
+/// skew shape (a hot hashed subset, not a hot rank prefix) for the
+/// protocol to digest.
+fn svc_flash(num_ranks: usize) -> Distribution {
+    let sc = SvcScenario::flash_crowd(num_ranks, 16, 36, SEED);
+    let mut dist = sc.initial_distribution();
+    let mid_ramp = sc.phases as u64 / 3 + 3;
+    sc.apply_phase(&mut dist, mid_ramp);
+    dist
+}
+
 struct Cell {
+    workload: &'static str,
     balancer: &'static str,
     ranks: usize,
     tasks: usize,
@@ -78,40 +94,51 @@ fn main() {
     let mut cells: Vec<Cell> = Vec::new();
     for &ranks in rank_counts {
         let hot = (ranks / 8).max(2);
-        let dist = concentrated(ranks, hot, 40);
-        for balancer in ["tempered", "grapevine"] {
-            let cfg = config(balancer);
-            let mut best: Option<(f64, DistLbResult)> = None;
-            for _ in 0..REPEATS {
-                let t0 = Instant::now();
-                let out =
-                    run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(SEED));
-                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(out.degraded_ranks, 0, "fault-free run must not degrade");
-                if let Some((_, prev)) = &best {
-                    assert_eq!(
-                        (prev.report.network.messages, prev.report.network.bytes),
-                        (out.report.network.messages, out.report.network.bytes),
-                        "modeled cost must be deterministic ({balancer}, {ranks} ranks)"
+        let shapes: [(&'static str, Distribution); 2] = [
+            ("hotspot", concentrated(ranks, hot, 40)),
+            ("svc_flash", svc_flash(ranks)),
+        ];
+        for (workload, dist) in shapes {
+            for balancer in ["tempered", "grapevine"] {
+                let cfg = config(balancer);
+                let mut best: Option<(f64, DistLbResult)> = None;
+                for _ in 0..REPEATS {
+                    let t0 = Instant::now();
+                    let out = run_distributed_lb(
+                        &dist,
+                        cfg,
+                        NetworkModel::default(),
+                        &RngFactory::new(SEED),
                     );
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(out.degraded_ranks, 0, "fault-free run must not degrade");
+                    if let Some((_, prev)) = &best {
+                        assert_eq!(
+                            (prev.report.network.messages, prev.report.network.bytes),
+                            (out.report.network.messages, out.report.network.bytes),
+                            "modeled cost must be deterministic \
+                             ({workload}/{balancer}, {ranks} ranks)"
+                        );
+                    }
+                    match &mut best {
+                        Some((w, _)) if *w <= wall_ms => {}
+                        _ => best = Some((wall_ms, out)),
+                    }
                 }
-                match &mut best {
-                    Some((w, _)) if *w <= wall_ms => {}
-                    _ => best = Some((wall_ms, out)),
-                }
+                let (wall_ms, out) = best.expect("at least one repeat ran");
+                println!(
+                    "{workload:>9}/{balancer:<9} ranks={ranks:<4} wall={wall_ms:>8.2}ms msgs={} bytes={}",
+                    out.report.network.messages, out.report.network.bytes
+                );
+                cells.push(Cell {
+                    workload,
+                    balancer,
+                    ranks,
+                    tasks: dist.num_tasks(),
+                    wall_ms,
+                    out,
+                });
             }
-            let (wall_ms, out) = best.expect("at least one repeat ran");
-            println!(
-                "{balancer:>9} ranks={ranks:<4} wall={wall_ms:>8.2}ms msgs={} bytes={}",
-                out.report.network.messages, out.report.network.bytes
-            );
-            cells.push(Cell {
-                balancer,
-                ranks,
-                tasks: dist.num_tasks(),
-                wall_ms,
-                out,
-            });
         }
     }
 
@@ -135,9 +162,10 @@ fn main() {
         let r = &c.out.report;
         let _ = write!(
             json,
-            "    {{\"balancer\": \"{}\", \"ranks\": {}, \"tasks\": {}, \
+            "    {{\"workload\": \"{}\", \"balancer\": \"{}\", \"ranks\": {}, \"tasks\": {}, \
              \"wall_ms\": {:.3}, \"messages\": {}, \"bytes\": {}, \"events\": {}, \
              \"virtual_s\": {:.6}, \"initial_imbalance\": {:.4}, \"final_imbalance\": {:.4}}}",
+            c.workload,
             c.balancer,
             c.ranks,
             c.tasks,

@@ -20,6 +20,7 @@ mod greedy;
 mod hier;
 mod naive;
 mod null;
+mod predictive;
 mod tempered;
 
 pub use grapevine::GrapevineLb;
@@ -27,6 +28,10 @@ pub use greedy::GreedyLb;
 pub use hier::{HierConfig, HierLb};
 pub use naive::{RandomLb, RotateLb};
 pub use null::NullLb;
+pub use predictive::{
+    predictive_grapevine, predictive_tempered, PredictiveGrapevineLb, PredictiveLb,
+    PredictiveTemperedLb,
+};
 pub use tempered::{TemperedConfig, TemperedLb};
 
 use crate::distribution::{Distribution, Migration};

@@ -55,6 +55,7 @@ pub mod balancer;
 pub mod cmf;
 pub mod criteria;
 pub mod distribution;
+pub mod forecast;
 pub mod gossip;
 pub mod ids;
 pub mod imbalance;
@@ -69,12 +70,14 @@ pub mod transfer;
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use crate::balancer::{
-        GrapevineLb, GreedyLb, HierConfig, HierLb, LoadBalancer, NullLb, RandomLb, RebalanceResult,
-        RotateLb, TemperedConfig, TemperedLb,
+        predictive_grapevine, predictive_tempered, GrapevineLb, GreedyLb, HierConfig, HierLb,
+        LoadBalancer, NullLb, PredictiveGrapevineLb, PredictiveLb, PredictiveTemperedLb, RandomLb,
+        RebalanceResult, RotateLb, TemperedConfig, TemperedLb,
     };
     pub use crate::cmf::{Cmf, CmfKind};
     pub use crate::criteria::CriterionKind;
     pub use crate::distribution::{Distribution, Migration};
+    pub use crate::forecast::{Ewma, ForecastBank, Holt, LastObserved, LoadModel};
     pub use crate::gossip::{GossipConfig, GossipMode};
     pub use crate::ids::{RankId, TaskId};
     pub use crate::imbalance::{imbalance, lower_bound_max_load, LoadStatistics};

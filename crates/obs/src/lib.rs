@@ -29,9 +29,11 @@ pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod report;
+pub mod tail;
 
 pub use chrome::{read_chrome_trace, to_records, write_chrome_trace, TraceRecord};
 pub use event::{Event, EventKind, Recorder, Trace, DEFAULT_RING_CAPACITY};
 pub use export::{metrics_to_csv, metrics_to_json};
 pub use metrics::{Histogram, MetricsRegistry, NetworkStats, HISTOGRAM_BUCKETS};
 pub use report::{cost_breakdown, BreakdownRow, CostBreakdown};
+pub use tail::{TailAccumulator, TailSummary};

@@ -1,0 +1,169 @@
+//! Tail-style workload metrics over a multi-phase run.
+//!
+//! The paper's scalar `I = ℓ_max/ℓ_ave − 1` describes one phase in
+//! isolation. Service workloads (diurnal cycles, flash crowds) are
+//! judged on *tails across phases*: what the worst phase cost, and how
+//! bad the loaded ranks get at high percentiles. [`TailAccumulator`]
+//! ingests one vector of per-rank loads per phase and reports:
+//!
+//! - **max-phase time** — `max_p max_r ℓ(p, r)`, the bulk-synchronous
+//!   cost of the single worst phase (the number a forecast-driven
+//!   balancer is supposed to shave);
+//! - **sum of max** — `Σ_p max_r ℓ(p, r)`, total modeled makespan of a
+//!   bulk-synchronous run over all phases;
+//! - **p95/p99 rank load** — percentiles over the pooled `(phase, rank)`
+//!   load samples, the service-latency proxy;
+//! - **mean imbalance** — the paper's `I` averaged over phases, to keep
+//!   the new numbers anchored to the old ones.
+//!
+//! Percentiles use the nearest-rank method on a `total_cmp` sort, so
+//! results are deterministic for any input order of equal values.
+
+/// Accumulates per-rank load vectors, one per phase.
+#[derive(Clone, Debug, Default)]
+pub struct TailAccumulator {
+    /// All pooled `(phase, rank)` load samples.
+    samples: Vec<f64>,
+    /// Per-phase maximum rank load.
+    phase_max: Vec<f64>,
+    /// Per-phase imbalance `I`.
+    phase_imbalance: Vec<f64>,
+}
+
+/// The digest of a finished [`TailAccumulator`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TailSummary {
+    /// Phases ingested.
+    pub phases: usize,
+    /// `max_p max_r ℓ(p, r)` — the single worst phase.
+    pub max_phase_time: f64,
+    /// `Σ_p max_r ℓ(p, r)` — bulk-synchronous makespan over the run.
+    pub sum_of_max: f64,
+    /// 95th-percentile rank load over all `(phase, rank)` samples.
+    pub p95_rank_load: f64,
+    /// 99th-percentile rank load over all `(phase, rank)` samples.
+    pub p99_rank_load: f64,
+    /// The paper's `I`, averaged over phases.
+    pub mean_imbalance: f64,
+}
+
+impl TailAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of phases ingested so far.
+    pub fn phases(&self) -> usize {
+        self.phase_max.len()
+    }
+
+    /// Ingest one phase's per-rank loads.
+    pub fn record_phase(&mut self, rank_loads: &[f64]) {
+        assert!(!rank_loads.is_empty(), "a phase needs at least one rank");
+        let max = rank_loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let avg = rank_loads.iter().sum::<f64>() / rank_loads.len() as f64;
+        self.phase_max.push(max);
+        self.phase_imbalance
+            .push(if avg > 0.0 { max / avg - 1.0 } else { 0.0 });
+        self.samples.extend_from_slice(rank_loads);
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`) over the pooled samples.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Nearest-rank: the ⌈q·N⌉-th smallest sample (1-indexed).
+        let n = sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        sorted[idx]
+    }
+
+    /// Close out the run and digest.
+    pub fn summary(&self) -> TailSummary {
+        let phases = self.phase_max.len();
+        TailSummary {
+            phases,
+            max_phase_time: self.phase_max.iter().copied().fold(0.0f64, f64::max),
+            sum_of_max: self.phase_max.iter().sum(),
+            p95_rank_load: self.percentile(0.95),
+            p99_rank_load: self.percentile(0.99),
+            mean_imbalance: if phases == 0 {
+                0.0
+            } else {
+                self.phase_imbalance.iter().sum::<f64>() / phases as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_phase_digest_is_exact() {
+        let mut acc = TailAccumulator::new();
+        acc.record_phase(&[1.0, 3.0, 2.0]);
+        let s = acc.summary();
+        assert_eq!(s.phases, 1);
+        assert_eq!(s.max_phase_time, 3.0);
+        assert_eq!(s.sum_of_max, 3.0);
+        assert_eq!(s.p99_rank_load, 3.0);
+        assert!((s.mean_imbalance - 0.5).abs() < 1e-12); // 3/2 − 1
+    }
+
+    #[test]
+    fn max_phase_and_sum_of_max_track_phases() {
+        let mut acc = TailAccumulator::new();
+        acc.record_phase(&[1.0, 2.0]);
+        acc.record_phase(&[5.0, 1.0]);
+        acc.record_phase(&[3.0, 3.0]);
+        let s = acc.summary();
+        assert_eq!(s.max_phase_time, 5.0);
+        assert_eq!(s.sum_of_max, 10.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut acc = TailAccumulator::new();
+        // 100 samples: 1..=100, one per "rank".
+        let loads: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        acc.record_phase(&loads);
+        assert_eq!(acc.percentile(0.95), 95.0);
+        assert_eq!(acc.percentile(0.99), 99.0);
+        assert_eq!(acc.percentile(1.0), 100.0);
+        assert_eq!(acc.percentile(0.0), 1.0); // clamped to the smallest
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let mut a = TailAccumulator::new();
+        let mut b = TailAccumulator::new();
+        a.record_phase(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        b.record_phase(&[5.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.percentile(0.9), b.percentile(0.9));
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn empty_accumulator_digests_to_zeros() {
+        let s = TailAccumulator::new().summary();
+        assert_eq!(s.phases, 0);
+        assert_eq!(s.max_phase_time, 0.0);
+        assert_eq!(s.sum_of_max, 0.0);
+        assert_eq!(s.p99_rank_load, 0.0);
+        assert_eq!(s.mean_imbalance, 0.0);
+    }
+
+    #[test]
+    fn zero_average_phase_counts_as_balanced() {
+        let mut acc = TailAccumulator::new();
+        acc.record_phase(&[0.0, 0.0]);
+        assert_eq!(acc.summary().mean_imbalance, 0.0);
+    }
+}

@@ -44,6 +44,7 @@ use crate::reliable::ReliableStats;
 use crate::sim::{NetworkModel, SimReport, Simulator};
 use tempered_core::balancer::{LoadBalancer, RebalanceResult};
 use tempered_core::distribution::Distribution;
+use tempered_core::forecast::{ForecastBank, Holt};
 use tempered_core::ids::RankId;
 use tempered_core::refine::net_migrations;
 use tempered_core::rng::RngFactory;
@@ -293,6 +294,117 @@ impl LoadBalancer for DistributedGrapevineLb {
     }
 }
 
+/// Shared rebalance path of the *predictive* distributed adapters:
+/// observe the phase into the forecast bank, run the unchanged
+/// asynchronous protocol on the forecast distribution (same engine,
+/// same transports — the protocol cannot tell predicted loads from
+/// measured ones), and restate the committed placement in observed-load
+/// units.
+fn rebalance_distributed_predictive(
+    bank: &mut ForecastBank<Holt>,
+    dist: &Distribution,
+    cfg: LbProtocolConfig,
+    model: NetworkModel,
+    factory: &RngFactory,
+    epoch: u64,
+) -> RebalanceResult {
+    bank.observe_epoch(epoch, dist);
+    let forecast = bank.forecast(dist);
+    let proposed = rebalance_distributed(&forecast, cfg, model, factory, epoch);
+    let migrations = net_migrations(dist, &proposed.distribution);
+    let mut distribution = dist.clone();
+    distribution
+        .apply(&migrations)
+        .expect("net migrations against the input are consistent");
+    RebalanceResult {
+        initial_imbalance: dist.imbalance(),
+        final_imbalance: distribution.imbalance(),
+        messages_sent: proposed.messages_sent,
+        migrations,
+        distribution,
+    }
+}
+
+/// [`LoadBalancer`] adapter: TemperedLB through the full asynchronous
+/// protocol, fed Holt per-task forecasts in place of last-phase loads
+/// (see `tempered_core::forecast`). The protocol stack is the stock
+/// one — only the loads handed to [`run_distributed_lb`] differ.
+#[derive(Clone, Debug, Default)]
+pub struct DistributedPredictiveTemperedLb {
+    /// Protocol knobs.
+    pub config: LbProtocolConfig,
+    /// Network latency model for the simulated interconnect.
+    pub model: NetworkModel,
+    /// Per-task forecast state, accumulated across invocations.
+    pub bank: ForecastBank<Holt>,
+}
+
+impl LoadBalancer for DistributedPredictiveTemperedLb {
+    fn name(&self) -> &'static str {
+        "DistPredTemperedLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        factory: &RngFactory,
+        epoch: u64,
+    ) -> RebalanceResult {
+        rebalance_distributed_predictive(
+            &mut self.bank,
+            dist,
+            self.config,
+            self.model,
+            factory,
+            epoch,
+        )
+    }
+}
+
+/// [`LoadBalancer`] adapter: GrapevineLB through the full asynchronous
+/// protocol, fed Holt per-task forecasts.
+#[derive(Clone, Debug)]
+pub struct DistributedPredictiveGrapevineLb {
+    /// Protocol knobs (defaults to [`LbProtocolConfig::grapevine`]).
+    pub config: LbProtocolConfig,
+    /// Network latency model for the simulated interconnect.
+    pub model: NetworkModel,
+    /// Per-task forecast state, accumulated across invocations.
+    pub bank: ForecastBank<Holt>,
+}
+
+impl Default for DistributedPredictiveGrapevineLb {
+    fn default() -> Self {
+        DistributedPredictiveGrapevineLb {
+            config: LbProtocolConfig::grapevine(),
+            model: NetworkModel::default(),
+            bank: ForecastBank::new(Holt::default()),
+        }
+    }
+}
+
+impl LoadBalancer for DistributedPredictiveGrapevineLb {
+    fn name(&self) -> &'static str {
+        "DistPredGrapevineLB"
+    }
+
+    fn rebalance(
+        &mut self,
+        dist: &Distribution,
+        factory: &RngFactory,
+        epoch: u64,
+    ) -> RebalanceResult {
+        rebalance_distributed_predictive(
+            &mut self.bank,
+            dist,
+            self.config,
+            self.model,
+            factory,
+            epoch,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +638,70 @@ mod tests {
         let out = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(1));
         assert_eq!(out.tasks_migrated, 0);
         assert_eq!(out.distribution.num_tasks(), 3);
+    }
+
+    /// The predictive adapter over a constant workload is its
+    /// persistence twin: a fresh bank (and, after observation, a
+    /// zero-innovation Holt state) forecasts the observed loads
+    /// bit-exactly, so the unchanged protocol sees identical inputs and
+    /// commits the identical assignment.
+    #[test]
+    fn predictive_adapter_matches_twin_on_constant_workload() {
+        let dist = concentrated(16, 2, 20);
+        let factory = RngFactory::new(2);
+        let mut twin = DistributedTemperedLb {
+            config: quick_cfg(),
+            model: NetworkModel::default(),
+        };
+        let mut pred = DistributedPredictiveTemperedLb {
+            config: quick_cfg(),
+            model: NetworkModel::default(),
+            bank: ForecastBank::default(),
+        };
+        for epoch in 0..3 {
+            let a = twin.rebalance(&dist, &factory, epoch);
+            let b = pred.rebalance(&dist, &factory, epoch);
+            for r in dist.rank_ids() {
+                let key = |d: &Distribution| {
+                    let mut ts: Vec<(u64, u64)> = d
+                        .tasks_on(r)
+                        .iter()
+                        .map(|t| (t.id.as_u64(), t.load.get().to_bits()))
+                        .collect();
+                    ts.sort_unstable();
+                    ts
+                };
+                assert_eq!(
+                    key(&a.distribution),
+                    key(&b.distribution),
+                    "epoch {epoch}, rank {r}: constant workload must be bit-identical"
+                );
+            }
+        }
+    }
+
+    /// On a drifting workload the predictive adapter still conserves
+    /// tasks and load, and its migrations replay onto the input.
+    #[test]
+    fn predictive_adapter_is_consistent_under_drift() {
+        use tempered_core::ids::TaskId;
+        use tempered_core::load::Load;
+        let mut dist = concentrated(8, 2, 15);
+        let factory = RngFactory::new(6);
+        let mut pred = DistributedPredictiveGrapevineLb::default();
+        for epoch in 0..3u64 {
+            let r = pred.rebalance(&dist, &factory, epoch);
+            let mut replay = dist.clone();
+            replay.apply(&r.migrations).unwrap();
+            assert_eq!(replay.num_tasks(), r.distribution.num_tasks());
+            assert!(r.distribution.total_load().approx_eq(dist.total_load()));
+            dist = r.distribution;
+            for t in 0..dist.num_tasks() as u64 {
+                let old = dist.load_of(TaskId::new(t)).unwrap().get();
+                dist.set_load(TaskId::new(t), Load::new(old * 1.5 + 0.25))
+                    .unwrap();
+            }
+        }
     }
 
     #[test]

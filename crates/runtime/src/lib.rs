@@ -55,7 +55,8 @@ pub use fault::{
 pub use health::{HealthConfig, HealthDetector};
 pub use lb::{
     run_distributed_lb, run_distributed_lb_traced, run_distributed_lb_with_faults, run_local_lb,
-    DistLbResult, DistributedGrapevineLb, DistributedTemperedLb, GossipEngine, LbProtocolConfig,
+    DistLbResult, DistributedGrapevineLb, DistributedPredictiveGrapevineLb,
+    DistributedPredictiveTemperedLb, DistributedTemperedLb, GossipEngine, LbProtocolConfig,
     LocalLbResult, PartitionConfig,
 };
 pub use membership::View;

@@ -1,0 +1,50 @@
+//! # tempered-svc
+//!
+//! A synthetic "millions of users" request-serving workload for the
+//! TemperedLB stack (ROADMAP item 3): tasks are user-session shards
+//! whose loads evolve under composable generators — diurnal sinusoids,
+//! flash crowds, Zipf hot-key skew, session churn — the regime where
+//! the paper's *principle of persistence* degrades and forecast-driven
+//! balancing (Boulmier et al., PAPERS.md) pays off.
+//!
+//! Three layers:
+//!
+//! - [`workload`] — pure-function load generators: `ℓ(shard, phase)` is
+//!   reproducible from the scenario description alone, on any driver,
+//!   and dyadically quantized so cross-driver comparisons are bit-exact;
+//! - [`scenario`] — named scenario constructors ([`SvcScenario`]) and
+//!   the phase-measurement update (`apply_phase`);
+//! - [`timeline`] — the multi-phase harness racing persistence against
+//!   predictive balancers and digesting tail metrics
+//!   ([`tempered_obs::tail`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tempered_svc::prelude::*;
+//!
+//! let scenario = SvcScenario::flash_crowd(8, 16, 24, 42);
+//! let cfg = SvcTimelineConfig::new(scenario, SvcBalancerKind::PredictiveTempered, 42);
+//! let t = run_svc_timeline(&cfg);
+//! assert!(t.lb_invocations > 0);
+//! // Phases minus the default tail warmup of 2.
+//! assert_eq!(t.tail.phases, 22);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod scenario;
+pub mod timeline;
+pub mod workload;
+
+pub use scenario::SvcScenario;
+pub use timeline::{run_svc_timeline, SvcBalancerKind, SvcTimeline, SvcTimelineConfig};
+pub use workload::{quantize, LoadGen, Workload, LOAD_QUANTUM};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::scenario::SvcScenario;
+    pub use crate::timeline::{run_svc_timeline, SvcBalancerKind, SvcTimeline, SvcTimelineConfig};
+    pub use crate::workload::{quantize, LoadGen, Workload, LOAD_QUANTUM};
+}
