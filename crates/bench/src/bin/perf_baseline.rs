@@ -1,6 +1,6 @@
 //! Perf baseline: time the distributed LB protocol on the deterministic
-//! simulator at a few rank counts and emit `results/BENCH_lb.json` —
-//! the first point of the perf trajectory the ROADMAP asks for, so
+//! simulator and emit the repo-root `BENCH_lb.json` plus
+//! `results/scaling.csv` — the perf trajectory the ROADMAP asks for, so
 //! hot-path work has a number to move and regressions have a number to
 //! trip.
 //!
@@ -13,6 +13,20 @@
 //! Alongside wall time it records the modeled cost (messages, bytes,
 //! events, virtual makespan), which must be *identical* run to run:
 //! any drift there is a determinism bug, and the binary fails loudly.
+//!
+//! After the grid, a single-repeat scaling sweep pushes the headline
+//! configuration (hotspot/tempered, hardened) through 256 → 1k → 8k →
+//! 32k ranks, recording wall clock per modeled millisecond and the
+//! process memory high-water mark — the curve behind the "toward 100k
+//! ranks" claim. `TEMPERED_SCALE_MAX=<ranks>` caps the sweep.
+//!
+//! Note on the 16-rank `svc_flash`/`grapevine` row: final imbalance
+//! equals initial by design, not by accident. Grapevine's overloaded
+//! ranks do propose transfers, but uncoordinated senders acting on
+//! stale estimates overshoot the same few recipients, so no proposal
+//! improves the max and the strict-improvement commit gate keeps the
+//! original placement (the paper's motivating failure mode; tempered
+//! breaks it). Pinned by `crates/svc/tests/grapevine_stall.rs`.
 //!
 //! Run with: `cargo run --release -p tempered-bench --bin perf_baseline`
 //! (`TEMPERED_QUICK=1` shrinks the rank counts for smoke testing).
@@ -84,6 +98,74 @@ struct Cell {
     out: DistLbResult,
 }
 
+/// Process memory high-water mark from `/proc/self/status`, in KiB.
+/// Cumulative over the process lifetime, so sweep rows run in ascending
+/// rank order and the per-row growth is what carries the signal.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+struct SweepRow {
+    ranks: usize,
+    tasks: usize,
+    wall_ms: f64,
+    virtual_ms: f64,
+    messages: u64,
+    bytes: u64,
+    events: u64,
+    hwm_kb: u64,
+}
+
+/// Scaling sweep: the headline configuration (hotspot/tempered,
+/// hardened reliable delivery) at rank counts well past the grid, one
+/// repeat each — the shape of the curve matters here, not ±5% noise.
+fn scaling_sweep() -> Vec<SweepRow> {
+    let cap: usize = std::env::var("TEMPERED_SCALE_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if tempered_bench::quick_mode() {
+            256
+        } else {
+            32_768
+        });
+    let cfg = config("tempered");
+    let mut rows = Vec::new();
+    for &ranks in &[256usize, 1024, 8192, 32_768] {
+        if ranks > cap {
+            break;
+        }
+        let hot = (ranks / 8).max(2);
+        let dist = concentrated(ranks, hot, 40);
+        let t0 = Instant::now();
+        let out = run_distributed_lb(&dist, cfg, NetworkModel::default(), &RngFactory::new(SEED));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.degraded_ranks, 0, "fault-free sweep must not degrade");
+        let row = SweepRow {
+            ranks,
+            tasks: dist.num_tasks(),
+            wall_ms,
+            virtual_ms: out.report.finish_time * 1e3,
+            messages: out.report.network.messages,
+            bytes: out.report.network.bytes,
+            events: out.report.events_delivered,
+            hwm_kb: vm_hwm_kb(),
+        };
+        println!(
+            "  scale ranks={:<6} wall={:>9.1}ms virtual={:>8.3}ms msgs={} hwm={}KiB",
+            row.ranks, row.wall_ms, row.virtual_ms, row.messages, row.hwm_kb
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 fn main() {
     let rank_counts: &[usize] = if tempered_bench::quick_mode() {
         &[8, 16]
@@ -142,6 +224,8 @@ fn main() {
         }
     }
 
+    let sweep = scaling_sweep();
+
     // Hand-rolled JSON (the vendored serde has no formats behind it),
     // one object per cell under a stable schema.
     let mut json = String::from("{\n");
@@ -179,6 +263,48 @@ fn main() {
         );
         json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n  \"scaling\": [\n");
+    for (i, s) in sweep.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"ranks\": {}, \"tasks\": {}, \"wall_ms\": {:.3}, \"virtual_ms\": {:.3}, \
+             \"wall_per_virtual_ms\": {:.3}, \"messages\": {}, \"bytes\": {}, \"events\": {}, \
+             \"vm_hwm_kb\": {}}}",
+            s.ranks,
+            s.tasks,
+            s.wall_ms,
+            s.virtual_ms,
+            s.wall_ms / s.virtual_ms,
+            s.messages,
+            s.bytes,
+            s.events,
+            s.hwm_kb,
+        );
+        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
-    write_results("BENCH_lb.json", &json);
+    // The benchmark of record lives at the repo root (CI diffs it);
+    // the sweep curve goes under results/ next to the other artifacts.
+    std::fs::write("BENCH_lb.json", &json).expect("write BENCH_lb.json");
+    println!("wrote BENCH_lb.json");
+
+    let mut csv = String::from(
+        "ranks,tasks,wall_ms,virtual_ms,wall_per_virtual_ms,messages,bytes,events,vm_hwm_kb\n",
+    );
+    for s in &sweep {
+        let _ = writeln!(
+            csv,
+            "{},{},{:.3},{:.3},{:.3},{},{},{},{}",
+            s.ranks,
+            s.tasks,
+            s.wall_ms,
+            s.virtual_ms,
+            s.wall_ms / s.virtual_ms,
+            s.messages,
+            s.bytes,
+            s.events,
+            s.hwm_kb,
+        );
+    }
+    write_results("scaling.csv", &csv);
 }

@@ -66,7 +66,7 @@ impl std::fmt::Display for CmfKind {
 /// let mut rng = RngFactory::new(1).rank_stream(b"doc", 0, 0);
 /// assert!(cmf.support().contains(&cmf.sample(&mut rng)));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Cmf {
     /// Candidate ranks with strictly positive weight, insertion-ordered.
     ranks: Vec<RankId>,
@@ -82,29 +82,42 @@ impl Cmf {
     /// capacity under the chosen scale. The transfer loop treats this as
     /// "no viable recipient" and stops proposing transfers.
     pub fn build(knowledge: &Knowledge, l_ave: Load, kind: CmfKind) -> Option<Cmf> {
+        let mut cmf = Cmf::default();
+        cmf.rebuild(knowledge, l_ave, kind).then_some(cmf)
+    }
+
+    /// Rebuild this CMF in place over `knowledge`, reusing the existing
+    /// buffers. Returns whether the support is non-empty (the in-place
+    /// analogue of [`Cmf::build`] returning `Some`); on `false` the CMF
+    /// must not be sampled.
+    ///
+    /// The weights and cumulative sums are computed in exactly the order
+    /// and arithmetic of [`Cmf::build`], so a rebuilt CMF is
+    /// bit-identical to a freshly built one — the transfer stage relies
+    /// on this to cache the CMF across candidates without perturbing
+    /// sampled targets.
+    pub fn rebuild(&mut self, knowledge: &Knowledge, l_ave: Load, kind: CmfKind) -> bool {
+        self.ranks.clear();
+        self.cumulative.clear();
         let l_s = match kind {
             CmfKind::Original => l_ave,
             CmfKind::Modified => knowledge.max_known_load().map_or(l_ave, |m| m.max(l_ave)),
         };
         if l_s.is_zero() {
-            return None;
+            return false;
         }
-        let mut ranks = Vec::with_capacity(knowledge.len());
-        let mut cumulative = Vec::with_capacity(knowledge.len());
+        self.ranks.reserve(knowledge.len());
+        self.cumulative.reserve(knowledge.len());
         let mut acc = 0.0f64;
         for (rank, load) in knowledge.entries() {
             let w = 1.0 - load.get() / l_s.get();
             if w > 0.0 {
                 acc += w;
-                ranks.push(rank);
-                cumulative.push(acc);
+                self.ranks.push(rank);
+                self.cumulative.push(acc);
             }
         }
-        if ranks.is_empty() {
-            None
-        } else {
-            Some(Cmf { ranks, cumulative })
-        }
+        !self.ranks.is_empty()
     }
 
     /// Number of selectable ranks.

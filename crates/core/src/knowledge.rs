@@ -7,24 +7,56 @@
 //! even though the remote rank is never consulted — this deliberate
 //! imprecision is a defining property of the protocol.
 //!
-//! `Knowledge` stores the set in insertion order with a side index, which
-//! gives (a) `O(1)` membership tests and load updates, and (b) a
+//! `Knowledge` stores the set in insertion order, which gives a
 //! *deterministic* iteration order for CMF construction — iterating a hash
 //! map here would make sampled transfer targets depend on hasher state and
-//! destroy run-to-run reproducibility.
+//! destroy run-to-run reproducibility. Membership is answered without any
+//! hashing: small sets (the common case under a gossip knowledge cap) are
+//! scanned linearly over the dense `ranks` array, and once a set outgrows
+//! [`SCAN_MAX`] a lazily-grown bitset takes over, sized by the highest
+//! rank id actually seen — so per-rank memory stays proportional to what
+//! the rank *knows*, not to the system size. Position lookups
+//! ([`Knowledge::load_of`], [`Knowledge::add_to_load`]) binary-search when
+//! the entries are in canonical rank order (the transfer stage always
+//! canonicalizes first) and fall back to a linear scan otherwise.
 
 use crate::ids::RankId;
 use crate::load::Load;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Sets up to this size answer membership by scanning the dense rank
+/// array; larger sets switch to the bitset. Scanning 32 × 4-byte ids is
+/// a handful of cache lines — cheaper than maintaining (and zeroing) a
+/// bitset for the many tiny knowledge sets gossip creates.
+const SCAN_MAX: usize = 32;
 
 /// A rank's accumulated view of underloaded peers (`S^p` + `LOAD^p()`).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Knowledge {
     ranks: Vec<RankId>,
     loads: Vec<Load>,
+    /// Membership bitset over rank ids; empty until `len > SCAN_MAX`,
+    /// then grown lazily to the highest member id. Rebuilt by
+    /// [`Knowledge::rebuild_index`] after deserialization.
     #[serde(skip)]
-    index: HashMap<RankId, usize>,
+    bits: Vec<u64>,
+    /// Whether `ranks` is in strictly ascending order. `true` after
+    /// [`Knowledge::canonicalize`] and preserved by in-order appends;
+    /// conservatively `false` after deserialization until
+    /// [`Knowledge::rebuild_index`] runs.
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Default for Knowledge {
+    fn default() -> Self {
+        Knowledge {
+            ranks: Vec::new(),
+            loads: Vec::new(),
+            bits: Vec::new(),
+            sorted: true,
+        }
+    }
 }
 
 impl Knowledge {
@@ -48,13 +80,41 @@ impl Knowledge {
     /// Whether `rank ∈ S^p`.
     #[inline]
     pub fn contains(&self, rank: RankId) -> bool {
-        self.index.contains_key(&rank)
+        if self.bits.is_empty() {
+            self.ranks.contains(&rank)
+        } else {
+            let i = rank.as_usize();
+            (i >> 6) < self.bits.len() && self.bits[i >> 6] & (1u64 << (i & 63)) != 0
+        }
+    }
+
+    /// Index of `rank` in the dense arrays, if known.
+    #[inline]
+    fn position(&self, rank: RankId) -> Option<usize> {
+        if !self.bits.is_empty() && !self.contains(rank) {
+            return None;
+        }
+        if self.sorted {
+            self.ranks.binary_search(&rank).ok()
+        } else {
+            self.ranks.iter().position(|&r| r == rank)
+        }
     }
 
     /// The locally-known load of `rank`, if known.
     #[inline]
     pub fn load_of(&self, rank: RankId) -> Option<Load> {
-        self.index.get(&rank).map(|&i| self.loads[i])
+        self.position(rank).map(|i| self.loads[i])
+    }
+
+    #[inline]
+    fn set_bit(&mut self, rank: RankId) {
+        let i = rank.as_usize();
+        let word = i >> 6;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1u64 << (i & 63);
     }
 
     /// Insert `rank ↦ load`; keeps the existing entry if already known
@@ -62,10 +122,21 @@ impl Knowledge {
     /// estimate updated during transfer must not be clobbered by a stale
     /// gossip copy).
     pub fn insert(&mut self, rank: RankId, load: Load) -> bool {
-        if self.index.contains_key(&rank) {
+        if self.contains(rank) {
             return false;
         }
-        self.index.insert(rank, self.ranks.len());
+        self.sorted = self.sorted && self.ranks.last().is_none_or(|&last| last < rank);
+        if !self.bits.is_empty() {
+            self.set_bit(rank);
+        } else if self.ranks.len() >= SCAN_MAX {
+            // Outgrew the scan threshold: build the bitset once, covering
+            // every existing member plus the newcomer.
+            for i in 0..self.ranks.len() {
+                let r = self.ranks[i];
+                self.set_bit(r);
+            }
+            self.set_bit(rank);
+        }
         self.ranks.push(rank);
         self.loads.push(load);
         true
@@ -85,8 +156,15 @@ impl Knowledge {
 
     /// Merge from raw `(rank, load)` pairs, e.g. a decoded gossip message.
     pub fn merge_pairs(&mut self, pairs: &[(RankId, Load)]) -> usize {
+        self.merge_from(pairs.iter().copied())
+    }
+
+    /// Merge from an iterator of `(rank, load)` pairs without
+    /// materializing them; same first-copy-wins semantics as
+    /// [`Knowledge::insert`].
+    pub fn merge_from(&mut self, pairs: impl IntoIterator<Item = (RankId, Load)>) -> usize {
         let mut added = 0;
-        for &(r, l) in pairs {
+        for (r, l) in pairs {
             if self.insert(r, l) {
                 added += 1;
             }
@@ -97,7 +175,7 @@ impl Knowledge {
     /// Update the local load estimate for a known rank (Algorithm 2
     /// line 12: `ℓ_x ← ℓ_x + LOAD(o_x)` after proposing a transfer).
     pub fn add_to_load(&mut self, rank: RankId, delta: Load) -> bool {
-        if let Some(&i) = self.index.get(&rank) {
+        if let Some(i) = self.position(rank) {
             self.loads[i] += delta;
             true
         } else {
@@ -132,7 +210,7 @@ impl Knowledge {
     }
 
     /// Re-order entries into ascending rank order (load estimates are
-    /// preserved) and rebuild the index.
+    /// preserved).
     ///
     /// Gossip accumulates entries in arrival order, which differs between
     /// the analysis-mode driver and the asynchronous runtime (and, there,
@@ -140,25 +218,34 @@ impl Knowledge {
     /// entries in order, both execution modes canonicalize to rank order
     /// before the transfer stage so that sampled transfer targets are a
     /// pure function of the knowledge *set*, not of message timing.
+    ///
+    /// Already-canonical knowledge (tracked by the `sorted` flag, the
+    /// steady state when the async engine re-canonicalizes every gossip
+    /// round) returns immediately.
     pub fn canonicalize(&mut self) {
+        if self.sorted {
+            return;
+        }
         let mut pairs: Vec<(RankId, Load)> = self.entries().collect();
         pairs.sort_unstable_by_key(|&(r, _)| r);
         for (i, (r, l)) in pairs.into_iter().enumerate() {
             self.ranks[i] = r;
             self.loads[i] = l;
-            self.index.insert(r, i);
         }
+        self.sorted = true;
     }
 
-    /// Rebuild the side index (needed after deserialization, where the
-    /// index is skipped).
+    /// Rebuild the membership structures (needed after deserialization,
+    /// where the bitset and sortedness flag are skipped).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .ranks
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| (r, i))
-            .collect();
+        self.bits.clear();
+        if self.ranks.len() > SCAN_MAX {
+            for i in 0..self.ranks.len() {
+                let r = self.ranks[i];
+                self.set_bit(r);
+            }
+        }
+        self.sorted = self.ranks.windows(2).all(|w| w[0] < w[1]);
     }
 }
 
@@ -176,7 +263,6 @@ impl FromIterator<(RankId, Load)> for Knowledge {
         let cap = hi.unwrap_or(lo);
         k.ranks.reserve(cap);
         k.loads.reserve(cap);
-        k.index.reserve(cap);
         for (r, l) in iter {
             k.insert(r, l);
         }
@@ -254,7 +340,7 @@ mod tests {
         a.canonicalize();
         let order: Vec<_> = a.entries().map(|(r, _)| r.as_u32()).collect();
         assert_eq!(order, vec![1, 5, 9]);
-        // Index still consistent after re-ordering:
+        // Lookups still consistent after re-ordering:
         assert_eq!(a.load_of(RankId::new(1)), Some(Load::new(2.5)));
         assert_eq!(a.load_of(RankId::new(9)), Some(Load::new(3.0)));
         assert!(a.add_to_load(RankId::new(5), Load::new(1.0)));
@@ -263,13 +349,69 @@ mod tests {
 
     #[test]
     fn rebuild_index_restores_membership() {
-        // Emulate the post-deserialization state (index is #[serde(skip)])
-        // by clearing the index and rebuilding it.
+        // Emulate the post-deserialization state (bits and sorted are
+        // #[serde(skip)]) by clearing them and rebuilding.
         let a = k(&[(4, 0.5), (2, 2.0)]);
         let mut c = a.clone();
-        c.index.clear();
+        c.bits.clear();
+        c.sorted = false;
         c.rebuild_index();
         assert!(c.contains(RankId::new(4)));
         assert_eq!(c.load_of(RankId::new(2)), Some(Load::new(2.0)));
+    }
+
+    #[test]
+    fn bitset_upgrade_preserves_membership_and_order() {
+        // Cross the SCAN_MAX threshold with shuffled high rank ids: the
+        // lazily-built bitset must answer membership for every member and
+        // nothing else, and insertion order must be untouched.
+        let ids: Vec<u32> = (0..(SCAN_MAX as u32 + 20))
+            .map(|i| (i * 37) % 997)
+            .collect();
+        let mut a = Knowledge::new();
+        for &r in &ids {
+            assert!(a.insert(RankId::new(r), Load::new(f64::from(r) * 0.25)));
+        }
+        assert_eq!(a.len(), ids.len());
+        let order: Vec<u32> = a.entries().map(|(r, _)| r.as_u32()).collect();
+        assert_eq!(order, ids);
+        for &r in &ids {
+            assert!(a.contains(RankId::new(r)));
+            assert!(!a.insert(RankId::new(r), Load::new(0.0)), "dup accepted");
+            assert_eq!(
+                a.load_of(RankId::new(r)),
+                Some(Load::new(f64::from(r) * 0.25))
+            );
+        }
+        assert!(!a.contains(RankId::new(998)));
+        assert_eq!(a.load_of(RankId::new(998)), None);
+        // Canonicalize on the upgraded set: lookups switch to binary
+        // search and must agree.
+        a.canonicalize();
+        for &r in &ids {
+            assert_eq!(
+                a.load_of(RankId::new(r)),
+                Some(Load::new(f64::from(r) * 0.25))
+            );
+        }
+    }
+
+    #[test]
+    fn in_order_appends_keep_canonical_order_cheap() {
+        let mut a = Knowledge::new();
+        for r in [1u32, 3, 7] {
+            a.insert(RankId::new(r), Load::new(1.0));
+        }
+        // Appends were in ascending rank order, so canonicalize is a
+        // no-op and binary-search lookups are already valid.
+        a.canonicalize();
+        assert_eq!(a.load_of(RankId::new(3)), Some(Load::new(1.0)));
+        // An out-of-order append drops back to scan lookups until the
+        // next canonicalize.
+        a.insert(RankId::new(2), Load::new(0.5));
+        assert_eq!(a.load_of(RankId::new(2)), Some(Load::new(0.5)));
+        a.canonicalize();
+        let order: Vec<u32> = a.entries().map(|(r, _)| r.as_u32()).collect();
+        assert_eq!(order, vec![1, 2, 3, 7]);
     }
 }

@@ -114,12 +114,16 @@ pub fn transfer_stage(
     // Line 3: traversal order.
     let order = cfg.ordering.order_tasks(tasks, l_ave, l_p);
 
-    // Line 5: original behaviour builds the CMF once, before the loop.
-    let mut cmf: Option<Cmf> = if cfg.recompute_cmf {
-        None
-    } else {
-        Cmf::build(knowledge, l_ave, cfg.cmf)
-    };
+    // Line 5 / line 7: the CMF is a pure function of (knowledge, l_ave,
+    // cfg.cmf), and knowledge changes only when a proposal is accepted
+    // (line 12), so the per-candidate rebuild of the modified behaviour
+    // (§V-A change 3) only has real work to do after an acceptance. The
+    // rebuild reuses one scratch CMF and produces bit-identical floats,
+    // so sampled targets and RNG consumption match a naive per-candidate
+    // `Cmf::build` exactly.
+    let mut cmf = Cmf::default();
+    let mut viable = cmf.rebuild(knowledge, l_ave, cfg.cmf);
+    let mut stale = false;
 
     let threshold = l_ave * cfg.threshold_h;
     let mut n = 0usize;
@@ -127,14 +131,16 @@ pub fn transfer_stage(
     while l_p > threshold && n < order.len() {
         // Line 7: modified behaviour rebuilds the CMF each candidate so
         // the updated local estimates are reflected.
-        if cfg.recompute_cmf {
-            cmf = Cmf::build(knowledge, l_ave, cfg.cmf);
+        if cfg.recompute_cmf && stale {
+            viable = cmf.rebuild(knowledge, l_ave, cfg.cmf);
+            stale = false;
         }
-        let Some(f) = cmf.as_ref() else {
+        if !viable {
             // No viable recipient under the current estimates: nothing
             // this rank can do until the next gossip refresh.
             break;
-        };
+        }
+        let f = &cmf;
         let o_x = order[n];
         // Line 9: sample the recipient.
         let p_x = f.sample(rng);
@@ -154,6 +160,7 @@ pub fn transfer_stage(
         if cfg.criterion.evaluate(l_x, o_x.load, l_ave, l_p) {
             // Lines 12–16: update local estimates and record the proposal.
             knowledge.add_to_load(p_x, o_x.load);
+            stale = true;
             l_p -= o_x.load;
             outcome.proposals.push(Migration {
                 task: o_x.id,

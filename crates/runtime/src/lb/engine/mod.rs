@@ -375,6 +375,12 @@ impl GossipEngine {
         out
     }
 
+    /// [`GossipEngine::on_message`] variant appending into a caller-owned
+    /// buffer, letting hot drivers reuse one allocation across messages.
+    pub fn on_message_into(&mut self, out: &mut Vec<Command>, from: RankId, msg: LbMsg) {
+        self.receive(out, from, msg);
+    }
+
     /// Abandon the protocol (driver-detected delivery failure: retry
     /// budget exhausted or stage deadline missed). Before commit the rank
     /// reverts to its input tasks — the only assignment it can adopt
@@ -1174,7 +1180,7 @@ mod tests {
             LbMsg::Gossip {
                 epoch: 1,
                 round: 1,
-                pairs: vec![],
+                pairs: vec![].into(),
             },
         );
         assert!(cmds.is_empty());

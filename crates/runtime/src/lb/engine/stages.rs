@@ -74,7 +74,7 @@ pub(super) struct GossipState {
     pub(super) rng: SmallRng,
 }
 
-fn pairs_of(k: &Knowledge) -> Vec<(RankId, f64)> {
+fn pairs_of(k: &Knowledge) -> std::sync::Arc<[(RankId, f64)]> {
     k.entries().map(|(r, l)| (r, l.get())).collect()
 }
 
@@ -196,14 +196,15 @@ impl GossipEngine {
         self.replay_buffered(out);
     }
 
-    pub(super) fn on_gossip(&mut self, round: u32, pairs: Vec<(RankId, f64)>) {
+    pub(super) fn on_gossip(&mut self, round: u32, pairs: std::sync::Arc<[(RankId, f64)]>) {
         self.det.on_basic_recv();
         match &mut self.state {
             StageState::Gossip(gs) => {
                 debug_assert_eq!(round, gs.round);
-                let typed: Vec<(RankId, Load)> =
-                    pairs.iter().map(|&(r, l)| (r, Load::new(l))).collect();
-                if gs.knowledge.merge_pairs(&typed) > 0 {
+                let merged = gs
+                    .knowledge
+                    .merge_from(pairs.iter().map(|&(r, l)| (r, Load::new(l))));
+                if merged > 0 {
                     gs.grew = true;
                 }
             }

@@ -126,6 +126,16 @@ impl LbWire {
     /// single flipped bit changes the checksum (CRC32 detects all
     /// single-bit errors), which the corruption fault model relies on.
     pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// [`LbWire::encode`] into a caller-owned buffer: appends the frame
+    /// bytes without clearing, so framing layers can lay headers and
+    /// payload into one allocation (see the socket driver's
+    /// `encode_frame`) and hot loops can reuse a scratch buffer.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
         fn u32le(b: &mut Vec<u8>, v: u32) {
             b.extend_from_slice(&v.to_le_bytes());
         }
@@ -161,7 +171,7 @@ impl LbWire {
                     u64le(b, *epoch);
                     u32le(b, *round);
                     u32le(b, pairs.len() as u32);
-                    for (r, load) in pairs {
+                    for (r, load) in pairs.iter() {
                         u32le(b, r.as_u32());
                         f64le(b, *load);
                     }
@@ -232,43 +242,41 @@ impl LbWire {
                 }
             }
         }
-        let mut b = Vec::new();
         match self {
             LbWire::Raw(m) => {
                 b.push(0x20);
-                msg(&mut b, m);
+                msg(b, m);
             }
             LbWire::Data { seq, msg: m } => {
                 b.push(0x21);
-                u64le(&mut b, *seq);
-                msg(&mut b, m);
+                u64le(b, *seq);
+                msg(b, m);
             }
             LbWire::Ack { seq } => {
                 b.push(0x22);
-                u64le(&mut b, *seq);
+                u64le(b, *seq);
             }
             LbWire::Heartbeat => b.push(0x23),
             LbWire::Damaged { crc, bytes } => {
                 b.push(0x24);
-                u32le(&mut b, *crc);
+                u32le(b, *crc);
                 b.extend_from_slice(bytes);
             }
             LbWire::RetryTimer { to, seq } => {
                 b.push(0x25);
-                u32le(&mut b, to.as_u32());
-                u64le(&mut b, *seq);
+                u32le(b, to.as_u32());
+                u64le(b, *seq);
             }
             LbWire::StageTimer { stage_seq } => {
                 b.push(0x26);
-                u64le(&mut b, *stage_seq);
+                u64le(b, *stage_seq);
             }
             LbWire::HeartbeatTimer => b.push(0x27),
             LbWire::ParkTimer { park_seq } => {
                 b.push(0x28);
-                u64le(&mut b, *park_seq);
+                u64le(b, *park_seq);
             }
         }
-        b
     }
 
     /// Decode a frame from its canonical encoding — the exact inverse of
@@ -590,7 +598,10 @@ pub enum LbMsg {
         /// Message round `r`.
         round: u32,
         /// `(rank, load)` pairs — the sender's `S` and `LOAD()` snapshot.
-        pairs: Vec<(RankId, f64)>,
+        /// Shared (`Arc`) because one snapshot fans out to several gossip
+        /// targets and into the retransmission buffer: cloning the frame
+        /// must not copy the pair list.
+        pairs: std::sync::Arc<[(RankId, f64)]>,
     },
     /// Proposed (lazy) transfers: the recipient becomes the logical owner
     /// for subsequent iterations without any data movement.
@@ -719,7 +730,7 @@ mod tests {
             LbMsg::Gossip {
                 epoch: 3,
                 round: 1,
-                pairs: vec![]
+                pairs: vec![].into()
             }
             .basic_epoch(),
             Some(3)
@@ -806,7 +817,7 @@ mod tests {
             msg: LbMsg::Gossip {
                 epoch: 1,
                 round: 2,
-                pairs: vec![(RankId::new(3), 0.5)],
+                pairs: vec![(RankId::new(3), 0.5)].into(),
             },
         };
         assert_eq!(a.encode(), a.encode());
@@ -816,7 +827,7 @@ mod tests {
             msg: LbMsg::Gossip {
                 epoch: 1,
                 round: 2,
-                pairs: vec![(RankId::new(3), 0.5)],
+                pairs: vec![(RankId::new(3), 0.5)].into(),
             },
         };
         assert_ne!(a.checksum(), b.checksum(), "seq is covered by the crc");
@@ -907,7 +918,7 @@ mod tests {
             LbMsg::Gossip {
                 epoch: 1,
                 round: 2,
-                pairs: vec![(RankId::new(3), 0.5), (RankId::new(0), f64::INFINITY)],
+                pairs: vec![(RankId::new(3), 0.5), (RankId::new(0), f64::INFINITY)].into(),
             },
             LbMsg::Propose {
                 epoch: 3,
@@ -1032,12 +1043,12 @@ mod tests {
         let small = LbMsg::Gossip {
             epoch: 0,
             round: 0,
-            pairs: vec![],
+            pairs: vec![].into(),
         };
         let big = LbMsg::Gossip {
             epoch: 0,
             round: 0,
-            pairs: vec![(RankId::new(0), 1.0); 100],
+            pairs: vec![(RankId::new(0), 1.0); 100].into(),
         };
         assert!(big.wire_bytes() > small.wire_bytes());
         assert_eq!(big.wire_bytes() - small.wire_bytes(), 1200);

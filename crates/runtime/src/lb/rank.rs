@@ -61,6 +61,13 @@ pub struct LbRank {
     parked_seen: bool,
     park_seq: u64,
 
+    // Reusable scratch buffers for the per-message hot path: transport
+    // actions and engine commands are drained in place instead of
+    // allocating a fresh `Vec` per delivered message.
+    scratch_actions: Vec<TxAction>,
+    scratch_tx: Vec<TxAction>,
+    scratch_cmds: Vec<Command>,
+
     // Observability.
     rec: Recorder,
     /// Currently open stage/round span: `(start ts, kind)`. Closed (and
@@ -90,6 +97,9 @@ impl LbRank {
             fenced: BTreeSet::new(),
             parked_seen: false,
             park_seq: 0,
+            scratch_actions: Vec::new(),
+            scratch_tx: Vec::new(),
+            scratch_cmds: Vec::new(),
             rec: Recorder::disabled(),
             open_span: None,
         }
@@ -313,9 +323,9 @@ impl LbRank {
             );
         }
         let set: BTreeSet<RankId> = dead.iter().copied().collect();
-        let commands = self.engine.on_view(&set);
+        let mut commands = self.engine.on_view(&set);
         self.apply_view(ctx.now());
-        self.run_commands(ctx, commands);
+        self.run_commands(ctx, &mut commands);
         self.sync_park(ctx);
     }
 
@@ -378,8 +388,8 @@ impl LbRank {
 
     // ---- command / action interpreters -----------------------------------
 
-    fn apply_actions(&mut self, ctx: &mut Ctx<'_, LbWire>, actions: Vec<TxAction>) {
-        for action in actions {
+    fn apply_actions(&mut self, ctx: &mut Ctx<'_, LbWire>, actions: &mut Vec<TxAction>) {
+        for action in actions.drain(..) {
             match action {
                 TxAction::Wire { to, wire, bytes } => ctx.send(to, wire, bytes),
                 TxAction::Timer { delay, wire } => ctx.schedule(delay, wire),
@@ -387,8 +397,8 @@ impl LbRank {
         }
     }
 
-    fn run_commands(&mut self, ctx: &mut Ctx<'_, LbWire>, commands: Vec<Command>) {
-        for command in commands {
+    fn run_commands(&mut self, ctx: &mut Ctx<'_, LbWire>, commands: &mut Vec<Command>) {
+        for command in commands.drain(..) {
             match command {
                 Command::Send { to, msg } => {
                     if self.fenced.contains(&to) {
@@ -401,9 +411,10 @@ impl LbRank {
                         ctx.send(to, LbWire::Raw(msg), bytes);
                         continue;
                     }
-                    let mut actions = Vec::new();
+                    let mut actions = std::mem::take(&mut self.scratch_tx);
                     self.transport.send(to, msg, &mut actions);
-                    self.apply_actions(ctx, actions);
+                    self.apply_actions(ctx, &mut actions);
+                    self.scratch_tx = actions;
                 }
                 Command::AdvanceEpoch { .. } => {
                     // Informational; epoch discipline is internal to the
@@ -434,8 +445,8 @@ impl Protocol for LbRank {
             self.health = Some(HealthDetector::new(self.me, self.num_ranks, hc, ctx.now()));
             ctx.schedule(hc.period, LbWire::HeartbeatTimer);
         }
-        let commands = self.engine.start();
-        self.run_commands(ctx, commands);
+        let mut commands = self.engine.start();
+        self.run_commands(ctx, &mut commands);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, LbWire>, from: RankId, wire: LbWire) {
@@ -463,8 +474,8 @@ impl Protocol for LbRank {
         // un-parked (or re-parked) us since the timer was armed.
         if let LbWire::ParkTimer { park_seq } = wire {
             if !self.done && self.parked_seen && park_seq == self.park_seq {
-                let commands = self.engine.finish_parked();
-                self.run_commands(ctx, commands);
+                let mut commands = self.engine.finish_parked();
+                self.run_commands(ctx, &mut commands);
             }
             return;
         }
@@ -507,10 +518,11 @@ impl Protocol for LbRank {
         if matches!(wire, LbWire::Heartbeat) {
             return;
         }
-        let mut actions = Vec::new();
-        match self.transport.receive(from, wire, &mut actions) {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let rx = self.transport.receive(from, wire, &mut actions);
+        match rx {
             RxEvent::Deliver(msg) => {
-                self.apply_actions(ctx, actions);
+                self.apply_actions(ctx, &mut actions);
                 // Self-death valve: a View naming *this* rank dead means
                 // some component fenced us out and moved on (we were
                 // warm-restarted, falsely suspected during a long stall,
@@ -525,8 +537,8 @@ impl Protocol for LbRank {
                             // crossing flood from before a heal that
                             // already re-admitted us.
                             if *base >= self.engine.view().base_gen() {
-                                let commands = self.engine.park_self();
-                                self.run_commands(ctx, commands);
+                                let mut commands = self.engine.park_self();
+                                self.run_commands(ctx, &mut commands);
                                 self.sync_park(ctx);
                             }
                         } else {
@@ -534,16 +546,20 @@ impl Protocol for LbRank {
                             // disrupt the survivors' new view.
                             self.degrade(ctx.now());
                         }
+                        self.scratch_actions = actions;
                         return;
                     }
                 }
-                let commands = self.engine.on_message(from, msg);
+                let mut commands = std::mem::take(&mut self.scratch_cmds);
+                self.engine.on_message_into(&mut commands, from, msg);
                 self.apply_view(ctx.now());
-                self.run_commands(ctx, commands);
+                self.run_commands(ctx, &mut commands);
+                commands.clear();
+                self.scratch_cmds = commands;
                 self.sync_park(ctx);
             }
             RxEvent::Duplicate { from, seq } => {
-                self.apply_actions(ctx, actions);
+                self.apply_actions(ctx, &mut actions);
                 self.rec.instant(
                     self.me.as_u32(),
                     ctx.now(),
@@ -562,7 +578,7 @@ impl Protocol for LbRank {
                         seq,
                     },
                 );
-                self.apply_actions(ctx, actions);
+                self.apply_actions(ctx, &mut actions);
             }
             RxEvent::GaveUp { to, seq, msg } => {
                 self.rec.instant(
@@ -590,9 +606,8 @@ impl Protocol for LbRank {
                         ctx.now(),
                         EventKind::LinkSuspect { to: to.as_u32() },
                     );
-                    let mut actions = Vec::new();
                     self.transport.reinstate(to, seq, msg, &mut actions);
-                    self.apply_actions(ctx, actions);
+                    self.apply_actions(ctx, &mut actions);
                 } else if self.health.is_some() {
                     // Retry exhaustion toward one peer under crash
                     // tolerance means that peer is gone, not that we
@@ -610,7 +625,7 @@ impl Protocol for LbRank {
                 // is dropped *without an ack*, so the sender's reliable
                 // channel re-delivers the original. Best-effort frames
                 // are simply lost — same contract as a drop.
-                self.apply_actions(ctx, actions);
+                self.apply_actions(ctx, &mut actions);
                 self.rec.instant(
                     self.me.as_u32(),
                     ctx.now(),
@@ -619,8 +634,13 @@ impl Protocol for LbRank {
                     },
                 );
             }
-            RxEvent::Nothing => self.apply_actions(ctx, actions),
+            RxEvent::Nothing => self.apply_actions(ctx, &mut actions),
         }
+        // Unapplied leftovers (e.g. the non-vouched GaveUp paths) are
+        // dropped, exactly as the old per-message `Vec` was; the shell is
+        // kept for the next message.
+        actions.clear();
+        self.scratch_actions = actions;
     }
 
     fn is_done(&self) -> bool {

@@ -42,10 +42,9 @@ use crate::crc::crc32;
 use crate::fault::{FaultPlan, FaultStats};
 use crate::lb::emulator::LinkEmulator;
 use crate::sim::{Ctx, Protocol};
+use crate::wheel::HeldQueue;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::Rng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,12 +63,17 @@ const HANDSHAKE_MAGIC: u32 = 0x544C_4231; // "TLB1"
 const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// Serialize one wire frame: length prefix, payload CRC, payload.
+///
+/// Header and payload are laid into a single allocation: the payload is
+/// encoded in place after a blank header, which is then back-patched —
+/// the bytes are identical to the historical two-buffer construction.
 pub fn encode_frame(wire: &LbWire) -> Vec<u8> {
-    let payload = wire.encode();
-    let mut out = Vec::with_capacity(8 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    let mut out = vec![0u8; 8];
+    wire.encode_into(&mut out);
+    let len = out.len() - 8;
+    let crc = crc32(&out[8..]);
+    out[0..4].copy_from_slice(&(len as u32).to_le_bytes());
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -129,21 +133,26 @@ impl FrameReader {
         if self.buf.len() < 8 + len {
             return None;
         }
-        let payload: Vec<u8> = self.buf[8..8 + len].to_vec();
-        self.buf.drain(..8 + len);
-        if crc32(&payload) != crc {
-            return Some(LbWire::Damaged {
+        // Decode straight out of the reassembly buffer: the payload is
+        // only copied out on the damaged paths, which need to own the
+        // bytes they surface.
+        let payload = &self.buf[8..8 + len];
+        let wire = if crc32(payload) != crc {
+            LbWire::Damaged {
                 crc,
-                bytes: payload,
-            });
-        }
-        match LbWire::decode(&payload) {
-            Ok(wire) => Some(wire),
-            Err(_) => Some(LbWire::Damaged {
-                crc: !crc,
-                bytes: payload,
-            }),
-        }
+                bytes: payload.to_vec(),
+            }
+        } else {
+            match LbWire::decode(payload) {
+                Ok(wire) => wire,
+                Err(_) => LbWire::Damaged {
+                    crc: !crc,
+                    bytes: payload.to_vec(),
+                },
+            }
+        };
+        self.buf.drain(..8 + len);
+        Some(wire)
     }
 }
 
@@ -212,31 +221,6 @@ enum HeldItem {
     Send { to: RankId, msg: LbWire },
 }
 
-struct Held {
-    when: Instant,
-    seq: u64,
-    item: HeldItem,
-}
-
-impl PartialEq for Held {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl Eq for Held {}
-impl Ord for Held {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.when
-            .cmp(&other.when)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-impl PartialOrd for Held {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Run one rank of the LB protocol over TCP until `stop` is raised or
 /// the deadline passes.
 ///
@@ -281,8 +265,7 @@ pub fn run_socket_rank(
     }
 
     let mut stats = NetworkStats::default();
-    let mut held: BinaryHeap<Reverse<Held>> = BinaryHeap::new();
-    let mut hseq = 0u64;
+    let mut held: HeldQueue<HeldItem> = HeldQueue::new();
     let mut outbox: Vec<(RankId, LbWire, usize)> = Vec::new();
     let mut done_notified = false;
 
@@ -343,11 +326,9 @@ pub fn run_socket_rank(
                             .filter(|when| *when > Instant::now());
                         match due {
                             Some(when) => {
-                                hseq += 1;
-                                held.push(Reverse(Held {
+                                held.hold(
                                     when,
-                                    seq: hseq,
-                                    item: if to == me {
+                                    if to == me {
                                         HeldItem::Deliver {
                                             from: me,
                                             msg: d.msg,
@@ -355,7 +336,7 @@ pub fn run_socket_rank(
                                     } else {
                                         HeldItem::Send { to, msg: d.msg }
                                     },
-                                }));
+                                );
                             }
                             None if to == me => {
                                 // Rare self-send: deliver next loop turn.
@@ -383,7 +364,7 @@ pub fn run_socket_rank(
                     rank.on_message(&mut ctx, $from, $msg);
                     let timers = ctx.take_timers();
                     flush!();
-                    arm_timers(&mut held, &mut hseq, me, timers);
+                    arm_timers(&mut held, me, timers);
                 }
             }};
         }
@@ -395,7 +376,7 @@ pub fn run_socket_rank(
             rank.on_start(&mut ctx);
             let timers = ctx.take_timers();
             flush!();
-            arm_timers(&mut held, &mut hseq, me, timers);
+            arm_timers(&mut held, me, timers);
         }
 
         let tick = Duration::from_millis(1);
@@ -404,20 +385,14 @@ pub fn run_socket_rank(
                 break;
             }
             // Fire every held event whose time has come.
-            loop {
-                match held.peek() {
-                    Some(Reverse(h)) if h.when <= Instant::now() => {
-                        let Reverse(h) = held.pop().expect("just peeked");
-                        match h.item {
-                            HeldItem::Deliver { from, msg } => deliver!(from, msg),
-                            HeldItem::Send { to, msg } => {
-                                if let Some(tx) = &out_tx[to.as_usize()] {
-                                    let _ = tx.send(encode_frame(&msg));
-                                }
-                            }
+            while let Some(item) = held.pop_due(Instant::now()) {
+                match item {
+                    HeldItem::Deliver { from, msg } => deliver!(from, msg),
+                    HeldItem::Send { to, msg } => {
+                        if let Some(tx) = &out_tx[to.as_usize()] {
+                            let _ = tx.send(encode_frame(&msg));
                         }
                     }
-                    _ => break,
                 }
             }
             if !done_notified
@@ -428,8 +403,8 @@ pub fn run_socket_rank(
                 done_notified = true;
                 on_done();
             }
-            let wait = match held.peek() {
-                Some(Reverse(h)) => h.when.saturating_duration_since(Instant::now()).min(tick),
+            let wait = match held.next_deadline() {
+                Some(when) => when.saturating_duration_since(Instant::now()).min(tick),
                 None => tick,
             };
             match in_rx.recv_timeout(wait) {
@@ -454,20 +429,13 @@ pub fn run_socket_rank(
 
 /// Arm protocol timers as held self-deliveries (virtual seconds map 1:1
 /// onto wall-clock seconds, the parallel executor's convention).
-fn arm_timers(
-    held: &mut BinaryHeap<Reverse<Held>>,
-    hseq: &mut u64,
-    me: RankId,
-    timers: Vec<(f64, LbWire)>,
-) {
+fn arm_timers(held: &mut HeldQueue<HeldItem>, me: RankId, timers: Vec<(f64, LbWire)>) {
     let now = Instant::now();
     for (delay, msg) in timers {
-        *hseq += 1;
-        held.push(Reverse(Held {
-            when: now + Duration::from_secs_f64(delay),
-            seq: *hseq,
-            item: HeldItem::Deliver { from: me, msg },
-        }));
+        held.hold(
+            now + Duration::from_secs_f64(delay),
+            HeldItem::Deliver { from: me, msg },
+        );
     }
 }
 

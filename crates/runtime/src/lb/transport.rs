@@ -397,7 +397,7 @@ mod tests {
         LbMsg::Gossip {
             epoch,
             round: 1,
-            pairs: vec![],
+            pairs: vec![].into(),
         }
     }
 

@@ -7,6 +7,9 @@
 //!
 //! * [`sim`] — deterministic discrete-event executor delivering active
 //!   messages between rank protocols under a latency model.
+//! * [`wheel`] — hierarchical timer wheel backing the simulator's event
+//!   queue and both executors' held-wire queues, with a deterministic
+//!   `(time, push order)` pop order.
 //! * [`parallel`] — multi-threaded executor running the *same* protocols
 //!   with real concurrency (crossbeam channels), stress-testing protocol
 //!   correctness under arbitrary interleavings.
@@ -48,6 +51,7 @@ pub mod rdma;
 pub mod reliable;
 pub mod sim;
 pub mod termination;
+pub mod wheel;
 
 pub use fault::{
     CrashEvent, FaultPlan, FaultPlanError, FaultStats, LinkFault, LinkFaultKind, PartitionWindow,

@@ -26,9 +26,8 @@
 use crate::fault::{FaultPlan, FaultStats};
 use crate::lb::emulator::LinkEmulator;
 use crate::sim::{Ctx, Protocol};
+use crate::wheel::HeldQueue;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use tempered_core::ids::RankId;
@@ -51,34 +50,6 @@ struct Envelope<M> {
     msg: M,
     /// Earliest delivery time (fault-injected delay); `None` = now.
     not_before: Option<Instant>,
-}
-
-/// A held-back delivery: either a protocol timer or a delayed envelope.
-struct Held<M> {
-    when: Instant,
-    seq: u64,
-    to: usize,
-    from: RankId,
-    msg: M,
-}
-
-impl<M> PartialEq for Held<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl<M> Eq for Held<M> {}
-impl<M> Ord for Held<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.when
-            .cmp(&other.when)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-impl<M> PartialOrd for Held<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Options for [`run_parallel_with`].
@@ -181,9 +152,8 @@ where
                     stats: NetworkStats::default(),
                     emulator,
                     start,
-                    held: BinaryHeap::new(),
+                    held: HeldQueue::new(),
                     outbox: Vec::new(),
-                    hseq: 0,
                 };
                 let ok = worker.run(rx, num_ranks, idle_timeout);
                 let fstats = worker.emulator.stats();
@@ -240,9 +210,8 @@ struct Worker<'a, P: Protocol> {
     emulator: LinkEmulator,
     start: Instant,
     /// Protocol timers and delay-faulted envelopes awaiting their time.
-    held: BinaryHeap<Reverse<Held<P::Msg>>>,
+    held: HeldQueue<(usize, RankId, P::Msg)>,
     outbox: Vec<(RankId, P::Msg, usize)>,
-    hseq: u64,
 }
 
 impl<P> Worker<'_, P>
@@ -304,14 +273,10 @@ where
     fn arm_timers(&mut self, me: RankId, timers: Vec<(f64, P::Msg)>) {
         let now = Instant::now();
         for (delay, msg) in timers {
-            self.hseq += 1;
-            self.held.push(Reverse(Held {
-                when: now + Duration::from_secs_f64(delay),
-                seq: self.hseq,
-                to: me.as_usize(),
-                from: me,
-                msg,
-            }));
+            self.held.hold(
+                now + Duration::from_secs_f64(delay),
+                (me.as_usize(), me, msg),
+            );
         }
     }
 
@@ -341,19 +306,25 @@ where
         self.mark_done(slot);
     }
 
+    /// Route one inbound envelope: hold it if a delay fate pushed its
+    /// delivery time into the future, deliver it otherwise.
+    fn admit_or_hold(&mut self, env: Envelope<P::Msg>) {
+        match env.not_before {
+            Some(when) if when > Instant::now() => {
+                self.held.hold(when, (env.to, env.from, env.msg));
+            }
+            _ => self.deliver(env.to, env.from, env.msg),
+        }
+    }
+
     /// Deliver every held entry whose time has come; returns how many.
     fn fire_due(&mut self) -> usize {
         let mut fired = 0;
-        loop {
-            match self.held.peek() {
-                Some(Reverse(h)) if h.when <= Instant::now() => {
-                    let Reverse(h) = self.held.pop().expect("just peeked");
-                    self.deliver(h.to, h.from, h.msg);
-                    fired += 1;
-                }
-                _ => return fired,
-            }
+        while let Some((to, from, msg)) = self.held.pop_due(Instant::now()) {
+            self.deliver(to, from, msg);
+            fired += 1;
         }
+        fired
     }
 
     fn run(
@@ -382,25 +353,20 @@ where
         let tick = Duration::from_millis(1);
         loop {
             // Wake early if a held delivery comes due before the tick.
-            let wait = match self.held.peek() {
-                Some(Reverse(h)) => h.when.saturating_duration_since(Instant::now()).min(tick),
+            let wait = match self.held.next_deadline() {
+                Some(when) => when.saturating_duration_since(Instant::now()).min(tick),
                 None => tick,
             };
             match rx.recv_timeout(wait) {
                 Ok(env) => {
                     idle = Duration::ZERO;
-                    match env.not_before {
-                        Some(when) if when > Instant::now() => {
-                            self.hseq += 1;
-                            self.held.push(Reverse(Held {
-                                when,
-                                seq: self.hseq,
-                                to: env.to,
-                                from: env.from,
-                                msg: env.msg,
-                            }));
-                        }
-                        _ => self.deliver(env.to, env.from, env.msg),
+                    self.admit_or_hold(env);
+                    // Batched drain: a blocked worker typically wakes to
+                    // a mailbox full of gossip, and draining it in one
+                    // sweep amortizes the wake-up over every queued
+                    // envelope instead of paying it per message.
+                    while let Ok(env) = rx.try_recv() {
+                        self.admit_or_hold(env);
                     }
                     self.fire_due();
                 }

@@ -25,8 +25,7 @@
 //!   truth.
 
 use crate::fault::{CrashSchedule, Fate, FaultInjector, FaultPlan, FaultStats, LinkFate};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::wheel::TimerWheel;
 use tempered_core::ids::RankId;
 use tempered_core::rng::RngFactory;
 use tempered_obs::NetworkStats;
@@ -132,7 +131,26 @@ pub struct Ctx<'a, M> {
     me: RankId,
     now: f64,
     outbox: &'a mut Vec<(RankId, M, usize)>,
-    timers: Vec<(f64, M)>,
+    timers: TimerSink<'a, M>,
+}
+
+/// Where scheduled timers accumulate: a context-owned vector (detached /
+/// executor contexts) or a caller-owned buffer reused across handler
+/// invocations (the simulator's hot loop, which would otherwise pay one
+/// allocation per delivered event).
+enum TimerSink<'a, M> {
+    Owned(Vec<(f64, M)>),
+    Borrowed(&'a mut Vec<(f64, M)>),
+}
+
+impl<M> TimerSink<'_, M> {
+    #[inline]
+    fn as_mut(&mut self) -> &mut Vec<(f64, M)> {
+        match self {
+            TimerSink::Owned(v) => v,
+            TimerSink::Borrowed(v) => v,
+        }
+    }
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -147,7 +165,25 @@ impl<'a, M> Ctx<'a, M> {
             me,
             now,
             outbox,
-            timers: Vec::new(),
+            timers: TimerSink::Owned(Vec::new()),
+        }
+    }
+
+    /// Executor context writing timers into a caller-owned buffer, so a
+    /// hot event loop reuses one allocation for every handler call. The
+    /// caller drains the buffer after the handler instead of
+    /// [`Ctx::take_timers`].
+    pub(crate) fn for_executor_reusing(
+        me: RankId,
+        now: f64,
+        outbox: &'a mut Vec<(RankId, M, usize)>,
+        timers: &'a mut Vec<(f64, M)>,
+    ) -> Self {
+        Ctx {
+            me,
+            now,
+            outbox,
+            timers: TimerSink::Borrowed(timers),
         }
     }
 
@@ -161,7 +197,7 @@ impl<'a, M> Ctx<'a, M> {
             me,
             now,
             outbox,
-            timers: Vec::new(),
+            timers: TimerSink::Owned(Vec::new()),
         }
     }
 
@@ -189,7 +225,7 @@ impl<'a, M> Ctx<'a, M> {
     /// network statistics, and fault injection. Retransmission timeouts
     /// and stage deadlines are built on this.
     pub fn schedule(&mut self, delay: f64, msg: M) {
-        self.timers.push((delay.max(0.0), msg));
+        self.timers.as_mut().push((delay.max(0.0), msg));
     }
 
     /// Drain the timers scheduled during this handler invocation.
@@ -197,38 +233,19 @@ impl<'a, M> Ctx<'a, M> {
     /// (outer protocol pumping an inner one through a detached context)
     /// re-schedule the drained timers through their own context.
     pub fn take_timers(&mut self) -> Vec<(f64, M)> {
-        std::mem::take(&mut self.timers)
+        std::mem::take(self.timers.as_mut())
     }
 }
 
+/// Event payload; delivery time and the deterministic FIFO tie-break
+/// (push sequence) live in the [`TimerWheel`] keying the queue.
 #[derive(Debug)]
 struct Event<M> {
-    time: f64,
-    seq: u64,
     to: RankId,
     from: RankId,
     msg: M,
     /// Self-scheduled timer (not a network message).
     timer: bool,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Outcome of an executed simulation.
@@ -250,11 +267,10 @@ pub struct SimReport {
 /// The deterministic event-driven executor.
 pub struct Simulator<P: Protocol> {
     ranks: Vec<P>,
-    queue: BinaryHeap<Reverse<Event<P::Msg>>>,
+    queue: TimerWheel<f64, Event<P::Msg>>,
     model: NetworkModel,
     rng: SmallRng,
     now: f64,
-    seq: u64,
     stats: NetworkStats,
     injector: Option<FaultInjector>,
     crash_sched: CrashSchedule,
@@ -273,13 +289,21 @@ impl<P: Protocol> Simulator<P> {
     /// Build a simulator over per-rank protocol instances.
     pub fn new(ranks: Vec<P>, model: NetworkModel, factory: &RngFactory) -> Self {
         let rng = factory.rank_stream(b"simnet", 0, 0);
+        // Wheel quantum: one base network latency per bucket, so most
+        // arrivals land a slot or two ahead of the cursor. Zero-latency
+        // models fall back to a 1 µs quantum (everything then shares tick
+        // 0, where the sorted current bucket still orders exactly).
+        let quantum = if model.base_latency > 0.0 {
+            model.base_latency
+        } else {
+            1.0e-6
+        };
         Simulator {
             ranks,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(1.0 / quantum),
             model,
             rng,
             now: 0.0,
-            seq: 0,
             stats: NetworkStats::default(),
             injector: None,
             crash_sched: CrashSchedule::default(),
@@ -353,16 +377,16 @@ impl<P: Protocol> Simulator<P> {
                     .observe("sim.net.latency_ns", (latency * 1e9) as u64);
             }
             let Some(inj) = &mut self.injector else {
-                self.seq += 1;
                 self.net_in_queue += 1;
-                self.queue.push(Reverse(Event {
-                    time: self.now + latency,
-                    seq: self.seq,
-                    to,
-                    from,
-                    msg,
-                    timer: false,
-                }));
+                self.queue.push(
+                    self.now + latency,
+                    Event {
+                        to,
+                        from,
+                        msg,
+                        timer: false,
+                    },
+                );
                 continue;
             };
             let faultable = P::faultable(&msg);
@@ -422,6 +446,7 @@ impl<P: Protocol> Simulator<P> {
             } else {
                 msg
             };
+            let mut msg = Some(msg);
             for copy in 0..fate.copies {
                 // A duplicated copy trails the original at double latency,
                 // like a retransmission overlapping the first delivery.
@@ -440,31 +465,38 @@ impl<P: Protocol> Simulator<P> {
                         );
                     }
                 }
-                self.seq += 1;
                 self.net_in_queue += 1;
-                self.queue.push(Reverse(Event {
-                    time: arrival,
-                    seq: self.seq,
-                    to,
-                    from,
-                    msg: msg.clone(),
-                    timer: false,
-                }));
+                // The last copy moves the payload; only duplicated copies
+                // clone (copies == 1 in the fault-free fast path).
+                let m = if copy + 1 == fate.copies {
+                    msg.take().expect("one take per copy")
+                } else {
+                    msg.as_ref().expect("taken only by the last copy").clone()
+                };
+                self.queue.push(
+                    arrival,
+                    Event {
+                        to,
+                        from,
+                        msg: m,
+                        timer: false,
+                    },
+                );
             }
         }
     }
 
-    fn flush_timers(&mut self, me: RankId, timers: Vec<(f64, P::Msg)>) {
-        for (delay, msg) in timers {
-            self.seq += 1;
-            self.queue.push(Reverse(Event {
-                time: self.now + delay,
-                seq: self.seq,
-                to: me,
-                from: me,
-                msg,
-                timer: true,
-            }));
+    fn flush_timers(&mut self, me: RankId, timers: &mut Vec<(f64, P::Msg)>) {
+        for (delay, msg) in timers.drain(..) {
+            self.queue.push(
+                self.now + delay,
+                Event {
+                    to: me,
+                    from: me,
+                    msg,
+                    timer: true,
+                },
+            );
         }
     }
 
@@ -472,15 +504,16 @@ impl<P: Protocol> Simulator<P> {
     /// queue drains with no progress, or the event budget is exhausted.
     pub fn run(&mut self) -> SimReport {
         let mut outbox: Vec<(RankId, P::Msg, usize)> = Vec::new();
+        let mut timers: Vec<(f64, P::Msg)> = Vec::new();
 
         // Start handlers.
         for p in 0..self.ranks.len() {
             let me = RankId::from(p);
-            let mut ctx = Ctx::for_executor(me, self.now, &mut outbox);
+            let mut ctx = Ctx::for_executor_reusing(me, self.now, &mut outbox, &mut timers);
             self.ranks[p].on_start(&mut ctx);
-            let timers = ctx.take_timers();
+            drop(ctx);
             self.flush_outbox(me, &mut outbox);
-            self.flush_timers(me, timers);
+            self.flush_timers(me, &mut timers);
         }
 
         loop {
@@ -499,9 +532,9 @@ impl<P: Protocol> Simulator<P> {
                 );
             }
             match self.queue.pop() {
-                Some(Reverse(ev)) => {
-                    debug_assert!(ev.time >= self.now, "time must be monotone");
-                    self.now = ev.time;
+                Some((time, ev)) => {
+                    debug_assert!(time >= self.now, "time must be monotone");
+                    self.now = time;
                     if !ev.timer {
                         self.net_in_queue -= 1;
                     }
@@ -512,12 +545,12 @@ impl<P: Protocol> Simulator<P> {
                     // send in `flush_outbox`) stay aligned with a
                     // crash-free run; the clock still advances so the
                     // down-forever accounting above sees crash times pass.
-                    if self.crash_sched.is_down(ev.to, ev.time) {
+                    if self.crash_sched.is_down(ev.to, time) {
                         self.crash_dropped += 1;
                         if self.recorder.is_enabled() {
                             self.recorder.instant(
                                 ev.from.as_u32(),
-                                ev.time,
+                                time,
                                 EventKind::Fault {
                                     kind: "crash_drop",
                                     to: ev.to.as_u32(),
@@ -528,11 +561,12 @@ impl<P: Protocol> Simulator<P> {
                     }
                     self.events_delivered += 1;
                     let to = ev.to.as_usize();
-                    let mut ctx = Ctx::for_executor(ev.to, self.now, &mut outbox);
+                    let mut ctx =
+                        Ctx::for_executor_reusing(ev.to, self.now, &mut outbox, &mut timers);
                     self.ranks[to].on_message(&mut ctx, ev.from, ev.msg);
-                    let timers = ctx.take_timers();
+                    drop(ctx);
                     self.flush_outbox(ev.to, &mut outbox);
-                    self.flush_timers(ev.to, timers);
+                    self.flush_timers(ev.to, &mut timers);
                 }
                 None => {
                     // Queue drained: report quiescence to every rank; a
@@ -540,11 +574,12 @@ impl<P: Protocol> Simulator<P> {
                     // starting its next stage in tests).
                     for p in 0..self.ranks.len() {
                         let me = RankId::from(p);
-                        let mut ctx = Ctx::for_executor(me, self.now, &mut outbox);
+                        let mut ctx =
+                            Ctx::for_executor_reusing(me, self.now, &mut outbox, &mut timers);
                         self.ranks[p].on_quiescence(&mut ctx);
-                        let timers = ctx.take_timers();
+                        drop(ctx);
                         self.flush_outbox(me, &mut outbox);
-                        self.flush_timers(me, timers);
+                        self.flush_timers(me, &mut timers);
                     }
                     if self.queue.is_empty() {
                         break;

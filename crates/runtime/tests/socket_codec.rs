@@ -67,11 +67,13 @@ fn arb_msg() -> impl Strategy<Value = LbMsg> {
             any::<u32>(),
             prop::collection::vec((arb_rank(), 0.0f64..100.0), 0..16),
         )
-            .prop_map(|(epoch, round, pairs)| LbMsg::Gossip {
-                epoch,
-                round,
-                pairs,
-            })
+            .prop_map(
+                |(epoch, round, pairs): (_, _, Vec<(RankId, f64)>)| LbMsg::Gossip {
+                    epoch,
+                    round,
+                    pairs: pairs.into(),
+                },
+            )
             .boxed(),
         (any::<u64>(), prop::collection::vec(arb_task_entry(), 0..12))
             .prop_map(|(epoch, tasks)| LbMsg::Propose { epoch, tasks })
@@ -221,7 +223,7 @@ fn corrupted_data_frames_are_dropped_unacked_and_redelivered() {
     let msg = LbMsg::Gossip {
         epoch: 1,
         round: 1,
-        pairs: vec![(me, 2.0)],
+        pairs: vec![(me, 2.0)].into(),
     };
 
     let mut out = Vec::new();
